@@ -1,0 +1,139 @@
+// Ablations of this implementation's own design choices (called out in
+// DESIGN.md), beyond the paper's Fig. 8:
+//   (a) R-tree fanout (max entries per node);
+//   (b) the border-witness shortcut in the Sec.-V label recheck;
+//   (c) R-tree bulk loading vs. repeated insertion for from-scratch DBSCAN;
+//   (d) index probing vs. a materialized eps-graph — the alternative the
+//       paper's Sec. IV rejects for its O(n^2) maintenance cost. The sweep
+//       over eps shows where each side wins: the graph variant's per-slide
+//       cost and memory grow with neighborhood size (maintenance), while
+//       index-backed DISC pays range searches but stays lean.
+
+#include <cstdio>
+
+#include "baselines/dbscan.h"
+#include "baselines/graph_disc.h"
+#include "bench/datasets.h"
+#include "common/timer.h"
+#include "core/disc.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+
+namespace disc {
+namespace {
+
+double MeasureDisc(const bench::DatasetSpec& spec, const DiscConfig& config,
+                   int slides) {
+  const std::size_t stride = std::max<std::size_t>(1, spec.window / 20);
+  auto source = spec.make(1234);
+  StreamData data = MakeStreamData(*source, spec.window, stride, 1, slides);
+  Disc method(spec.dims, config);
+  return RunMethod(data, &method, MeasureOptions{}).avg_update_ms;
+}
+
+void Run(double scale, int slides) {
+  // (a) R-tree fanout.
+  Table fanout({"dataset", "fanout", "DISC_ms"});
+  for (const bench::DatasetSpec& spec :
+       {bench::DtgSpec(scale), bench::CovidSpec(scale)}) {
+    for (int entries : {4, 8, 16, 32, 64}) {
+      DiscConfig config;
+      config.eps = spec.eps;
+      config.tau = spec.tau;
+      config.rtree_max_entries = entries;
+      fanout.AddRow({spec.name, std::to_string(entries),
+                     Table::Num(MeasureDisc(spec, config, slides), 2)});
+    }
+  }
+  std::printf("== Ablation (a): R-tree fanout ==\n%s\n",
+              fanout.ToText().c_str());
+
+  // (b) Border-witness shortcut.
+  Table witness({"dataset", "witness", "DISC_ms"});
+  for (const bench::DatasetSpec& spec : bench::StandardDatasets(scale)) {
+    for (bool use : {true, false}) {
+      DiscConfig config;
+      config.eps = spec.eps;
+      config.tau = spec.tau;
+      config.use_border_witness = use;
+      witness.AddRow({spec.name, use ? "on" : "off",
+                      Table::Num(MeasureDisc(spec, config, slides), 2)});
+    }
+  }
+  std::printf("== Ablation (b): border-witness shortcut ==\n%s\n",
+              witness.ToText().c_str());
+
+  // (c) Bulk load vs. repeated insertion (index construction only).
+  Table load({"dataset", "method", "build_ms"});
+  for (const bench::DatasetSpec& spec : bench::StandardDatasets(scale)) {
+    auto source = spec.make(7);
+    std::vector<Point> pts;
+    pts.reserve(spec.window);
+    for (std::size_t i = 0; i < spec.window; ++i) {
+      pts.push_back(source->Next().point);
+    }
+    {
+      Timer t;
+      RTree tree(spec.dims);
+      for (const Point& p : pts) tree.Insert(p);
+      load.AddRow({spec.name, "insert", Table::Num(t.ElapsedMillis(), 2)});
+    }
+    {
+      Timer t;
+      RTree tree(spec.dims);
+      tree.BulkLoad(pts);
+      load.AddRow({spec.name, "bulk(STR)", Table::Num(t.ElapsedMillis(), 2)});
+    }
+  }
+  std::printf("== Ablation (c): index construction ==\n%s\n",
+              load.ToText().c_str());
+
+  // (d) Index-probing DISC vs. materialized-graph DISC across eps.
+  Table graph({"eps", "DISC_ms", "graph_ms", "graph_MB", "edges"});
+  {
+    const bench::DatasetSpec spec = bench::DtgSpec(scale);
+    const std::size_t stride = std::max<std::size_t>(1, spec.window / 20);
+    for (double factor : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+      const double eps = spec.eps * factor;
+      DiscConfig config;
+      config.eps = eps;
+      config.tau = spec.tau;
+
+      auto source_a = spec.make(1234);
+      StreamData data =
+          MakeStreamData(*source_a, spec.window, stride, 1, slides);
+      Disc index_backed(spec.dims, config);
+      const double index_ms =
+          RunMethod(data, &index_backed, MeasureOptions{}).avg_update_ms;
+
+      GraphDisc graph_backed(spec.dims, config);
+      const double graph_ms =
+          RunMethod(data, &graph_backed, MeasureOptions{}).avg_update_ms;
+
+      graph.AddRow({Table::Num(eps, 3), Table::Num(index_ms, 2),
+                    Table::Num(graph_ms, 2),
+                    Table::Num(static_cast<double>(
+                                   graph_backed.ApproxMemoryBytes()) /
+                                   (1024.0 * 1024.0),
+                               1),
+                    std::to_string(graph_backed.total_edges())});
+    }
+  }
+  std::printf(
+      "== Ablation (d): index probing vs. materialized eps-graph (DTG) "
+      "==\n%s\n",
+      graph.ToText().c_str());
+
+  std::printf("CSV (a):\n%sCSV (b):\n%sCSV (c):\n%sCSV (d):\n%s",
+              fanout.ToCsv().c_str(), witness.ToCsv().c_str(),
+              load.ToCsv().c_str(), graph.ToCsv().c_str());
+}
+
+}  // namespace
+}  // namespace disc
+
+int main(int argc, char** argv) {
+  const disc::bench::BenchArgs args = disc::bench::ParseArgs(argc, argv);
+  disc::Run(args.scale, args.slides);
+  return 0;
+}

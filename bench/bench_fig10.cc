@@ -1,0 +1,86 @@
+// Figure 10: DTG — clustering quality (ARI against fresh-DBSCAN labels, the
+// paper's truth for this dataset) and per-point update latency with a
+// varying window size, stride 5%. Same methods as Fig. 9.
+
+#include <cstdio>
+
+#include "baselines/dbstream.h"
+#include "baselines/edmstream.h"
+#include "baselines/rho_dbscan.h"
+#include "bench/datasets.h"
+#include "core/disc.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+
+namespace disc {
+namespace {
+
+void AddRow(Table* table, std::size_t window, const MethodStats& stats) {
+  table->AddRow({std::to_string(window), stats.name,
+                 Table::Num(stats.avg_ari_reference, 3),
+                 Table::Num(stats.avg_purity_reference, 3),
+                 Table::Num(stats.avg_nmi_reference, 3),
+                 Table::Num(stats.per_point_latency_us, 2)});
+}
+
+void Run(double scale, int slides) {
+  Table table({"window", "method", "ARI_vs_DBSCAN", "purity", "NMI", "latency_us/pt"});
+  for (double factor : {0.25, 0.5, 1.0, 2.0}) {
+    bench::DatasetSpec spec = bench::DtgSpec(scale);
+    spec.window = static_cast<std::size_t>(spec.window * factor);
+    const std::size_t stride = std::max<std::size_t>(1, spec.window / 20);
+    auto source = spec.make(1234);
+    StreamData data =
+        MakeStreamData(*source, spec.window, stride, 1, slides);
+    const std::vector<ClusteringSnapshot> refs =
+        DbscanReference(data, spec.eps, spec.tau, 1);
+    MeasureOptions opts;
+    opts.reference_snapshots = &refs;
+
+    DiscConfig config;
+    config.eps = spec.eps;
+    config.tau = spec.tau;
+    Disc disc_method(spec.dims, config);
+    AddRow(&table, spec.window, RunMethod(data, &disc_method, opts));
+
+    for (double rho : {0.1, 0.001}) {
+      RhoDbscan::Options ro;
+      ro.eps = spec.eps;
+      ro.tau = spec.tau;
+      ro.rho = rho;
+      RhoDbscan rho_method(spec.dims, ro);
+      AddRow(&table, spec.window, RunMethod(data, &rho_method, opts));
+    }
+
+    DbStream::Options dbo;
+    dbo.radius = 1.5 * spec.eps;
+    dbo.decay_lambda = 4.0 / static_cast<double>(spec.window);
+    dbo.alpha = 0.03;
+    dbo.w_min = 0.3;
+    dbo.eta = 0.02;
+    DbStream dbs(spec.dims, dbo);
+    AddRow(&table, spec.window, RunMethod(data, &dbs, opts));
+
+    EdmStream::Options edo;
+    edo.radius = 3.0 * spec.eps;
+    edo.decay_lambda = 4.0 / static_cast<double>(spec.window);
+    edo.delta_threshold = 10.0 * spec.eps;
+    edo.rho_min = 1.0;
+    EdmStream edm(spec.dims, edo);
+    AddRow(&table, spec.window, RunMethod(data, &edm, opts));
+  }
+  std::printf(
+      "== Fig. 10: DTG — ARI vs DBSCAN labels and per-point update latency "
+      "==\n%s\n",
+      table.ToText().c_str());
+  std::printf("CSV:\n%s", table.ToCsv().c_str());
+}
+
+}  // namespace
+}  // namespace disc
+
+int main(int argc, char** argv) {
+  const disc::bench::BenchArgs args = disc::bench::ParseArgs(argc, argv);
+  disc::Run(args.scale, args.slides);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 11: per-point update latency of DISC vs rho2-DBSCAN with a varying
+// distance threshold eps, on Maze and DTG (stride 5%). The paper's claim:
+// DISC wins for every practically useful eps; rho2-DBSCAN only overtakes at
+// distance thresholds so large that the clustering has degenerated into one
+// giant cluster. The "clusters" column shows that degeneration.
+
+#include <cstdio>
+
+#include "baselines/dbscan.h"
+#include "baselines/rho_dbscan.h"
+#include "bench/datasets.h"
+#include "core/disc.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+#include "stream/sliding_window.h"
+
+namespace disc {
+namespace {
+
+// Cluster count of a fresh DBSCAN over one full window at this eps — shows
+// when the threshold stops being meaningful.
+std::size_t ClusterCount(const bench::DatasetSpec& spec, double eps) {
+  auto source = spec.make(99);
+  std::vector<Point> window;
+  window.reserve(spec.window);
+  for (std::size_t i = 0; i < spec.window; ++i) {
+    window.push_back(source->Next().point);
+  }
+  return RunDbscan(window, eps, spec.tau).snapshot.NumClusters();
+}
+
+void Sweep(const bench::DatasetSpec& spec, const std::vector<double>& epses,
+           int slides, Table* table) {
+  const std::size_t stride = std::max<std::size_t>(1, spec.window / 20);
+  for (double eps : epses) {
+    auto source = spec.make(1234);
+    StreamData data =
+        MakeStreamData(*source, spec.window, stride, 1, slides);
+
+    DiscConfig config;
+    config.eps = eps;
+    config.tau = spec.tau;
+    Disc disc_method(spec.dims, config);
+    const double disc_us =
+        RunMethod(data, &disc_method, MeasureOptions{}).per_point_latency_us;
+
+    RhoDbscan::Options ro;
+    ro.eps = eps;
+    ro.tau = spec.tau;
+    ro.rho = 0.001;
+    RhoDbscan rho_method(spec.dims, ro);
+    const double rho_us =
+        RunMethod(data, &rho_method, MeasureOptions{}).per_point_latency_us;
+
+    table->AddRow({spec.name, Table::Num(eps, 4), Table::Num(disc_us, 2),
+                   Table::Num(rho_us, 2),
+                   std::to_string(ClusterCount(spec, eps))});
+  }
+}
+
+void Run(double scale, int slides) {
+  Table table({"dataset", "eps", "DISC_us/pt", "rho2_us/pt", "clusters"});
+  Sweep(bench::MazeSpec(scale, 24000),
+        {0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2}, slides, &table);
+  Sweep(bench::DtgSpec(scale), {0.008, 0.016, 0.032, 0.064, 0.128, 0.256, 0.512},
+        slides, &table);
+  std::printf(
+      "== Fig. 11: update latency with varying eps (DISC vs rho2-DBSCAN, "
+      "rho=0.001) ==\n%s\n",
+      table.ToText().c_str());
+  std::printf("CSV:\n%s", table.ToCsv().c_str());
+}
+
+}  // namespace
+}  // namespace disc
+
+int main(int argc, char** argv) {
+  const disc::bench::BenchArgs args = disc::bench::ParseArgs(argc, argv);
+  disc::Run(args.scale, args.slides);
+  return 0;
+}

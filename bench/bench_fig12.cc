@@ -1,0 +1,123 @@
+// Figure 12: illustration of the clusters found in Maze and DTG by DISC,
+// EDMStream, and DBSTREAM. Writes one labeled CSV per (dataset, method) for
+// plotting and prints a summary (cluster count + ARI against ground truth /
+// DBSCAN labels). DISC's output is also checked to be exactly DBSCAN's, the
+// paper's "same clusters as DBSCAN" observation for Figs. 12(d)-(f).
+
+#include <cstdio>
+
+#include "baselines/dbscan.h"
+#include "baselines/dbstream.h"
+#include "baselines/edmstream.h"
+#include "bench/datasets.h"
+#include "core/disc.h"
+#include "eval/ari.h"
+#include "eval/equivalence.h"
+#include "eval/partition.h"
+#include "eval/table.h"
+#include "stream/csv.h"
+#include "stream/sliding_window.h"
+
+namespace disc {
+namespace {
+
+void Run(double scale) {
+  Table table({"dataset", "method", "clusters", "ARI", "exact_vs_DBSCAN"});
+  struct Target {
+    bench::DatasetSpec spec;
+    bool truth_from_generator;
+  };
+  std::vector<Target> targets;
+  targets.push_back({bench::MazeSpec(scale, 24000), true});
+  targets.push_back({bench::DtgSpec(scale), false});
+
+  for (const Target& target : targets) {
+    const bench::DatasetSpec& spec = target.spec;
+    const std::size_t stride = std::max<std::size_t>(1, spec.window / 20);
+    auto source = spec.make(77);
+
+    DiscConfig config;
+    config.eps = spec.eps;
+    config.tau = spec.tau;
+    Disc disc_method(spec.dims, config);
+    DbStream::Options dbo;
+    dbo.radius = 1.5 * spec.eps;
+    dbo.decay_lambda = 4.0 / static_cast<double>(spec.window);
+    dbo.alpha = 0.03;
+    dbo.w_min = 0.3;
+    dbo.eta = 0.02;
+    DbStream dbs(spec.dims, dbo);
+    EdmStream::Options edo;
+    edo.radius = 3.0 * spec.eps;
+    edo.decay_lambda = 4.0 / static_cast<double>(spec.window);
+    edo.delta_threshold = 10.0 * spec.eps;
+    edo.rho_min = 1.0;
+    EdmStream edm(spec.dims, edo);
+
+    // Slide a few times past the fill so the picture shows a steady state.
+    CountBasedWindow window(spec.window, stride);
+    std::vector<LabeledPoint> labeled;
+    const std::size_t total_slides = spec.window / stride + 4;
+    for (std::size_t s = 0; s < total_slides; ++s) {
+      std::vector<Point> batch;
+      batch.reserve(stride);
+      for (std::size_t i = 0; i < stride; ++i) {
+        labeled.push_back(source->Next());
+        batch.push_back(labeled.back().point);
+      }
+      WindowDelta delta = window.Advance(batch);
+      disc_method.Update(delta.incoming, delta.outgoing);
+      dbs.Update(delta.incoming, delta.outgoing);
+      edm.Update(delta.incoming, delta.outgoing);
+    }
+
+    std::vector<Point> contents(window.contents().begin(),
+                                window.contents().end());
+    std::vector<PointId> ids;
+    ids.reserve(contents.size());
+    for (const Point& p : contents) ids.push_back(p.id);
+
+    // Reference labels: generator truth for Maze, fresh DBSCAN for DTG.
+    std::vector<ClusterId> reference;
+    const DbscanResult dbscan = RunDbscan(contents, spec.eps, spec.tau);
+    if (target.truth_from_generator) {
+      reference.reserve(ids.size());
+      const std::size_t base = labeled.size() - contents.size();
+      for (std::size_t i = 0; i < contents.size(); ++i) {
+        reference.push_back(labeled[base + i].true_label);
+      }
+    } else {
+      reference = LabelsFor(dbscan.snapshot, ids);
+    }
+
+    StreamClusterer* methods[] = {&disc_method, &dbs, &edm};
+    for (StreamClusterer* m : methods) {
+      const ClusteringSnapshot snap = m->Snapshot();
+      const std::vector<ClusterId> labels = LabelsFor(snap, ids);
+      const double ari = AdjustedRandIndex(labels, reference);
+      std::string exact = "-";
+      if (m == &disc_method) {
+        const EquivalenceResult eq =
+            CheckSameClustering(snap, dbscan.snapshot, contents, spec.eps);
+        exact = eq.ok ? "yes" : ("NO: " + eq.error);
+      }
+      const std::string file = "fig12_" + spec.name + "_" + m->name() + ".csv";
+      WriteLabeledCsv(file, contents, labels);
+      table.AddRow({spec.name, m->name(), std::to_string(snap.NumClusters()),
+                    Table::Num(ari, 3), exact});
+      std::printf("wrote %s\n", file.c_str());
+    }
+  }
+  std::printf("\n== Fig. 12: clusters found in Maze and DTG ==\n%s\n",
+              table.ToText().c_str());
+  std::printf("CSV:\n%s", table.ToCsv().c_str());
+}
+
+}  // namespace
+}  // namespace disc
+
+int main(int argc, char** argv) {
+  const disc::bench::BenchArgs args = disc::bench::ParseArgs(argc, argv);
+  disc::Run(args.scale);
+  return 0;
+}

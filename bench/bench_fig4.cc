@@ -1,0 +1,92 @@
+// Figure 4: relative speedup over DBSCAN with a varying size of stride
+// (0.1% .. 25% of the window), for the four dataset analogues and the three
+// exact incremental methods (DISC, IncDBSCAN, EXTRA-N).
+//
+// DBSCAN recomputes from scratch, so its per-slide cost is measured once per
+// dataset (the paper makes the same observation: its execution time is
+// unaffected by the stride-to-window ratio).
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/dbscan.h"
+#include "baselines/extra_n.h"
+#include "baselines/inc_dbscan.h"
+#include "bench/datasets.h"
+#include "core/disc.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+
+namespace disc {
+namespace {
+
+constexpr double kStrideRatios[] = {0.001, 0.005, 0.01, 0.05, 0.10, 0.25};
+
+// EXTRA-N's predicted views explode for large window/stride ratios; beyond
+// this estimated footprint we report DNF, as the paper does for its
+// out-of-memory / timed-out runs.
+constexpr std::size_t kExtraNMemoryCap = 2ULL << 30;  // 2 GiB.
+
+void Run(double scale, int slides) {
+  Table table({"dataset", "stride%", "DBSCAN_ms", "DISC_x", "IncDBSCAN_x",
+               "EXTRA-N_x"});
+  for (const bench::DatasetSpec& spec : bench::StandardDatasets(scale)) {
+    // Baseline: DBSCAN once per dataset at the 5% stride.
+    double dbscan_ms = 0.0;
+    {
+      const std::size_t stride =
+          std::max<std::size_t>(1, static_cast<std::size_t>(spec.window * 0.05));
+      auto source = spec.make(1234);
+      StreamData data = MakeStreamData(*source, spec.window, stride, 1, slides);
+      DbscanClusterer dbscan(spec.dims, spec.eps, spec.tau);
+      dbscan_ms = RunMethod(data, &dbscan, MeasureOptions{}).avg_update_ms;
+    }
+
+    for (double ratio : kStrideRatios) {
+      const std::size_t stride = std::max<std::size_t>(
+          1, static_cast<std::size_t>(spec.window * ratio));
+      auto source = spec.make(1234);
+      StreamData data = MakeStreamData(*source, spec.window, stride, 1, slides);
+
+      DiscConfig config;
+      config.eps = spec.eps;
+      config.tau = spec.tau;
+      Disc disc_method(spec.dims, config);
+      const double disc_ms =
+          RunMethod(data, &disc_method, MeasureOptions{}).avg_update_ms;
+
+      IncDbscan inc(spec.dims, config);
+      const double inc_ms = RunMethod(data, &inc, MeasureOptions{}).avg_update_ms;
+
+      std::string extra_cell = "DNF";
+      const std::size_t views = spec.window / stride;
+      // Estimated footprint: counts + neighbor ids per point.
+      const std::size_t estimate =
+          spec.window * (views * sizeof(std::uint32_t) + 64 * sizeof(PointId));
+      if (estimate <= kExtraNMemoryCap && spec.window % stride == 0) {
+        ExtraN extra(spec.dims, spec.eps, spec.tau, spec.window, stride);
+        const double extra_ms =
+            RunMethod(data, &extra, MeasureOptions{}).avg_update_ms;
+        extra_cell = Table::Num(dbscan_ms / extra_ms, 2);
+      }
+
+      table.AddRow({spec.name, Table::Num(ratio * 100.0, 1),
+                    Table::Num(dbscan_ms, 2),
+                    Table::Num(dbscan_ms / disc_ms, 2),
+                    Table::Num(dbscan_ms / inc_ms, 2), extra_cell});
+    }
+  }
+  std::printf(
+      "== Fig. 4: relative speedup over DBSCAN, varying stride size ==\n%s\n",
+      table.ToText().c_str());
+  std::printf("CSV:\n%s", table.ToCsv().c_str());
+}
+
+}  // namespace
+}  // namespace disc
+
+int main(int argc, char** argv) {
+  const disc::bench::BenchArgs args = disc::bench::ParseArgs(argc, argv);
+  disc::Run(args.scale, args.slides);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 6: effect of the distance threshold (eps) and the density threshold
+// (tau) on the elapsed time of the three exact incremental methods, on the
+// DTG analogue with the stride fixed at 5% of the window.
+
+#include <cstdio>
+
+#include "baselines/extra_n.h"
+#include "baselines/inc_dbscan.h"
+#include "bench/datasets.h"
+#include "core/disc.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+
+namespace disc {
+namespace {
+
+void RunOne(const bench::DatasetSpec& spec, double eps, std::uint32_t tau,
+            int slides, Table* table, const std::string& swept,
+            const std::string& value) {
+  const std::size_t stride = std::max<std::size_t>(1, spec.window / 20);
+  auto source = spec.make(1234);
+  StreamData data = MakeStreamData(*source, spec.window, stride, 1, slides);
+
+  DiscConfig config;
+  config.eps = eps;
+  config.tau = tau;
+  Disc disc_method(spec.dims, config);
+  const double disc_ms =
+      RunMethod(data, &disc_method, MeasureOptions{}).avg_update_ms;
+
+  IncDbscan inc(spec.dims, config);
+  const double inc_ms = RunMethod(data, &inc, MeasureOptions{}).avg_update_ms;
+
+  ExtraN extra(spec.dims, eps, tau, spec.window, stride);
+  const double extra_ms =
+      RunMethod(data, &extra, MeasureOptions{}).avg_update_ms;
+
+  table->AddRow({swept, value, Table::Num(disc_ms, 2), Table::Num(inc_ms, 2),
+                 Table::Num(extra_ms, 2)});
+}
+
+void Run(double scale, int slides) {
+  const bench::DatasetSpec spec = bench::DtgSpec(scale);
+  Table table({"swept", "value", "DISC_ms", "IncDBSCAN_ms", "EXTRA-N_ms"});
+
+  // (a) Varying eps around the DTG default (0.02), fixed tau.
+  for (double eps : {0.005, 0.01, 0.02, 0.04, 0.08}) {
+    RunOne(spec, eps, spec.tau, slides, &table, "eps", Table::Num(eps, 3));
+  }
+  // (b) Varying tau around the default (14), fixed eps.
+  for (std::uint32_t tau : {4u, 7u, 14u, 28u, 56u}) {
+    RunOne(spec, spec.eps, tau, slides, &table, "tau", std::to_string(tau));
+  }
+
+  std::printf(
+      "== Fig. 6: threshold effects on DTG (elapsed ms per slide, 5%% "
+      "stride) ==\n%s\n",
+      table.ToText().c_str());
+  std::printf("CSV:\n%s", table.ToCsv().c_str());
+}
+
+}  // namespace
+}  // namespace disc
+
+int main(int argc, char** argv) {
+  const disc::bench::BenchArgs args = disc::bench::ParseArgs(argc, argv);
+  disc::Run(args.scale, args.slides);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 7: number of range searches executed per slide.
+//  (a) DISC vs IncDBSCAN on all four datasets, stride fixed at 5%.
+//  (b) DTG: both methods relative to DBSCAN across stride-to-window ratios
+//      (DBSCAN issues roughly one search per window point on every slide).
+
+#include <cstdio>
+
+#include "baselines/dbscan.h"
+#include "baselines/inc_dbscan.h"
+#include "bench/datasets.h"
+#include "core/disc.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+
+namespace disc {
+namespace {
+
+struct Counts {
+  double disc = 0.0;
+  double inc = 0.0;
+  double dbscan = 0.0;
+};
+
+Counts Measure(const bench::DatasetSpec& spec, std::size_t stride, int slides,
+               bool with_dbscan) {
+  auto source = spec.make(1234);
+  StreamData data = MakeStreamData(*source, spec.window, stride, 1, slides);
+
+  DiscConfig config;
+  config.eps = spec.eps;
+  config.tau = spec.tau;
+  Counts counts;
+
+  Disc disc_method(spec.dims, config);
+  MeasureOptions disc_opts;
+  disc_opts.searches_probe = [&] {
+    return disc_method.last_metrics().range_searches;
+  };
+  counts.disc = RunMethod(data, &disc_method, disc_opts).avg_range_searches;
+
+  IncDbscan inc(spec.dims, config);
+  MeasureOptions inc_opts;
+  inc_opts.searches_probe = [&] { return inc.last_range_searches(); };
+  counts.inc = RunMethod(data, &inc, inc_opts).avg_range_searches;
+
+  if (with_dbscan) {
+    DbscanClusterer dbscan(spec.dims, spec.eps, spec.tau);
+    MeasureOptions db_opts;
+    db_opts.searches_probe = [&] { return dbscan.last_range_searches(); };
+    counts.dbscan = RunMethod(data, &dbscan, db_opts).avg_range_searches;
+  }
+  return counts;
+}
+
+void Run(double scale, int slides) {
+  // (a) Per dataset at 5% stride.
+  Table a({"dataset", "DISC", "IncDBSCAN"});
+  for (const bench::DatasetSpec& spec : bench::StandardDatasets(scale)) {
+    const Counts c =
+        Measure(spec, std::max<std::size_t>(1, spec.window / 20), slides,
+                /*with_dbscan=*/false);
+    a.AddRow({spec.name, Table::Num(c.disc, 0), Table::Num(c.inc, 0)});
+  }
+  std::printf("== Fig. 7(a): range searches per slide (5%% stride) ==\n%s\n",
+              a.ToText().c_str());
+
+  // (b) DTG across stride ratios, relative to DBSCAN.
+  Table b({"stride%", "DBSCAN", "DISC", "IncDBSCAN", "DISC/DBSCAN",
+           "Inc/DBSCAN"});
+  const bench::DatasetSpec spec = bench::DtgSpec(scale);
+  for (double ratio : {0.001, 0.005, 0.01, 0.05, 0.10, 0.25}) {
+    const std::size_t stride =
+        std::max<std::size_t>(1, static_cast<std::size_t>(spec.window * ratio));
+    const Counts c = Measure(spec, stride, slides, /*with_dbscan=*/true);
+    b.AddRow({Table::Num(ratio * 100.0, 1), Table::Num(c.dbscan, 0),
+              Table::Num(c.disc, 0), Table::Num(c.inc, 0),
+              Table::Num(c.disc / c.dbscan, 3),
+              Table::Num(c.inc / c.dbscan, 3)});
+  }
+  std::printf(
+      "== Fig. 7(b): range searches relative to DBSCAN (DTG) ==\n%s\n",
+      b.ToText().c_str());
+  std::printf("CSV (a):\n%sCSV (b):\n%s", a.ToCsv().c_str(), b.ToCsv().c_str());
+}
+
+}  // namespace
+}  // namespace disc
+
+int main(int argc, char** argv) {
+  const disc::bench::BenchArgs args = disc::bench::ParseArgs(argc, argv);
+  disc::Run(args.scale, args.slides);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 8: effect of the two Section-IV optimizations. DISC runs on every
+// dataset with stride 5% under four settings: no optimization, epoch-based
+// probing only, MS-BFS only, and both (the default).
+
+#include <cstdio>
+
+#include "bench/datasets.h"
+#include "core/disc.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+
+namespace disc {
+namespace {
+
+double MeasureVariant(const bench::DatasetSpec& spec, bool msbfs, bool epoch,
+                      int slides) {
+  const std::size_t stride = std::max<std::size_t>(1, spec.window / 20);
+  auto source = spec.make(1234);
+  StreamData data = MakeStreamData(*source, spec.window, stride, 1, slides);
+  DiscConfig config;
+  config.eps = spec.eps;
+  config.tau = spec.tau;
+  config.use_msbfs = msbfs;
+  config.use_epoch_probing = epoch;
+  Disc method(spec.dims, config);
+  return RunMethod(data, &method, MeasureOptions{}).avg_update_ms;
+}
+
+void Run(double scale, int slides) {
+  Table table({"dataset", "none_ms", "epoch_ms", "msbfs_ms", "both_ms",
+               "both_speedup"});
+  for (const bench::DatasetSpec& spec : bench::StandardDatasets(scale)) {
+    const double none = MeasureVariant(spec, false, false, slides);
+    const double epoch = MeasureVariant(spec, false, true, slides);
+    const double msbfs = MeasureVariant(spec, true, false, slides);
+    const double both = MeasureVariant(spec, true, true, slides);
+    table.AddRow({spec.name, Table::Num(none, 2), Table::Num(epoch, 2),
+                  Table::Num(msbfs, 2), Table::Num(both, 2),
+                  Table::Num(none / both, 2)});
+  }
+  std::printf(
+      "== Fig. 8: effect of MS-BFS and epoch-based probing (elapsed ms per "
+      "slide, 5%% stride) ==\n%s\n",
+      table.ToText().c_str());
+  std::printf("CSV:\n%s", table.ToCsv().c_str());
+}
+
+}  // namespace
+}  // namespace disc
+
+int main(int argc, char** argv) {
+  const disc::bench::BenchArgs args = disc::bench::ParseArgs(argc, argv);
+  disc::Run(args.scale, args.slides);
+  return 0;
+}

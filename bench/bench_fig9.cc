@@ -1,0 +1,88 @@
+// Figure 9: Maze — clustering quality (ARI against the generator's
+// ground-truth trajectory labels) and per-point update latency with a
+// varying window size, stride 5%. Methods: DISC, rho2-DBSCAN at high and low
+// accuracy, DBSTREAM, and EDMStream (summarization methods are insert-only;
+// their latency covers insertions, as in the paper).
+
+#include <cstdio>
+
+#include "baselines/dbstream.h"
+#include "baselines/edmstream.h"
+#include "baselines/rho_dbscan.h"
+#include "bench/datasets.h"
+#include "core/disc.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+
+namespace disc {
+namespace {
+
+void AddRow(Table* table, const std::string& window,
+            const MethodStats& stats) {
+  table->AddRow({window, stats.name, Table::Num(stats.avg_ari_truth, 3),
+                 Table::Num(stats.avg_purity_truth, 3),
+                 Table::Num(stats.avg_nmi_truth, 3),
+                 Table::Num(stats.per_point_latency_us, 2)});
+}
+
+void Run(double scale, int slides) {
+  Table table({"window", "method", "ARI", "purity", "NMI", "latency_us/pt"});
+  for (std::size_t window : {6000, 12000, 24000, 48000}) {
+    const bench::DatasetSpec spec =
+        bench::MazeSpec(scale, window);
+    const std::size_t stride = std::max<std::size_t>(1, spec.window / 20);
+    auto source = spec.make(1234);
+    StreamData data =
+        MakeStreamData(*source, spec.window, stride, 1, slides);
+    MeasureOptions opts;
+    opts.ari_vs_truth = true;
+
+    DiscConfig config;
+    config.eps = spec.eps;
+    config.tau = spec.tau;
+    Disc disc_method(spec.dims, config);
+    AddRow(&table, std::to_string(spec.window),
+           RunMethod(data, &disc_method, opts));
+
+    for (double rho : {0.1, 0.001}) {
+      RhoDbscan::Options ro;
+      ro.eps = spec.eps;
+      ro.tau = spec.tau;
+      ro.rho = rho;
+      RhoDbscan rho_method(spec.dims, ro);
+      AddRow(&table, std::to_string(spec.window),
+             RunMethod(data, &rho_method, opts));
+    }
+
+    DbStream::Options dbo;
+    dbo.radius = 1.5 * spec.eps;
+    dbo.decay_lambda = 4.0 / static_cast<double>(spec.window);
+    dbo.alpha = 0.03;
+    dbo.w_min = 0.3;
+    dbo.eta = 0.02;
+    DbStream dbs(spec.dims, dbo);
+    AddRow(&table, std::to_string(spec.window), RunMethod(data, &dbs, opts));
+
+    EdmStream::Options edo;
+    edo.radius = 3.0 * spec.eps;
+    edo.decay_lambda = 4.0 / static_cast<double>(spec.window);
+    edo.delta_threshold = 10.0 * spec.eps;
+    edo.rho_min = 1.0;
+    EdmStream edm(spec.dims, edo);
+    AddRow(&table, std::to_string(spec.window), RunMethod(data, &edm, opts));
+  }
+  std::printf(
+      "== Fig. 9: Maze — ARI vs ground truth and per-point update latency "
+      "==\n%s\n",
+      table.ToText().c_str());
+  std::printf("CSV:\n%s", table.ToCsv().c_str());
+}
+
+}  // namespace
+}  // namespace disc
+
+int main(int argc, char** argv) {
+  const disc::bench::BenchArgs args = disc::bench::ParseArgs(argc, argv);
+  disc::Run(args.scale, args.slides);
+  return 0;
+}

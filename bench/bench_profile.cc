@@ -1,0 +1,69 @@
+// Per-phase cost profile of DISC on every dataset analogue: where does a
+// slide's time go (COLLECT density maintenance vs. ex-core split checks vs.
+// neo-core merges vs. the Sec.-V recheck), across stride sizes. Not a paper
+// figure — an engineering companion to Figs. 4/7 that shows *why* the curves
+// bend: COLLECT dominates at tiny strides (cost ∝ stride), while the CLUSTER
+// phases grow with the amount of cluster evolution per slide.
+
+#include <cstdio>
+
+#include "bench/datasets.h"
+#include "core/disc.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+#include "stream/sliding_window.h"
+
+namespace disc {
+namespace {
+
+void Run(double scale, int slides) {
+  Table table({"dataset", "stride%", "collect_ms", "ex_ms", "neo_ms",
+               "recheck_ms", "total_ms", "reconciliations"});
+  for (const bench::DatasetSpec& spec : bench::StandardDatasets(scale)) {
+    for (double ratio : {0.01, 0.05, 0.25}) {
+      const std::size_t stride = std::max<std::size_t>(
+          1, static_cast<std::size_t>(spec.window * ratio));
+      auto source = spec.make(1234);
+      DiscConfig config;
+      config.eps = spec.eps;
+      config.tau = spec.tau;
+      Disc method(spec.dims, config);
+      CountBasedWindow window(spec.window, stride);
+
+      double collect = 0, ex = 0, neo = 0, recheck = 0;
+      std::uint64_t reconciliations = 0;
+      int measured = 0;
+      const std::size_t fill = (spec.window + stride - 1) / stride;
+      for (std::size_t s = 0; s < fill + 1 + static_cast<std::size_t>(slides);
+           ++s) {
+        WindowDelta d = window.Advance(source->NextPoints(stride));
+        method.Update(d.incoming, d.outgoing);
+        if (s < fill + 1) continue;
+        const DiscMetrics& m = method.last_metrics();
+        collect += m.collect_ms;
+        ex += m.ex_phase_ms;
+        neo += m.neo_phase_ms;
+        recheck += m.recheck_ms;
+        reconciliations += m.survivor_reconciliations;
+        ++measured;
+      }
+      const double n = static_cast<double>(measured);
+      table.AddRow({spec.name, Table::Num(ratio * 100.0, 0),
+                    Table::Num(collect / n, 2), Table::Num(ex / n, 2),
+                    Table::Num(neo / n, 2), Table::Num(recheck / n, 2),
+                    Table::Num((collect + ex + neo + recheck) / n, 2),
+                    std::to_string(reconciliations)});
+    }
+  }
+  std::printf("== DISC per-phase cost profile ==\n%s\n", table.ToText().c_str());
+  std::printf("CSV:\n%s", table.ToCsv().c_str());
+}
+
+}  // namespace
+}  // namespace disc
+
+int main(int argc, char** argv) {
+  const disc::bench::BenchArgs args = disc::bench::ParseArgs(argc, argv);
+  disc::Run(args.scale, args.slides);
+  return 0;
+}

@@ -1,0 +1,140 @@
+#ifndef DISC_BENCH_DATASETS_H_
+#define DISC_BENCH_DATASETS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/covid_generator.h"
+#include "stream/dtg_generator.h"
+#include "stream/geolife_generator.h"
+#include "stream/iris_generator.h"
+#include "stream/maze_generator.h"
+#include "stream/stream_source.h"
+
+namespace disc {
+namespace bench {
+
+// One benchmark dataset: a generator plus the Table II defaults (density
+// threshold tau, distance threshold eps, window size), scaled from the
+// paper's sizes to a single-core machine. Window sizes keep the paper's
+// stride/window and density regimes; see DESIGN.md §4.
+struct DatasetSpec {
+  std::string name;
+  std::uint32_t dims;
+  double eps;
+  std::uint32_t tau;
+  std::size_t window;
+  std::function<std::unique_ptr<StreamSource>(std::uint64_t seed)> make;
+};
+
+inline DatasetSpec DtgSpec(double scale = 1.0) {
+  DatasetSpec spec;
+  spec.name = "DTG";
+  spec.dims = 2;
+  spec.eps = 0.02;
+  spec.tau = 14;
+  spec.window = static_cast<std::size_t>(20000 * scale);
+  spec.make = [](std::uint64_t seed) -> std::unique_ptr<StreamSource> {
+    DtgGenerator::Options o;
+    o.seed = seed;
+    return std::make_unique<DtgGenerator>(o);
+  };
+  return spec;
+}
+
+inline DatasetSpec GeolifeSpec(double scale = 1.0) {
+  DatasetSpec spec;
+  spec.name = "GeoLife";
+  spec.dims = 3;
+  spec.eps = 0.06;
+  spec.tau = 7;
+  spec.window = static_cast<std::size_t>(10000 * scale);
+  spec.make = [](std::uint64_t seed) -> std::unique_ptr<StreamSource> {
+    GeolifeGenerator::Options o;
+    o.extent = 15.0;
+    o.num_places = 25;
+    o.jitter = 0.006;
+    o.seed = seed;
+    return std::make_unique<GeolifeGenerator>(o);
+  };
+  return spec;
+}
+
+inline DatasetSpec CovidSpec(double scale = 1.0) {
+  DatasetSpec spec;
+  spec.name = "COVID-19";
+  spec.dims = 2;
+  spec.eps = 1.2;
+  spec.tau = 5;
+  spec.window = static_cast<std::size_t>(5000 * scale);
+  spec.make = [](std::uint64_t seed) -> std::unique_ptr<StreamSource> {
+    CovidGenerator::Options o;
+    o.seed = seed;
+    return std::make_unique<CovidGenerator>(o);
+  };
+  return spec;
+}
+
+inline DatasetSpec IrisSpec(double scale = 1.0) {
+  DatasetSpec spec;
+  spec.name = "IRIS";
+  spec.dims = 4;
+  spec.eps = 2.0;
+  spec.tau = 9;
+  spec.window = static_cast<std::size_t>(10000 * scale);
+  spec.make = [](std::uint64_t seed) -> std::unique_ptr<StreamSource> {
+    IrisGenerator::Options o;
+    o.seed = seed;
+    return std::make_unique<IrisGenerator>(o);
+  };
+  return spec;
+}
+
+inline DatasetSpec MazeSpec(double scale = 1.0,
+                            std::size_t window = 24000) {
+  DatasetSpec spec;
+  spec.name = "Maze";
+  spec.dims = 2;
+  spec.eps = 0.1;
+  spec.tau = 5;
+  spec.window = static_cast<std::size_t>(window * scale);
+  spec.make = [](std::uint64_t seed) -> std::unique_ptr<StreamSource> {
+    MazeGenerator::Options o;
+    o.seed = seed;
+    return std::make_unique<MazeGenerator>(o);
+  };
+  return spec;
+}
+
+// The four real-dataset analogues of Table II, in paper order.
+inline std::vector<DatasetSpec> StandardDatasets(double scale = 1.0) {
+  return {DtgSpec(scale), GeolifeSpec(scale), CovidSpec(scale),
+          IrisSpec(scale)};
+}
+
+// Minimal command-line parsing shared by the bench binaries: recognizes
+// --scale=<F> (workload multiplier) and --slides=<N> (measured slides).
+struct BenchArgs {
+  double scale = 1.0;
+  int slides = 5;
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--scale=", 0) == 0) {
+      args.scale = std::stod(a.substr(8));
+    } else if (a.rfind("--slides=", 0) == 0) {
+      args.slides = std::stoi(a.substr(9));
+    }
+  }
+  return args;
+}
+
+}  // namespace bench
+}  // namespace disc
+
+#endif  // DISC_BENCH_DATASETS_H_

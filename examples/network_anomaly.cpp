@@ -1,0 +1,74 @@
+// Network anomaly monitoring — the paper's outlier-detection motivation:
+// flows that fall outside every dense traffic profile are DBSCAN noise, and
+// DISC keeps that judgment current as the window slides. The example also
+// uses ClusterTracker to narrate service clusters appearing during traffic
+// bursts and fading afterwards.
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "core/cluster_tracker.h"
+#include "core/disc.h"
+#include "stream/netflow_generator.h"
+#include "stream/sliding_window.h"
+
+int main() {
+  disc::NetflowGenerator::Options gen_options;
+  gen_options.anomaly_fraction = 0.02;
+  disc::NetflowGenerator stream(gen_options);
+
+  disc::DiscConfig config;
+  config.eps = 0.6;
+  config.tau = 8;
+  disc::Disc clusterer(/*dims=*/3, config);
+  disc::CountBasedWindow window(/*window_size=*/4000, /*stride=*/400);
+  disc::ClusterTracker tracker;
+
+  std::size_t total_flagged = 0, total_true_anomalies = 0, caught = 0;
+  for (int slide = 0; slide < 40; ++slide) {
+    std::vector<disc::LabeledPoint> labeled = stream.NextBatch(400);
+    std::unordered_set<disc::PointId> truly_anomalous;
+    std::vector<disc::Point> batch;
+    batch.reserve(labeled.size());
+    for (const disc::LabeledPoint& lp : labeled) {
+      batch.push_back(lp.point);
+      if (lp.true_label < 0) truly_anomalous.insert(lp.point.id);
+    }
+    disc::WindowDelta delta = window.Advance(batch);
+    clusterer.Update(delta.incoming, delta.outgoing);
+    tracker.Observe(static_cast<std::size_t>(slide), clusterer.last_events(),
+                    clusterer.Snapshot());
+
+    // Newly arrived flows that the clustering marks as noise are the alert
+    // candidates of this slide.
+    const disc::ClusteringSnapshot snap = clusterer.Snapshot();
+    std::unordered_set<disc::PointId> new_ids(
+        clusterer.last_delta().entered.begin(),
+        clusterer.last_delta().entered.end());
+    std::size_t flagged = 0, hits = 0;
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      if (snap.categories[i] != disc::Category::kNoise) continue;
+      if (new_ids.count(snap.ids[i]) == 0) continue;
+      ++flagged;
+      if (truly_anomalous.count(snap.ids[i]) > 0) ++hits;
+    }
+    total_flagged += flagged;
+    caught += hits;
+    total_true_anomalies += truly_anomalous.size();
+
+    if (slide % 8 == 0) {
+      std::printf(
+          "slide %2d: %2zu service clusters (%zu ever seen), flagged %2zu "
+          "new flows, %2zu confirmed anomalous\n",
+          slide, tracker.num_alive(), tracker.num_ever(), flagged, hits);
+    }
+  }
+
+  std::printf(
+      "\nover 40 slides: flagged %zu flows as noise; %zu/%zu injected "
+      "anomalies were flagged on arrival (%.0f%% recall)\n",
+      total_flagged, caught, total_true_anomalies,
+      100.0 * static_cast<double>(caught) /
+          static_cast<double>(total_true_anomalies));
+  return 0;
+}

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Plot the paper figures from the bench binaries' CSV output.
+
+Usage:
+    # Run the benches, capturing their output:
+    for b in build/bench/bench_fig*; do $b > $(basename $b).txt; done
+    # Then plot everything that was captured:
+    python3 scripts/plot_figs.py bench_fig*.txt -o plots/
+
+Each bench prints an aligned table followed by "CSV:" and the same data as
+CSV; this script extracts the CSV block(s) and renders matplotlib charts
+mirroring the paper's figures. Requires matplotlib + pandas.
+"""
+
+import argparse
+import io
+import os
+import re
+import sys
+
+try:
+    import pandas as pd
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover
+    sys.exit("plot_figs.py needs pandas and matplotlib installed")
+
+
+def extract_csv_blocks(text):
+    """Yields DataFrames for every CSV block following a 'CSV' marker line."""
+    blocks = re.split(r"^CSV[^\n]*:\s*$", text, flags=re.MULTILINE)
+    for block in blocks[1:]:
+        lines = []
+        for line in block.splitlines():
+            if "," in line:
+                lines.append(line)
+            elif lines:
+                break
+        if len(lines) >= 2:
+            yield pd.read_csv(io.StringIO("\n".join(lines)))
+
+
+def plot_fig4(df, out):
+    fig, axes = plt.subplots(1, df["dataset"].nunique(), figsize=(16, 4),
+                             sharey=True)
+    for ax, (name, group) in zip(axes, df.groupby("dataset", sort=False)):
+        for col in ("DISC_x", "IncDBSCAN_x", "EXTRA-N_x"):
+            series = pd.to_numeric(group[col], errors="coerce")
+            ax.plot(group["stride%"], series, marker="o",
+                    label=col.replace("_x", ""))
+        ax.set_xscale("log")
+        ax.set_yscale("log")
+        ax.axhline(1.0, color="gray", lw=0.5)
+        ax.set_title(name)
+        ax.set_xlabel("stride (% of window)")
+    axes[0].set_ylabel("speedup over DBSCAN")
+    axes[0].legend()
+    fig.suptitle("Fig. 4: relative speedup over DBSCAN, varying stride")
+    fig.savefig(out, bbox_inches="tight", dpi=120)
+
+
+def plot_fig5(df, out):
+    fig, axes = plt.subplots(1, df["dataset"].nunique(), figsize=(16, 4),
+                             sharey=True)
+    for ax, (name, group) in zip(axes, df.groupby("dataset", sort=False)):
+        for col in ("DISC_x", "IncDBSCAN_x", "EXTRA-N_x"):
+            series = pd.to_numeric(group[col], errors="coerce")
+            ax.plot(group["window"], series, marker="o",
+                    label=col.replace("_x", ""))
+        ax.set_xscale("log")
+        ax.set_yscale("log")
+        ax.axhline(1.0, color="gray", lw=0.5)
+        ax.set_title(name)
+        ax.set_xlabel("window size")
+    axes[0].set_ylabel("speedup over DBSCAN")
+    axes[0].legend()
+    fig.suptitle("Fig. 5: relative speedup over DBSCAN, varying window")
+    fig.savefig(out, bbox_inches="tight", dpi=120)
+
+
+def plot_quality_latency(df, out, title):
+    fig, (ax_ari, ax_lat) = plt.subplots(1, 2, figsize=(12, 4))
+    ari_col = "ARI" if "ARI" in df.columns else "ARI_vs_DBSCAN"
+    for name, group in df.groupby("method", sort=False):
+        ax_ari.plot(group["window"], group[ari_col], marker="o", label=name)
+        ax_lat.plot(group["window"], group["latency_us/pt"], marker="o",
+                    label=name)
+    ax_ari.set_xlabel("window")
+    ax_ari.set_ylabel(ari_col)
+    ax_lat.set_xlabel("window")
+    ax_lat.set_ylabel("update latency (us/point)")
+    ax_lat.set_yscale("log")
+    ax_ari.legend(fontsize=7)
+    fig.suptitle(title)
+    fig.savefig(out, bbox_inches="tight", dpi=120)
+
+
+def plot_fig11(df, out):
+    fig, axes = plt.subplots(1, df["dataset"].nunique(), figsize=(11, 4))
+    for ax, (name, group) in zip(axes, df.groupby("dataset", sort=False)):
+        ax.plot(group["eps"], group["DISC_us/pt"], marker="o", label="DISC")
+        ax.plot(group["eps"], group["rho2_us/pt"], marker="s",
+                label="rho2-DBSCAN")
+        ax.set_xscale("log")
+        ax.set_yscale("log")
+        ax.set_title(name)
+        ax.set_xlabel("eps")
+        ax.set_ylabel("latency (us/point)")
+        ax.legend()
+    fig.suptitle("Fig. 11: update latency, varying eps")
+    fig.savefig(out, bbox_inches="tight", dpi=120)
+
+
+def plot_fig12_scatter(csv_path, out):
+    df = pd.read_csv(csv_path)
+    fig, ax = plt.subplots(figsize=(6, 6))
+    noise = df[df["cid"] < 0]
+    ax.scatter(noise["x0"], noise["x1"], s=1, c="lightgray")
+    rest = df[df["cid"] >= 0]
+    ax.scatter(rest["x0"], rest["x1"], s=1, c=rest["cid"] % 20, cmap="tab20")
+    ax.set_title(os.path.basename(csv_path))
+    fig.savefig(out, bbox_inches="tight", dpi=120)
+
+
+HANDLERS = {
+    "fig4": plot_fig4,
+    "fig5": plot_fig5,
+    "fig9": lambda df, out: plot_quality_latency(df, out, "Fig. 9: Maze"),
+    "fig10": lambda df, out: plot_quality_latency(df, out, "Fig. 10: DTG"),
+    "fig11": plot_fig11,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("inputs", nargs="+",
+                        help="bench output .txt files or fig12_*.csv files")
+    parser.add_argument("-o", "--outdir", default="plots")
+    args = parser.parse_args()
+    os.makedirs(args.outdir, exist_ok=True)
+
+    for path in args.inputs:
+        base = os.path.basename(path)
+        if base.startswith("fig12_") and base.endswith(".csv"):
+            out = os.path.join(args.outdir, base.replace(".csv", ".png"))
+            plot_fig12_scatter(path, out)
+            print("wrote", out)
+            continue
+        match = re.search(r"fig(\d+)", base)
+        if not match:
+            print("skipping", path, "(no figure number in name)")
+            continue
+        key = "fig" + match.group(1)
+        handler = HANDLERS.get(key)
+        if handler is None:
+            print("skipping", path, "(no plot handler for", key + ")")
+            continue
+        with open(path) as f:
+            text = f.read()
+        for i, df in enumerate(extract_csv_blocks(text)):
+            suffix = "" if i == 0 else f"_{i}"
+            out = os.path.join(args.outdir, f"{key}{suffix}.png")
+            handler(df, out)
+            print("wrote", out)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+#include "baselines/dbscan.h"
+
+#include <cassert>
+
+namespace disc {
+
+namespace {
+
+// Shared clustering pass: classic DBSCAN over `points`, using `tree` for
+// eps-range searches. One search per visited point, exactly as in the
+// original algorithm.
+ClusteringSnapshot DbscanOverTree(const RTree& tree,
+                                  const std::vector<Point>& points, double eps,
+                                  std::uint32_t tau) {
+  enum class State : std::uint8_t { kUnclassified, kCore, kBorder, kNoise };
+  struct Mark {
+    State state = State::kUnclassified;
+    ClusterId cid = kNoiseCluster;
+  };
+  std::unordered_map<PointId, Mark> marks;
+  marks.reserve(points.size());
+  for (const Point& p : points) marks.emplace(p.id, Mark{});
+
+  ClusterId next_cid = 0;
+  std::vector<Point> seeds;
+  for (const Point& p : points) {
+    Mark& mp = marks.at(p.id);
+    if (mp.state != State::kUnclassified) continue;
+    seeds.clear();
+    std::size_t count = 0;
+    tree.RangeSearch(p, eps, [&](PointId qid, const Point& q) {
+      ++count;
+      if (qid != p.id) seeds.push_back(q);
+    });
+    if (count < tau) {
+      mp.state = State::kNoise;  // May be upgraded to border later.
+      continue;
+    }
+    const ClusterId cid = next_cid++;
+    mp.state = State::kCore;
+    mp.cid = cid;
+    // Grow the cluster from the seed list (the seeds vector doubles as the
+    // BFS frontier; it may grow while we scan it).
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      const Point q = seeds[i];
+      Mark& mq = marks.at(q.id);
+      if (mq.state == State::kNoise) {
+        mq.state = State::kBorder;
+        mq.cid = cid;
+        continue;
+      }
+      if (mq.state != State::kUnclassified) continue;
+      mq.cid = cid;
+      std::size_t qcount = 0;
+      const std::size_t before = seeds.size();
+      tree.RangeSearch(q, eps, [&](PointId rid, const Point& r) {
+        ++qcount;
+        if (rid != q.id) seeds.push_back(r);
+      });
+      if (qcount >= tau) {
+        mq.state = State::kCore;
+      } else {
+        mq.state = State::kBorder;
+        seeds.resize(before);  // Non-core points do not extend the cluster.
+      }
+    }
+  }
+
+  ClusteringSnapshot snap;
+  snap.ids.reserve(points.size());
+  snap.categories.reserve(points.size());
+  snap.cids.reserve(points.size());
+  for (const Point& p : points) {
+    const Mark& m = marks.at(p.id);
+    snap.ids.push_back(p.id);
+    switch (m.state) {
+      case State::kCore:
+        snap.categories.push_back(Category::kCore);
+        break;
+      case State::kBorder:
+        snap.categories.push_back(Category::kBorder);
+        break;
+      default:
+        snap.categories.push_back(Category::kNoise);
+        break;
+    }
+    snap.cids.push_back(m.state == State::kNoise ||
+                                m.state == State::kUnclassified
+                            ? kNoiseCluster
+                            : m.cid);
+  }
+  return snap;
+}
+
+}  // namespace
+
+DbscanResult RunDbscan(const std::vector<Point>& points, double eps,
+                       std::uint32_t tau, int rtree_max_entries) {
+  assert(!points.empty() || true);
+  const std::uint32_t dims = points.empty() ? 2 : points[0].dims;
+  RTree tree(dims, rtree_max_entries);
+  tree.BulkLoad(points);
+  const std::uint64_t before = tree.stats().range_searches;
+  DbscanResult result;
+  result.snapshot = DbscanOverTree(tree, points, eps, tau);
+  result.range_searches = tree.stats().range_searches - before;
+  return result;
+}
+
+DbscanClusterer::DbscanClusterer(std::uint32_t dims, double eps,
+                                 std::uint32_t tau, int rtree_max_entries)
+    : eps_(eps), tau_(tau), tree_(dims, rtree_max_entries) {}
+
+void DbscanClusterer::Update(const std::vector<Point>& incoming,
+                             const std::vector<Point>& outgoing) {
+  for (const Point& p : outgoing) {
+    if (window_.erase(p.id) > 0) tree_.Delete(p);
+  }
+  for (const Point& p : incoming) {
+    auto [it, inserted] = window_.emplace(p.id, p);
+    if (inserted) tree_.Insert(p);
+  }
+  Recluster();
+}
+
+void DbscanClusterer::Recluster() {
+  std::vector<Point> points;
+  points.reserve(window_.size());
+  for (const auto& [id, p] : window_) points.push_back(p);
+  const std::uint64_t before = tree_.stats().range_searches;
+  snapshot_ = DbscanOverTree(tree_, points, eps_, tau_);
+  last_searches_ = tree_.stats().range_searches - before;
+}
+
+}  // namespace disc

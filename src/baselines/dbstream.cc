@@ -1,0 +1,161 @@
+#include "baselines/dbstream.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace disc {
+
+DbStream::DbStream(std::uint32_t dims, const Options& options)
+    : dims_(dims), options_(options), centers_(dims, options.radius) {}
+
+double DbStream::Decayed(double value, std::uint64_t last) const {
+  const double dt = static_cast<double>(now_ - last);
+  return value * std::exp2(-options_.decay_lambda * dt);
+}
+
+void DbStream::Ingest(const Point& p) {
+  ++now_;
+  // Micro-clusters whose center is within the radius absorb the point.
+  std::vector<std::uint64_t> hits;
+  centers_.RangeSearch(p, options_.radius, [&](PointId mc_id, const Point&) {
+    hits.push_back(mc_id);
+  });
+  if (hits.empty()) {
+    MicroCluster mc;
+    mc.center = p;
+    mc.center.id = mcs_.size();
+    mc.weight = 1.0;
+    mc.last_update = now_;
+    centers_.Insert(mc.center);
+    mcs_.push_back(mc);
+    return;
+  }
+  // Weight update for every hit; the closest center additionally moves
+  // toward the point (competitive learning).
+  std::uint64_t closest = hits[0];
+  double best = SquaredDistance(mcs_[closest].center, p);
+  for (std::uint64_t h : hits) {
+    MicroCluster& mc = mcs_[h];
+    mc.weight = Decayed(mc.weight, mc.last_update) + 1.0;
+    mc.last_update = now_;
+    const double d = SquaredDistance(mc.center, p);
+    if (d < best) {
+      best = d;
+      closest = h;
+    }
+  }
+  MicroCluster& near = mcs_[closest];
+  centers_.Delete(near.center);
+  for (std::uint32_t d = 0; d < dims_; ++d) {
+    near.center.x[d] += options_.eta * (p.x[d] - near.center.x[d]);
+  }
+  centers_.Insert(near.center);
+  // Shared-density bump for every pair of hit micro-clusters.
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    for (std::size_t j = i + 1; j < hits.size(); ++j) {
+      EdgeKey key{std::min(hits[i], hits[j]), std::max(hits[i], hits[j])};
+      Edge& e = edges_[key];
+      e.shared = Decayed(e.shared, e.last_update) + 1.0;
+      e.last_update = now_;
+    }
+  }
+  if (now_ % options_.cleanup_every == 0) Cleanup();
+}
+
+void DbStream::Cleanup() {
+  for (auto& mc : mcs_) {
+    if (!mc.alive) continue;
+    if (Decayed(mc.weight, mc.last_update) < options_.w_min) {
+      mc.alive = false;
+      centers_.Delete(mc.center);
+    }
+  }
+  for (auto it = edges_.begin(); it != edges_.end();) {
+    const bool weak = Decayed(it->second.shared, it->second.last_update) <
+                      options_.alpha * options_.w_min;
+    const bool dead =
+        !mcs_[it->first.a].alive || !mcs_[it->first.b].alive;
+    if (weak || dead) {
+      it = edges_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DbStream::Update(const std::vector<Point>& incoming,
+                      const std::vector<Point>& outgoing) {
+  // Summarization methods support no deletion (Sec. VI-E); expired points
+  // leave the evaluation bookkeeping but the summaries only decay.
+  for (const Point& p : outgoing) window_.erase(p.id);
+  for (const Point& p : incoming) {
+    window_.emplace(p.id, p);
+    Ingest(p);
+  }
+}
+
+std::size_t DbStream::num_micro_clusters() const {
+  std::size_t n = 0;
+  for (const auto& mc : mcs_) {
+    if (mc.alive) ++n;
+  }
+  return n;
+}
+
+ClusteringSnapshot DbStream::Snapshot() const {
+  // Macro-clusters: connected components over the shared-density graph with
+  // intersection factor >= alpha.
+  std::vector<std::int64_t> macro(mcs_.size(), -1);
+  std::vector<std::uint64_t> parent(mcs_.size());
+  for (std::size_t i = 0; i < mcs_.size(); ++i) parent[i] = i;
+  auto find = [&](std::uint64_t i) {
+    while (parent[i] != i) i = parent[i];
+    return i;
+  };
+  for (const auto& [key, edge] : edges_) {
+    if (!mcs_[key.a].alive || !mcs_[key.b].alive) continue;
+    const double wa = Decayed(mcs_[key.a].weight, mcs_[key.a].last_update);
+    const double wb = Decayed(mcs_[key.b].weight, mcs_[key.b].last_update);
+    const double shared = Decayed(edge.shared, edge.last_update);
+    if (wa <= 0.0 || wb <= 0.0) continue;
+    if (shared / ((wa + wb) / 2.0) >= options_.alpha) {
+      parent[find(key.a)] = find(key.b);
+    }
+  }
+  std::int64_t next = 0;
+  for (std::size_t i = 0; i < mcs_.size(); ++i) {
+    if (!mcs_[i].alive) continue;
+    const std::uint64_t root = find(i);
+    if (macro[root] < 0) macro[root] = next++;
+    macro[i] = macro[root];
+  }
+
+  ClusteringSnapshot snap;
+  snap.ids.reserve(window_.size());
+  snap.categories.reserve(window_.size());
+  snap.cids.reserve(window_.size());
+  for (const auto& [id, p] : window_) {
+    // Nearest live micro-cluster within the radius.
+    std::int64_t label = kNoiseCluster;
+    double best = options_.radius * options_.radius;
+    centers_.RangeSearch(p, options_.radius,
+                         [&](PointId mc_id, const Point& c) {
+                           const double d = SquaredDistance(c, p);
+                           if (d <= best) {
+                             best = d;
+                             label = macro[mc_id];
+                           }
+                         });
+    snap.ids.push_back(id);
+    if (label == kNoiseCluster) {
+      snap.categories.push_back(Category::kNoise);
+      snap.cids.push_back(kNoiseCluster);
+    } else {
+      snap.categories.push_back(Category::kCore);
+      snap.cids.push_back(label);
+    }
+  }
+  return snap;
+}
+
+}  // namespace disc

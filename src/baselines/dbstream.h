@@ -1,0 +1,83 @@
+#ifndef DISC_BASELINES_DBSTREAM_H_
+#define DISC_BASELINES_DBSTREAM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "index/grid_index.h"
+#include "stream/stream_clusterer.h"
+
+namespace disc {
+
+// DBSTREAM (Hahsler & Bolaños, TKDE 2016): a summarization-based stream
+// clusterer. Points are absorbed into fixed-radius micro-clusters with
+// exponentially decaying weights; for every pair of micro-clusters the
+// stream also maintains a decaying *shared density* that measures how much
+// traffic falls into their overlap. Macro-clusters are the connected
+// components of micro-clusters whose shared density exceeds the
+// intersection-factor threshold alpha.
+//
+// Like the original, the method supports no deletion: expired points simply
+// stop contributing as the weights decay. Snapshot() assigns every live
+// window point to the macro-cluster of its nearest micro-cluster within the
+// radius (points are tracked for evaluation only; that bookkeeping is not
+// part of the algorithm's work).
+class DbStream : public StreamClusterer {
+ public:
+  struct Options {
+    double radius = 0.3;        // Micro-cluster radius r.
+    double decay_lambda = 1e-4; // Per-point exponential decay rate.
+    double alpha = 0.3;         // Intersection factor for connectivity.
+    double w_min = 0.5;         // Prune threshold for weak micro-clusters.
+    double eta = 0.05;          // Center learning rate.
+    std::uint64_t cleanup_every = 1000;  // Points between prune passes.
+  };
+
+  DbStream(std::uint32_t dims, const Options& options);
+
+  void Update(const std::vector<Point>& incoming,
+              const std::vector<Point>& outgoing) override;
+  ClusteringSnapshot Snapshot() const override;
+  std::string name() const override { return "DBSTREAM"; }
+
+  std::size_t num_micro_clusters() const;
+
+ private:
+  struct MicroCluster {
+    Point center;
+    double weight = 0.0;
+    std::uint64_t last_update = 0;
+    bool alive = true;
+  };
+
+  struct EdgeKey {
+    std::uint64_t a, b;
+    bool operator==(const EdgeKey& o) const { return a == o.a && b == o.b; }
+  };
+  struct EdgeKeyHash {
+    std::size_t operator()(const EdgeKey& k) const {
+      return std::hash<std::uint64_t>()(k.a * 1000003ULL + k.b);
+    }
+  };
+  struct Edge {
+    double shared = 0.0;
+    std::uint64_t last_update = 0;
+  };
+
+  void Ingest(const Point& p);
+  void Cleanup();
+  double Decayed(double value, std::uint64_t last) const;
+
+  std::uint32_t dims_;
+  Options options_;
+  std::vector<MicroCluster> mcs_;
+  GridIndex centers_;  // Spatial index over live micro-cluster centers.
+  std::unordered_map<EdgeKey, Edge, EdgeKeyHash> edges_;
+  std::uint64_t now_ = 0;  // Point-count clock.
+  std::unordered_map<PointId, Point> window_;  // Evaluation bookkeeping only.
+};
+
+}  // namespace disc
+
+#endif  // DISC_BASELINES_DBSTREAM_H_

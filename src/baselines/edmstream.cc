@@ -1,0 +1,124 @@
+#include "baselines/edmstream.h"
+
+#include <cmath>
+#include <limits>
+
+namespace disc {
+
+EdmStream::EdmStream(std::uint32_t dims, const Options& options)
+    : dims_(dims), options_(options), seeds_(dims, options.radius) {}
+
+double EdmStream::Decayed(double value, std::uint64_t last) const {
+  const double dt = static_cast<double>(now_ - last);
+  return value * std::exp2(-options_.decay_lambda * dt);
+}
+
+void EdmStream::Ingest(const Point& p) {
+  ++now_;
+  // Nearest cell within the radius absorbs the point.
+  std::int64_t best_cell = -1;
+  double best = options_.radius * options_.radius;
+  seeds_.RangeSearch(p, options_.radius, [&](PointId cell_id, const Point& s) {
+    const double d = SquaredDistance(s, p);
+    if (d <= best) {
+      best = d;
+      best_cell = static_cast<std::int64_t>(cell_id);
+    }
+  });
+  if (best_cell < 0) {
+    Cell cell;
+    cell.seed = p;
+    cell.seed.id = cells_.size();
+    cell.density = 1.0;
+    cell.last_update = now_;
+    seeds_.Insert(cell.seed);
+    cells_.push_back(cell);
+    assignment_[p.id] = cells_.size() - 1;
+    return;
+  }
+  Cell& cell = cells_[best_cell];
+  cell.density = Decayed(cell.density, cell.last_update) + 1.0;
+  cell.last_update = now_;
+  assignment_[p.id] = static_cast<std::uint64_t>(best_cell);
+}
+
+void EdmStream::Update(const std::vector<Point>& incoming,
+                       const std::vector<Point>& outgoing) {
+  for (const Point& p : outgoing) {
+    window_.erase(p.id);
+    assignment_.erase(p.id);
+  }
+  for (const Point& p : incoming) {
+    window_.emplace(p.id, p);
+    Ingest(p);
+  }
+}
+
+ClusteringSnapshot EdmStream::Snapshot() const {
+  // Rebuild the DP-tree: each cell depends on its nearest higher-density
+  // cell; cells whose dependent distance exceeds the threshold (or that have
+  // the globally highest density) become cluster roots.
+  const std::size_t n = cells_.size();
+  std::vector<double> rho(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rho[i] = Decayed(cells_[i].density, cells_[i].last_update);
+  }
+  std::vector<std::int64_t> parent(n, -1);
+  std::vector<double> delta(n, std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      // Ties on density broken by index so the dependency graph is acyclic.
+      if (rho[j] > rho[i] || (rho[j] == rho[i] && j < i)) {
+        const double d = SquaredDistance(cells_[j].seed, cells_[i].seed);
+        if (d < delta[i]) {
+          delta[i] = d;
+          parent[i] = static_cast<std::int64_t>(j);
+        }
+      }
+    }
+  }
+  const double cut2 = options_.delta_threshold * options_.delta_threshold;
+  std::vector<std::int64_t> cluster(n, -2);  // -2 unresolved, -1 outlier.
+  std::int64_t next = 0;
+  // Resolve each cell by walking up the dependency chain.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::size_t> path;
+    std::size_t cur = i;
+    while (cluster[cur] == -2) {
+      if (rho[cur] < options_.rho_min) {
+        cluster[cur] = -1;  // Outlier cell.
+        break;
+      }
+      if (parent[cur] < 0 || delta[cur] > cut2) {
+        cluster[cur] = next++;  // Density peak: new cluster root.
+        break;
+      }
+      path.push_back(cur);
+      cur = static_cast<std::size_t>(parent[cur]);
+    }
+    const std::int64_t c = cluster[cur];
+    for (std::size_t node : path) cluster[node] = c;
+  }
+
+  ClusteringSnapshot snap;
+  snap.ids.reserve(window_.size());
+  snap.categories.reserve(window_.size());
+  snap.cids.reserve(window_.size());
+  for (const auto& [id, p] : window_) {
+    snap.ids.push_back(id);
+    auto it = assignment_.find(id);
+    std::int64_t label = -1;
+    if (it != assignment_.end()) label = cluster[it->second];
+    if (label < 0) {
+      snap.categories.push_back(Category::kNoise);
+      snap.cids.push_back(kNoiseCluster);
+    } else {
+      snap.categories.push_back(Category::kCore);
+      snap.cids.push_back(label);
+    }
+  }
+  return snap;
+}
+
+}  // namespace disc

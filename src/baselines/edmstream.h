@@ -1,0 +1,63 @@
+#ifndef DISC_BASELINES_EDMSTREAM_H_
+#define DISC_BASELINES_EDMSTREAM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "index/grid_index.h"
+#include "stream/stream_clusterer.h"
+
+namespace disc {
+
+// EDMStream (Gong, Zhang, Yu — VLDB 2017): summarization-based clustering by
+// tracking the evolution of the *density mountain*. Points are absorbed into
+// fixed-radius cluster-cells with decaying densities. Every cell depends on
+// its nearest cell of higher density; the dependent distance delta decides
+// whether a cell is a density peak (a cluster root of the DP-tree) or a
+// slope point attached to its dependency. Clusters are DP-tree subtrees.
+//
+// Insertions are extremely cheap (one nearest-cell lookup); the dependency
+// tree is refreshed when a snapshot is taken, mirroring the on-demand
+// cluster extraction of the original system. No deletion is supported; old
+// mass decays away.
+class EdmStream : public StreamClusterer {
+ public:
+  struct Options {
+    double radius = 0.25;         // Cell radius.
+    double decay_lambda = 1e-4;   // Per-point exponential decay rate.
+    double delta_threshold = 1.0; // Dependent-distance cut for roots.
+    double rho_min = 2.0;         // Minimum density of a non-outlier cell.
+  };
+
+  EdmStream(std::uint32_t dims, const Options& options);
+
+  void Update(const std::vector<Point>& incoming,
+              const std::vector<Point>& outgoing) override;
+  ClusteringSnapshot Snapshot() const override;
+  std::string name() const override { return "EDMStream"; }
+
+  std::size_t num_cells() const { return cells_.size(); }
+
+ private:
+  struct Cell {
+    Point seed;
+    double density = 0.0;
+    std::uint64_t last_update = 0;
+  };
+
+  void Ingest(const Point& p);
+  double Decayed(double value, std::uint64_t last) const;
+
+  std::uint32_t dims_;
+  Options options_;
+  std::vector<Cell> cells_;
+  GridIndex seeds_;  // Spatial index over cell seeds.
+  std::uint64_t now_ = 0;
+  std::unordered_map<PointId, std::uint64_t> assignment_;  // point -> cell.
+  std::unordered_map<PointId, Point> window_;  // Evaluation bookkeeping only.
+};
+
+}  // namespace disc
+
+#endif  // DISC_BASELINES_EDMSTREAM_H_

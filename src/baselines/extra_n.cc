@@ -1,0 +1,135 @@
+#include "baselines/extra_n.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace disc {
+
+ExtraN::ExtraN(std::uint32_t dims, double eps, std::uint32_t tau,
+               std::size_t window_size, std::size_t stride,
+               int rtree_max_entries)
+    : eps_(eps),
+      tau_(tau),
+      num_views_((window_size + stride - 1) / stride),
+      tree_(dims, rtree_max_entries) {
+  assert(stride >= 1 && stride <= window_size);
+  assert(window_size % stride == 0 && "EXTRA-N requires aligned sub-windows");
+}
+
+void ExtraN::Update(const std::vector<Point>& incoming,
+                    const std::vector<Point>& outgoing) {
+  ++current_slide_;
+  const std::uint64_t before = tree_.stats().range_searches;
+
+  // Expiry is free: no index probes, just bookkeeping. This is the whole
+  // point of the predicted views.
+  for (const Point& p : outgoing) {
+    auto it = records_.find(p.id);
+    if (it == records_.end()) continue;
+    tree_.Delete(it->second.pt);
+    records_.erase(it);
+  }
+
+  for (const Point& p : incoming) {
+    auto [it, inserted] = records_.emplace(p.id, Record{});
+    assert(inserted);
+    if (!inserted) continue;
+    Record& rec = it->second;
+    rec.pt = p;
+    rec.arrival_slide = current_slide_;
+    rec.view_counts.assign(num_views_, 1);  // Self in every lived-in window.
+    tree_.Insert(p);
+    tree_.RangeSearch(p, eps_, [&](PointId qid, const Point&) {
+      if (qid == p.id) return;
+      Record& q = records_.at(qid);
+      // Both alive in windows [p.arrival, q.arrival + num_views): increment
+      // the overlapped predicted views of each side.
+      const std::uint64_t last_shared = q.arrival_slide + num_views_;  // Excl.
+      for (std::uint64_t s = rec.arrival_slide; s < last_shared; ++s) {
+        ++q.view_counts[s - q.arrival_slide];
+        if (s - rec.arrival_slide < num_views_) {
+          ++rec.view_counts[s - rec.arrival_slide];
+        }
+      }
+      q.neighbors.push_back(p.id);
+      rec.neighbors.push_back(qid);
+    });
+  }
+  last_searches_ = tree_.stats().range_searches - before;
+  Recluster();
+}
+
+void ExtraN::Recluster() {
+  // DBSCAN-equivalent extraction over the materialized neighbor graph; core
+  // status comes straight out of the current predicted view.
+  std::unordered_map<PointId, ClusterId> cid;
+  std::unordered_map<PointId, Category> cat;
+  cid.reserve(records_.size());
+  cat.reserve(records_.size());
+
+  auto is_core = [&](const Record& r) {
+    const std::uint64_t view = current_slide_ - r.arrival_slide;
+    assert(view < num_views_);
+    return r.view_counts[view] >= tau_;
+  };
+
+  ClusterId next_cid = 0;
+  std::deque<PointId> queue;
+  for (auto& [id, rec] : records_) {
+    if (!is_core(rec)) continue;
+    if (cat.count(id) > 0) continue;
+    const ClusterId c = next_cid++;
+    cat[id] = Category::kCore;
+    cid[id] = c;
+    queue.clear();
+    queue.push_back(id);
+    while (!queue.empty()) {
+      const PointId rid = queue.front();
+      queue.pop_front();
+      const Record& r = records_.at(rid);
+      for (PointId qid : r.neighbors) {
+        auto qit = records_.find(qid);
+        if (qit == records_.end()) continue;  // Expired neighbor.
+        if (is_core(qit->second)) {
+          auto [cit, fresh] = cat.emplace(qid, Category::kCore);
+          if (fresh) {
+            cid[qid] = c;
+            queue.push_back(qid);
+          }
+        } else {
+          auto [cit, fresh] = cat.emplace(qid, Category::kBorder);
+          if (fresh) cid[qid] = c;
+        }
+      }
+    }
+  }
+
+  snapshot_ = ClusteringSnapshot{};
+  snapshot_.ids.reserve(records_.size());
+  snapshot_.categories.reserve(records_.size());
+  snapshot_.cids.reserve(records_.size());
+  for (const auto& [id, rec] : records_) {
+    snapshot_.ids.push_back(id);
+    auto it = cat.find(id);
+    if (it == cat.end()) {
+      snapshot_.categories.push_back(Category::kNoise);
+      snapshot_.cids.push_back(kNoiseCluster);
+    } else {
+      snapshot_.categories.push_back(it->second);
+      snapshot_.cids.push_back(cid.at(id));
+    }
+  }
+}
+
+std::size_t ExtraN::ApproxMemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [id, rec] : records_) {
+    bytes += sizeof(Record);
+    bytes += rec.view_counts.capacity() * sizeof(std::uint32_t);
+    bytes += rec.neighbors.capacity() * sizeof(PointId);
+  }
+  return bytes;
+}
+
+}  // namespace disc

@@ -1,0 +1,428 @@
+#include "baselines/graph_disc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace disc {
+
+GraphDisc::GraphDisc(std::uint32_t dims, const DiscConfig& config)
+    : config_(config), tree_(dims, config.rtree_max_entries) {}
+
+GraphDisc::Record& GraphDisc::GetRecord(PointId id) {
+  auto it = records_.find(id);
+  assert(it != records_.end());
+  return it->second;
+}
+
+void GraphDisc::AddRecheck(PointId id, Record* rec) {
+  if (rec->recheck_serial == update_serial_) return;
+  rec->recheck_serial = update_serial_;
+  recheck_.push_back(id);
+}
+
+// ---------------------------------------------------------------------------
+// COLLECT over the materialized graph
+// ---------------------------------------------------------------------------
+
+void GraphDisc::Collect(const std::vector<Point>& incoming,
+                        const std::vector<Point>& outgoing,
+                        std::vector<PointId>* ex_cores,
+                        std::vector<PointId>* neo_cores) {
+  const std::uint64_t touch_serial = ++search_serial_;
+  auto touch = [&](PointId id, Record* rec) {
+    if (rec->visit_serial == touch_serial) return;
+    rec->visit_serial = touch_serial;
+    touched_.push_back(id);
+  };
+
+  for (const Point& p : outgoing) {
+    auto it = records_.find(p.id);
+    assert(it != records_.end());
+    if (it == records_.end()) continue;
+    Record& rec = it->second;
+    // Unlink p from every live neighbor — the O(deg^2) maintenance the
+    // paper's Sec. IV warns about (each unlink scans the neighbor's list).
+    // Tombstone lists are left intact: the retro-reachability traversal
+    // still needs the full adjacency among exited ex-cores.
+    for (PointId qid : rec.neighbors) {
+      auto qit = records_.find(qid);
+      if (qit == records_.end()) continue;
+      Record& q = qit->second;
+      if (q.deleted) continue;
+      auto pos = std::find(q.neighbors.begin(), q.neighbors.end(), p.id);
+      if (pos != q.neighbors.end()) {
+        *pos = q.neighbors.back();
+        q.neighbors.pop_back();
+        --total_directed_edges_;
+        touch(qid, &q);
+      }
+    }
+    total_directed_edges_ -= rec.neighbors.size();
+    tree_.Delete(rec.pt);
+    rec.deleted = true;
+    touch(p.id, &rec);
+  }
+
+  for (const Point& p : incoming) {
+    if (!IsValidPoint(p) || p.dims != tree_.dims()) {
+      assert(false && "invalid incoming point");
+      continue;
+    }
+    auto [it, inserted] = records_.emplace(p.id, Record{});
+    assert(inserted);
+    if (!inserted) continue;
+    Record& rec = it->second;
+    rec.pt = p;
+    tree_.Insert(p);
+    tree_.RangeSearch(p, config_.eps, [&](PointId qid, const Point&) {
+      if (qid == p.id) return;
+      Record& q = GetRecord(qid);
+      if (q.deleted) return;
+      rec.neighbors.push_back(qid);
+      q.neighbors.push_back(p.id);
+      total_directed_edges_ += 2;
+      touch(qid, &q);
+    });
+    touch(p.id, &rec);
+    AddRecheck(p.id, &rec);
+  }
+
+  for (PointId id : touched_) {
+    Record& rec = GetRecord(id);
+    if (IsExCore(rec)) {
+      ex_cores->push_back(id);
+    } else if (IsNeoCore(rec)) {
+      neo_cores->push_back(id);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CLUSTER over the materialized graph (no index probes at all)
+// ---------------------------------------------------------------------------
+
+void GraphDisc::ProcessExCores(const std::vector<PointId>& ex_cores) {
+  std::unordered_map<ClusterId, std::vector<PointId>> pools;
+  std::vector<ClusterId> pool_order;
+  for (PointId id : ex_cores) {
+    Record& rec = GetRecord(id);
+    if (rec.group_serial == update_serial_) continue;
+    CollectGroup(id, &pools, &pool_order);
+  }
+  for (ClusterId old_cid : pool_order) {
+    std::vector<PointId>& members = pools[old_cid];
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    if (members.empty()) continue;  // Dissipated.
+    MsBfs(members);
+  }
+}
+
+void GraphDisc::CollectGroup(
+    PointId seed, std::unordered_map<ClusterId, std::vector<PointId>>* pools,
+    std::vector<ClusterId>* pool_order) {
+  const std::uint64_t serial = ++search_serial_;
+  Record& seed_rec = GetRecord(seed);
+  const ClusterId old_cid = registry_.Find(seed_rec.cid);
+  seed_rec.visit_serial = serial;
+  std::deque<PointId> queue;
+  std::vector<PointId> m_minus;
+  queue.push_back(seed);
+  while (!queue.empty()) {
+    const PointId rid = queue.front();
+    queue.pop_front();
+    Record& r = GetRecord(rid);
+    r.group_serial = update_serial_;
+    if (!r.deleted) AddRecheck(rid, &r);
+    for (PointId qid : r.neighbors) {
+      auto qit = records_.find(qid);
+      if (qit == records_.end()) continue;
+      Record& q = qit->second;
+      if (q.visit_serial == serial) continue;
+      if (IsExCore(q)) {
+        q.visit_serial = serial;
+        queue.push_back(qid);
+        continue;
+      }
+      if (q.deleted) continue;
+      if (IsCoreNow(q)) {
+        if (q.core_prev) {
+          q.visit_serial = serial;
+          m_minus.push_back(qid);
+        }
+        continue;
+      }
+      AddRecheck(qid, &q);
+    }
+  }
+  auto [it, inserted] = pools->emplace(old_cid, std::vector<PointId>{});
+  if (inserted) pool_order->push_back(old_cid);
+  it->second.insert(it->second.end(), m_minus.begin(), m_minus.end());
+}
+
+void GraphDisc::MsBfs(const std::vector<PointId>& m_minus) {
+  const std::uint64_t serial = ++search_serial_;
+  const std::size_t k = m_minus.size();
+
+  std::vector<std::uint32_t> parent(k);
+  for (std::size_t i = 0; i < k; ++i) parent[i] = static_cast<std::uint32_t>(i);
+  auto find_root = [&](std::uint32_t i) {
+    std::uint32_t root = i;
+    while (parent[root] != root) root = parent[root];
+    while (parent[i] != root) {
+      const std::uint32_t next = parent[i];
+      parent[i] = root;
+      i = next;
+    }
+    return root;
+  };
+
+  struct Thread {
+    std::deque<PointId> queue;
+    std::vector<PointId> cores;
+    std::vector<PointId> borders;
+  };
+  std::vector<Thread> threads(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    Record& rec = GetRecord(m_minus[i]);
+    rec.visit_serial = serial;
+    rec.owner = static_cast<std::uint32_t>(i);
+    threads[i].queue.push_back(m_minus[i]);
+    threads[i].cores.push_back(m_minus[i]);
+  }
+
+  std::size_t active_count = k;
+  auto merge_threads = [&](std::uint32_t a, std::uint32_t b) {
+    if (threads[a].queue.size() < threads[b].queue.size()) std::swap(a, b);
+    Thread& ta = threads[a];
+    Thread& tb = threads[b];
+    ta.queue.insert(ta.queue.end(), tb.queue.begin(), tb.queue.end());
+    ta.cores.insert(ta.cores.end(), tb.cores.begin(), tb.cores.end());
+    ta.borders.insert(ta.borders.end(), tb.borders.begin(), tb.borders.end());
+    tb = Thread{};
+    parent[b] = a;
+    --active_count;
+  };
+
+  std::vector<std::uint32_t> active;
+  active.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    active.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (active_count > 1) {
+    for (std::size_t idx = 0; idx < active.size() && active_count > 1;) {
+      const std::uint32_t root = active[idx];
+      if (find_root(root) != root) {
+        active[idx] = active.back();
+        active.pop_back();
+        continue;
+      }
+      Thread& th = threads[root];
+      if (th.queue.empty()) {
+        const ClusterId fresh = registry_.NewCluster();
+        for (PointId cp : th.cores) {
+          Record& rc = GetRecord(cp);
+          rc.cid = fresh;
+          rc.category = Category::kCore;
+          rc.relabel_serial = update_serial_;
+        }
+        for (PointId bp : th.borders) {
+          Record& rb = GetRecord(bp);
+          if (rb.deleted || IsCoreNow(rb)) continue;
+          rb.cid = fresh;
+          rb.category = Category::kBorder;
+          rb.relabel_serial = update_serial_;
+        }
+        --active_count;
+        active[idx] = active.back();
+        active.pop_back();
+        continue;
+      }
+      const PointId rid = th.queue.front();
+      th.queue.pop_front();
+      const Record& r = GetRecord(rid);
+      for (PointId qid : r.neighbors) {
+        auto qit = records_.find(qid);
+        if (qit == records_.end()) continue;
+        Record& q = qit->second;
+        if (q.deleted) continue;
+        if (IsCoreNow(q)) {
+          const std::uint32_t mine = find_root(root);
+          if (q.visit_serial != serial) {
+            q.visit_serial = serial;
+            q.owner = mine;
+            threads[mine].queue.push_back(qid);
+            threads[mine].cores.push_back(qid);
+          } else {
+            const std::uint32_t other = find_root(q.owner);
+            if (other != mine) merge_threads(mine, other);
+          }
+          continue;
+        }
+        if (q.visit_serial != serial) {
+          q.visit_serial = serial;
+          threads[find_root(root)].borders.push_back(qid);
+        }
+      }
+      ++idx;
+    }
+  }
+}
+
+void GraphDisc::ProcessNeoCores(const std::vector<PointId>& neo_cores) {
+  for (PointId id : neo_cores) {
+    Record& rec = GetRecord(id);
+    if (rec.group_serial == update_serial_) continue;
+    ProcessNeoGroup(id);
+  }
+}
+
+void GraphDisc::ProcessNeoGroup(PointId seed) {
+  const std::uint64_t serial = ++search_serial_;
+  GetRecord(seed).visit_serial = serial;
+  std::deque<PointId> queue;
+  std::vector<PointId> group;
+  std::vector<PointId> borders;
+  std::vector<ClusterId> cid_list;
+  queue.push_back(seed);
+  group.push_back(seed);
+  while (!queue.empty()) {
+    const PointId rid = queue.front();
+    queue.pop_front();
+    Record& r = GetRecord(rid);
+    r.group_serial = update_serial_;
+    for (PointId qid : r.neighbors) {
+      auto qit = records_.find(qid);
+      if (qit == records_.end()) continue;
+      Record& q = qit->second;
+      if (q.deleted || q.visit_serial == serial) continue;
+      q.visit_serial = serial;
+      if (IsCoreNow(q)) {
+        if (IsNeoCore(q)) {
+          queue.push_back(qid);
+          group.push_back(qid);
+        } else {
+          const ClusterId c = registry_.Find(q.cid);
+          if (std::find(cid_list.begin(), cid_list.end(), c) ==
+              cid_list.end()) {
+            cid_list.push_back(c);
+          }
+        }
+      } else {
+        borders.push_back(qid);
+      }
+    }
+  }
+  ClusterId g;
+  if (cid_list.empty()) {
+    g = registry_.NewCluster();
+  } else {
+    g = cid_list[0];
+    for (std::size_t i = 1; i < cid_list.size(); ++i) {
+      g = registry_.Union(g, cid_list[i]);
+    }
+  }
+  for (PointId mp : group) {
+    Record& rm = GetRecord(mp);
+    rm.cid = g;
+    rm.category = Category::kCore;
+    rm.relabel_serial = update_serial_;
+  }
+  for (PointId bp : borders) {
+    Record& rb = GetRecord(bp);
+    if (rb.deleted || IsCoreNow(rb)) continue;
+    rb.cid = g;
+    rb.category = Category::kBorder;
+    rb.relabel_serial = update_serial_;
+  }
+}
+
+void GraphDisc::RecheckNonCores() {
+  for (PointId id : recheck_) {
+    auto it = records_.find(id);
+    if (it == records_.end()) continue;
+    Record& rec = it->second;
+    if (rec.deleted || IsCoreNow(rec)) continue;
+    if (rec.relabel_serial == update_serial_) continue;
+    // A list scan replaces the range search — free adjacency, the variant's
+    // whole appeal.
+    bool found = false;
+    ClusterId found_cid = kNoiseCluster;
+    for (PointId qid : rec.neighbors) {
+      auto qit = records_.find(qid);
+      if (qit == records_.end()) continue;
+      const Record& q = qit->second;
+      if (!q.deleted && IsCoreNow(q)) {
+        found = true;
+        found_cid = q.cid;
+        break;
+      }
+    }
+    if (found) {
+      rec.category = Category::kBorder;
+      rec.cid = found_cid;
+    } else {
+      rec.category = Category::kNoise;
+      rec.cid = kNoiseCluster;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Orchestration
+// ---------------------------------------------------------------------------
+
+void GraphDisc::Update(const std::vector<Point>& incoming,
+                       const std::vector<Point>& outgoing) {
+  ++update_serial_;
+  recheck_.clear();
+  touched_.clear();
+  const std::uint64_t before = tree_.stats().range_searches;
+
+  std::vector<PointId> ex_cores;
+  std::vector<PointId> neo_cores;
+  Collect(incoming, outgoing, &ex_cores, &neo_cores);
+  ProcessExCores(ex_cores);
+  ProcessNeoCores(neo_cores);
+  RecheckNonCores();
+
+  for (PointId id : touched_) {
+    auto it = records_.find(id);
+    if (it == records_.end()) continue;
+    Record& rec = it->second;
+    if (rec.deleted) {
+      records_.erase(it);
+      continue;
+    }
+    rec.core_prev = NEps(rec) >= config_.tau;
+  }
+  last_searches_ = tree_.stats().range_searches - before;
+}
+
+ClusteringSnapshot GraphDisc::Snapshot() const {
+  ClusteringSnapshot snap;
+  snap.ids.reserve(records_.size());
+  snap.categories.reserve(records_.size());
+  snap.cids.reserve(records_.size());
+  for (const auto& [id, rec] : records_) {
+    snap.ids.push_back(id);
+    snap.categories.push_back(rec.category);
+    snap.cids.push_back(rec.category == Category::kNoise
+                            ? kNoiseCluster
+                            : static_cast<const ClusterRegistry&>(registry_)
+                                  .Find(rec.cid));
+  }
+  return snap;
+}
+
+std::size_t GraphDisc::ApproxMemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [id, rec] : records_) {
+    bytes += sizeof(Record) + rec.neighbors.capacity() * sizeof(PointId);
+  }
+  return bytes;
+}
+
+}  // namespace disc

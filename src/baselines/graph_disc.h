@@ -1,0 +1,105 @@
+#ifndef DISC_BASELINES_GRAPH_DISC_H_
+#define DISC_BASELINES_GRAPH_DISC_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cluster_registry.h"
+#include "core/config.h"
+#include "index/rtree.h"
+#include "stream/stream_clusterer.h"
+
+namespace disc {
+
+// The road not taken in the paper (Sec. IV): a DISC variant that
+// *materializes* the eps-neighbor relation as adjacency lists instead of
+// re-probing the R-tree. Every reachability question then becomes a list
+// traversal — no range searches at all during CLUSTER, and none for
+// deletions either (the lists already know the neighbors). The price is
+// exactly what the paper warns about: maintaining the graph costs O(deg^2)
+// per update in dense neighborhoods and O(sum of degrees) memory, which
+// explodes as eps grows.
+//
+// The clustering logic mirrors Disc (ex-core pooling per previous cluster,
+// MS-BFS with early exit, neo-core label inspection, border recheck) so the
+// two are directly comparable; see bench_ablation's graph-vs-index section.
+// Output is exactly DBSCAN's, like Disc's.
+class GraphDisc : public StreamClusterer {
+ public:
+  GraphDisc(std::uint32_t dims, const DiscConfig& config);
+
+  void Update(const std::vector<Point>& incoming,
+              const std::vector<Point>& outgoing) override;
+  ClusteringSnapshot Snapshot() const override;
+  std::string name() const override { return "DISC-graph"; }
+
+  const DiscConfig& config() const { return config_; }
+  std::size_t window_size() const { return records_.size(); }
+
+  // Range searches issued by the most recent Update (insertions only — that
+  // is the variant's selling point).
+  std::uint64_t last_range_searches() const { return last_searches_; }
+
+  // Footprint of the materialized adjacency — the quantity that blows up
+  // with eps.
+  std::size_t ApproxMemoryBytes() const;
+  std::size_t total_edges() const { return total_directed_edges_ / 2; }
+
+ private:
+  struct Record {
+    Point pt;
+    std::vector<PointId> neighbors;  // Materialized eps-adjacency.
+    bool core_prev = false;
+    bool deleted = false;
+    Category category = Category::kNoise;
+    ClusterId cid = kNoiseCluster;
+    std::uint64_t visit_serial = 0;
+    std::uint32_t owner = 0;
+    std::uint64_t group_serial = 0;
+    std::uint64_t relabel_serial = 0;
+    std::uint64_t recheck_serial = 0;
+  };
+
+  std::size_t NEps(const Record& r) const { return r.neighbors.size() + 1; }
+  bool IsCoreNow(const Record& r) const {
+    return !r.deleted && NEps(r) >= config_.tau;
+  }
+  bool IsExCore(const Record& r) const {
+    return r.core_prev && (r.deleted || NEps(r) < config_.tau);
+  }
+  bool IsNeoCore(const Record& r) const {
+    return !r.core_prev && IsCoreNow(r);
+  }
+
+  void Collect(const std::vector<Point>& incoming,
+               const std::vector<Point>& outgoing,
+               std::vector<PointId>* ex_cores,
+               std::vector<PointId>* neo_cores);
+  void ProcessExCores(const std::vector<PointId>& ex_cores);
+  void CollectGroup(PointId seed,
+                    std::unordered_map<ClusterId, std::vector<PointId>>* pools,
+                    std::vector<ClusterId>* pool_order);
+  void MsBfs(const std::vector<PointId>& m_minus);
+  void ProcessNeoCores(const std::vector<PointId>& neo_cores);
+  void ProcessNeoGroup(PointId seed);
+  void RecheckNonCores();
+  void AddRecheck(PointId id, Record* rec);
+  Record& GetRecord(PointId id);
+
+  DiscConfig config_;
+  RTree tree_;  // Used only to find the neighbors of inserted points.
+  std::unordered_map<PointId, Record> records_;
+  ClusterRegistry registry_;
+
+  std::uint64_t update_serial_ = 0;
+  std::uint64_t search_serial_ = 0;
+  std::vector<PointId> recheck_;
+  std::vector<PointId> touched_;
+  std::uint64_t last_searches_ = 0;
+  std::size_t total_directed_edges_ = 0;
+};
+
+}  // namespace disc
+
+#endif  // DISC_BASELINES_GRAPH_DISC_H_

@@ -1,0 +1,494 @@
+#include "baselines/inc_dbscan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace disc {
+
+IncDbscan::IncDbscan(std::uint32_t dims, const DiscConfig& config)
+    : config_(config), tree_(dims, config.rtree_max_entries) {}
+
+IncDbscan::Record& IncDbscan::GetRecord(PointId id) {
+  auto it = records_.find(id);
+  assert(it != records_.end());
+  return it->second;
+}
+
+void IncDbscan::SearchMarking(const Point& center, std::uint64_t tick,
+                              const RTree::MarkingVisitor& visit) {
+  if (config_.use_epoch_probing) {
+    tree_.EpochRangeSearch(center, config_.eps, tick, visit);
+  } else {
+    tree_.RangeSearch(center, config_.eps,
+                      [&](PointId id, const Point& p) { visit(id, p); });
+  }
+}
+
+void IncDbscan::AddRecheck(PointId id, Record* rec) {
+  if (rec->recheck_serial == op_serial_) return;
+  rec->recheck_serial = op_serial_;
+  recheck_.push_back(id);
+}
+
+void IncDbscan::Update(const std::vector<Point>& incoming,
+                       const std::vector<Point>& outgoing) {
+  const std::uint64_t before = tree_.stats().range_searches;
+  // One point at a time: that is the defining property of IncDBSCAN. The
+  // clustering (including border labels) is valid after every single
+  // operation — per-op relabeling is the redundant work DISC's stride-level
+  // consolidation eliminates.
+  for (const Point& p : outgoing) {
+    ++op_serial_;
+    recheck_.clear();
+    DeleteOne(p);
+    RecheckNonCores();
+  }
+  for (const Point& p : incoming) {
+    ++op_serial_;
+    recheck_.clear();
+    InsertOne(p);
+    RecheckNonCores();
+  }
+  last_searches_ = tree_.stats().range_searches - before;
+}
+
+// ---------------------------------------------------------------------------
+// Insertion (creation / absorption / merge)
+// ---------------------------------------------------------------------------
+
+void IncDbscan::InsertOne(const Point& p) {
+  if (!IsValidPoint(p) || p.dims != tree_.dims()) {
+    assert(false && "invalid incoming point");
+    return;
+  }
+  auto [it, inserted] = records_.emplace(p.id, Record{});
+  assert(inserted);
+  if (!inserted) return;
+  Record& rec = it->second;
+  rec.pt = p;
+  rec.n_eps = 1;
+  tree_.Insert(p);
+
+  std::vector<PointId> new_cores;  // Points whose status flips to core.
+  tree_.RangeSearch(p, config_.eps, [&](PointId qid, const Point&) {
+    if (qid == p.id) return;
+    Record& q = GetRecord(qid);
+    ++q.n_eps;
+    ++rec.n_eps;
+    if (q.n_eps == config_.tau) new_cores.push_back(qid);
+  });
+  if (rec.n_eps >= config_.tau) new_cores.push_back(p.id);
+
+  if (new_cores.empty()) {
+    // No density-reachability change; p itself becomes border or noise.
+    AddRecheck(p.id, &rec);
+    return;
+  }
+
+  // Group the new cores into eps-connected components (they are all within
+  // eps of p, so pairwise tests suffice), then decide the cluster evolution
+  // per component from the labels of the surrounding old cores.
+  const std::size_t k = new_cores.size();
+  std::vector<std::uint32_t> comp(k);
+  for (std::size_t i = 0; i < k; ++i) comp[i] = static_cast<std::uint32_t>(i);
+  auto find_comp = [&](std::uint32_t i) {
+    while (comp[i] != i) i = comp[i];
+    return i;
+  };
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      if (WithinEps(GetRecord(new_cores[i]).pt, GetRecord(new_cores[j]).pt,
+                    config_.eps)) {
+        comp[find_comp(static_cast<std::uint32_t>(j))] =
+            find_comp(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+
+  for (std::size_t c = 0; c < k; ++c) {
+    if (find_comp(static_cast<std::uint32_t>(c)) != c) continue;
+    std::vector<PointId> members;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (find_comp(static_cast<std::uint32_t>(i)) == c) {
+        members.push_back(new_cores[i]);
+      }
+    }
+    // UpdSeed examination: one range search per new core of the component.
+    const std::uint64_t serial = ++search_serial_;
+    const std::uint64_t tick = tree_.NewTick();
+    for (PointId m : members) GetRecord(m).visit_serial = serial;
+    std::vector<ClusterId> cid_list;
+    std::vector<PointId> borders;
+    for (PointId m : members) {
+      const Point center = GetRecord(m).pt;
+      SearchMarking(center, tick, [&](PointId qid, const Point&) -> bool {
+        if (qid == m) return true;
+        Record& q = GetRecord(qid);
+        if (IsCore(q)) {
+          if (q.visit_serial != serial) {
+            q.visit_serial = serial;
+            const ClusterId cq = registry_.Find(q.cid);
+            if (std::find(cid_list.begin(), cid_list.end(), cq) ==
+                cid_list.end()) {
+              cid_list.push_back(cq);
+            }
+          }
+          return true;
+        }
+        if (q.visit_serial != serial) {
+          q.visit_serial = serial;
+          q.witness = m;
+          q.witness_serial = op_serial_;
+          borders.push_back(qid);
+        }
+        return true;
+      });
+    }
+    ClusterId g;
+    if (cid_list.empty()) {
+      g = registry_.NewCluster();  // Creation.
+    } else {
+      g = cid_list[0];  // Absorption, or merge when several.
+      for (std::size_t i = 1; i < cid_list.size(); ++i) {
+        g = registry_.Union(g, cid_list[i]);
+      }
+    }
+    for (PointId m : members) {
+      Record& rm = GetRecord(m);
+      rm.category = Category::kCore;
+      rm.cid = g;
+    }
+    for (PointId b : borders) {
+      Record& rb = GetRecord(b);
+      if (IsCore(rb)) continue;
+      rb.category = Category::kBorder;
+      rb.cid = g;
+    }
+  }
+  if (!IsCore(rec)) AddRecheck(p.id, &rec);
+}
+
+// ---------------------------------------------------------------------------
+// Deletion (shrink / split / dissipation) — the slow path
+// ---------------------------------------------------------------------------
+
+void IncDbscan::DeleteOne(const Point& p) {
+  auto it = records_.find(p.id);
+  assert(it != records_.end());
+  if (it == records_.end()) return;
+  Record rec = it->second;  // Copy; the record dies at the end of this op.
+  const bool was_core = IsCore(rec);
+  tree_.Delete(rec.pt);
+  records_.erase(it);
+
+  std::vector<PointId> lost;  // Still-present cores that lose core status.
+  tree_.RangeSearch(rec.pt, config_.eps, [&](PointId qid, const Point&) {
+    Record& q = GetRecord(qid);
+    assert(q.n_eps > 0);
+    --q.n_eps;
+    if (q.n_eps == config_.tau - 1) {
+      lost.push_back(qid);
+      AddRecheck(qid, &q);  // Demoted core: border or noise now.
+    } else if (was_core && !IsCore(q)) {
+      AddRecheck(qid, &q);  // May have lost its only adjacent core.
+    }
+  });
+
+  if (!was_core && lost.empty()) return;  // No reachability change.
+
+  // Collect the seed cores (UpdSeed_del): cores that are still cores and are
+  // adjacent to a lost core — one range search per lost core, plus one for p
+  // itself when it was a core. One consolidated connectivity check per
+  // deletion: every fragment the deletion creates contains a seed, and a
+  // single check never leaves two components sharing an old cluster id
+  // (running one check per lost-core subset would — see the corresponding
+  // note in Disc::CheckConnectivity).
+  const std::uint64_t serial = ++search_serial_;
+  const std::uint64_t tick = tree_.NewTick();
+  std::vector<PointId> group = lost;
+  if (was_core) group.push_back(p.id);  // p's neighborhood needs scanning too.
+  std::vector<PointId> seeds;
+  for (PointId l : group) {
+    const Point center = (l == p.id) ? rec.pt : GetRecord(l).pt;
+    SearchMarking(center, tick, [&](PointId qid, const Point&) -> bool {
+      if (qid == l) return true;
+      auto qit = records_.find(qid);
+      if (qit == records_.end()) return true;
+      Record& q = qit->second;
+      if (IsCore(q)) {
+        if (q.visit_serial != serial) {
+          q.visit_serial = serial;
+          seeds.push_back(qid);
+        }
+        return true;
+      }
+      AddRecheck(qid, &q);  // Non-core near a lost core.
+      return true;
+    });
+  }
+  if (seeds.size() > 1) CheckSplit(seeds);
+  // Empty seeds: the cluster dissipated; stragglers go through recheck.
+}
+
+void IncDbscan::CheckSplit(const std::vector<PointId>& seeds) {
+  if (config_.use_msbfs) {
+    MsBfs(seeds);
+  } else {
+    SequentialBfs(seeds);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Connectivity checks (shared shape with DISC's; see disc_cluster.cc)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct MsThread {
+  std::deque<PointId> queue;
+  std::vector<PointId> cores;
+  std::vector<PointId> borders;
+};
+
+}  // namespace
+
+int IncDbscan::MsBfs(const std::vector<PointId>& seeds) {
+  const std::uint64_t serial = ++search_serial_;
+  const std::uint64_t tick = tree_.NewTick();
+  const std::size_t k = seeds.size();
+
+  std::vector<std::uint32_t> parent(k);
+  for (std::size_t i = 0; i < k; ++i) parent[i] = static_cast<std::uint32_t>(i);
+  auto find_root = [&](std::uint32_t i) {
+    std::uint32_t root = i;
+    while (parent[root] != root) root = parent[root];
+    while (parent[i] != root) {
+      const std::uint32_t next = parent[i];
+      parent[i] = root;
+      i = next;
+    }
+    return root;
+  };
+
+  std::vector<MsThread> threads(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    Record& r = GetRecord(seeds[i]);
+    r.visit_serial = serial;
+    r.owner = static_cast<std::uint32_t>(i);
+    threads[i].queue.push_back(seeds[i]);
+    threads[i].cores.push_back(seeds[i]);
+  }
+
+  std::size_t active_count = k;
+  auto merge_threads = [&](std::uint32_t a, std::uint32_t b) {
+    if (threads[a].queue.size() < threads[b].queue.size()) std::swap(a, b);
+    MsThread& ta = threads[a];
+    MsThread& tb = threads[b];
+    ta.queue.insert(ta.queue.end(), tb.queue.begin(), tb.queue.end());
+    ta.cores.insert(ta.cores.end(), tb.cores.begin(), tb.cores.end());
+    ta.borders.insert(ta.borders.end(), tb.borders.begin(), tb.borders.end());
+    tb = MsThread{};
+    parent[b] = a;
+    --active_count;
+  };
+
+  std::vector<std::uint32_t> active;
+  active.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    active.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  int drained = 0;
+  while (active_count > 1) {
+    for (std::size_t idx = 0; idx < active.size() && active_count > 1;) {
+      const std::uint32_t root = active[idx];
+      if (find_root(root) != root) {
+        active[idx] = active.back();
+        active.pop_back();
+        continue;
+      }
+      MsThread& th = threads[root];
+      if (th.queue.empty()) {
+        const ClusterId fresh = registry_.NewCluster();
+        for (PointId cp : th.cores) {
+          Record& rc = GetRecord(cp);
+          rc.cid = fresh;
+          rc.category = Category::kCore;
+        }
+        for (PointId bp : th.borders) {
+          Record& rb = GetRecord(bp);
+          if (IsCore(rb)) continue;
+          rb.cid = fresh;
+          rb.category = Category::kBorder;
+        }
+        ++drained;
+        --active_count;
+        active[idx] = active.back();
+        active.pop_back();
+        continue;
+      }
+      const PointId rid = th.queue.front();
+      th.queue.pop_front();
+      const Point center = GetRecord(rid).pt;
+      SearchMarking(center, tick, [&](PointId qid, const Point&) -> bool {
+        if (qid == rid) return true;
+        auto qit = records_.find(qid);
+        if (qit == records_.end()) return true;
+        Record& q = qit->second;
+        if (IsCore(q)) {
+          const std::uint32_t mine = find_root(root);
+          if (q.visit_serial != serial) {
+            q.visit_serial = serial;
+            q.owner = mine;
+            threads[mine].queue.push_back(qid);
+            threads[mine].cores.push_back(qid);
+          } else {
+            const std::uint32_t other = find_root(q.owner);
+            if (other != mine) merge_threads(mine, other);
+          }
+          return false;
+        }
+        if (q.visit_serial != serial) {
+          q.visit_serial = serial;
+          q.witness = rid;
+          q.witness_serial = op_serial_;
+          threads[find_root(root)].borders.push_back(qid);
+        }
+        return true;
+      });
+      ++idx;
+    }
+  }
+  return drained + 1;
+}
+
+int IncDbscan::SequentialBfs(const std::vector<PointId>& seeds) {
+  const std::uint64_t member_serial = ++search_serial_;
+  for (PointId m : seeds) GetRecord(m).visit_serial = member_serial;
+  std::size_t members_left = seeds.size();
+
+  int ncc = 0;
+  bool first = true;
+  for (PointId start : seeds) {
+    Record& start_rec = GetRecord(start);
+    if (start_rec.visit_serial != member_serial) continue;
+    ++ncc;
+    const std::uint64_t serial = ++search_serial_;
+    const std::uint64_t tick = tree_.NewTick();
+    std::deque<PointId> queue;
+    std::vector<PointId> cores;
+    std::vector<PointId> borders;
+    start_rec.visit_serial = serial;
+    --members_left;
+    queue.push_back(start);
+    cores.push_back(start);
+    bool early_exit = false;
+    while (!queue.empty()) {
+      if (first && members_left == 0) {
+        early_exit = true;
+        break;
+      }
+      const PointId rid = queue.front();
+      queue.pop_front();
+      const Point center = GetRecord(rid).pt;
+      SearchMarking(center, tick, [&](PointId qid, const Point&) -> bool {
+        if (qid == rid) return true;
+        auto qit = records_.find(qid);
+        if (qit == records_.end()) return true;
+        Record& q = qit->second;
+        if (IsCore(q)) {
+          if (q.visit_serial != serial) {
+            if (q.visit_serial == member_serial) --members_left;
+            q.visit_serial = serial;
+            queue.push_back(qid);
+            cores.push_back(qid);
+          }
+          return false;
+        }
+        if (q.visit_serial != serial) {
+          q.visit_serial = serial;
+          q.witness = rid;
+          q.witness_serial = op_serial_;
+          borders.push_back(qid);
+        }
+        return true;
+      });
+    }
+    if (!first && !early_exit) {
+      const ClusterId fresh = registry_.NewCluster();
+      for (PointId cp : cores) {
+        Record& rc = GetRecord(cp);
+        rc.cid = fresh;
+        rc.category = Category::kCore;
+      }
+      for (PointId bp : borders) {
+        Record& rb = GetRecord(bp);
+        if (IsCore(rb)) continue;
+        rb.cid = fresh;
+        rb.category = Category::kBorder;
+      }
+    }
+    first = false;
+    if (members_left == 0 && early_exit) break;
+  }
+  return ncc;
+}
+
+// ---------------------------------------------------------------------------
+// Deferred border/noise relabeling
+// ---------------------------------------------------------------------------
+
+void IncDbscan::RecheckNonCores() {
+  for (PointId id : recheck_) {
+    auto it = records_.find(id);
+    if (it == records_.end()) continue;  // Deleted later in the same batch.
+    Record& rec = it->second;
+    if (IsCore(rec)) continue;
+    if (rec.witness_serial == op_serial_) {
+      auto wit = records_.find(rec.witness);
+      if (wit != records_.end() && IsCore(wit->second)) {
+        rec.category = Category::kBorder;
+        rec.cid = wit->second.cid;
+        continue;
+      }
+    }
+    bool found = false;
+    ClusterId found_cid = kNoiseCluster;
+    tree_.RangeSearch(rec.pt, config_.eps, [&](PointId qid, const Point&) {
+      if (found || qid == id) return;
+      auto qit = records_.find(qid);
+      if (qit == records_.end()) return;
+      const Record& q = qit->second;
+      if (IsCore(q)) {
+        found = true;
+        found_cid = q.cid;
+      }
+    });
+    if (found) {
+      rec.category = Category::kBorder;
+      rec.cid = found_cid;
+    } else {
+      rec.category = Category::kNoise;
+      rec.cid = kNoiseCluster;
+    }
+  }
+}
+
+ClusteringSnapshot IncDbscan::Snapshot() const {
+  ClusteringSnapshot snap;
+  snap.ids.reserve(records_.size());
+  snap.categories.reserve(records_.size());
+  snap.cids.reserve(records_.size());
+  for (const auto& [id, rec] : records_) {
+    snap.ids.push_back(id);
+    snap.categories.push_back(rec.category);
+    snap.cids.push_back(rec.category == Category::kNoise
+                            ? kNoiseCluster
+                            : static_cast<const ClusterRegistry&>(registry_)
+                                  .Find(rec.cid));
+  }
+  return snap;
+}
+
+}  // namespace disc

@@ -1,0 +1,196 @@
+#include "baselines/rho_dbscan.h"
+
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <sstream>
+
+namespace disc {
+
+RhoDbscan::RhoDbscan(std::uint32_t dims, const Options& options)
+    : dims_(dims),
+      options_(options),
+      grid_(dims, options.eps / std::sqrt(static_cast<double>(dims))) {
+  assert(options.eps > 0.0);
+  assert(options.rho >= 0.0);
+  cell_radius_ = static_cast<std::int64_t>(
+      std::ceil(options_.eps * (1.0 + options_.rho) / grid_.cell_side()));
+  // Amortized aBCP refresh cost per affected cell pair (see header).
+  const double per_pair =
+      std::pow(std::ceil(1.0 / std::max(options_.rho, 1e-6)),
+               static_cast<double>(dims - 1));
+  abcp_budget_ = static_cast<std::size_t>(std::min(per_pair, 1e6));
+}
+
+// Emulates the aBCP refresh triggered by inserting or deleting p: for each
+// nearby occupied cell, perform the distance evaluations the dynamic
+// structure would need. Finding a witness pair within the link radius is
+// cheap (the structure certifies connectivity as soon as one is seen);
+// certifying that no such pair exists is where the O((1/rho)^(d-1))
+// granularity bound bites.
+void RhoDbscan::MaintainAbcp(const Point& p) {
+  const CellCoord home = grid_.CellOf(p);
+  const std::vector<Point>* mine = grid_.CellContents(home);
+  const std::size_t my_size = (mine == nullptr) ? 1 : mine->size();
+  const double link = options_.eps * (1.0 + options_.rho);
+  const double link2 = link * link;
+  grid_.ForEachNeighborCell(
+      home, cell_radius_,
+      [&](const CellCoord&, const std::vector<Point>& others) {
+        const std::size_t pairs =
+            std::min(my_size * others.size(), abcp_budget_);
+        double acc = 0.0;
+        for (std::size_t k = 0; k < pairs; ++k) {
+          const Point& a =
+              (mine == nullptr) ? p : (*mine)[k % my_size];
+          const Point& b = others[(k / my_size) % others.size()];
+          const double d = SquaredDistance(a, b);
+          acc += d;
+          if (d <= link2) break;  // Witness pair found: refresh certified.
+        }
+        abcp_sink_ += acc;
+      });
+}
+
+std::string RhoDbscan::name() const {
+  std::ostringstream os;
+  os << "rho2-DBSCAN(rho=" << options_.rho << ")";
+  return os.str();
+}
+
+void RhoDbscan::Update(const std::vector<Point>& incoming,
+                       const std::vector<Point>& outgoing) {
+  for (const Point& p : outgoing) {
+    grid_.Delete(p);
+    MaintainAbcp(p);
+  }
+  for (const Point& p : incoming) {
+    grid_.Insert(p);
+    MaintainAbcp(p);
+  }
+  Recluster();
+}
+
+void RhoDbscan::Recluster() {
+  state_.clear();
+
+  // Core determination. A cell with >= tau points is all-core for free (its
+  // diameter is eps); sparse cells count exact eps-neighbors with early exit.
+  const double eps2 = options_.eps * options_.eps;
+  grid_.ForEachCell([&](const CellCoord& cc, const std::vector<Point>& pts) {
+    CellState& st = state_[cc];
+    st.is_core.assign(pts.size(), 0);
+    if (pts.size() >= options_.tau) {
+      for (std::size_t i = 0; i < pts.size(); ++i) st.is_core[i] = 1;
+      st.has_core = true;
+      return;
+    }
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      std::size_t count = 0;
+      bool core = false;
+      grid_.ForEachNeighborCell(
+          cc, cell_radius_,
+          [&](const CellCoord&, const std::vector<Point>& others) {
+            if (core) return;
+            for (const Point& q : others) {
+              if (SquaredDistance(pts[i], q) <= eps2) {
+                if (++count >= options_.tau) {
+                  core = true;
+                  return;
+                }
+              }
+            }
+          });
+      if (core) {
+        st.is_core[i] = 1;
+        st.has_core = true;
+      }
+    }
+  });
+
+  // Approximate connectivity over core cells: BFS through neighbor cells,
+  // linking when any core pair lies within eps*(1+rho).
+  const double link = options_.eps * (1.0 + options_.rho);
+  const double link2 = link * link;
+  std::int64_t next_cluster = 0;
+  grid_.ForEachCell([&](const CellCoord& cc, const std::vector<Point>&) {
+    CellState& st = state_.at(cc);
+    if (!st.has_core || st.cluster >= 0) return;
+    const std::int64_t cluster = next_cluster++;
+    std::deque<CellCoord> queue;
+    st.cluster = cluster;
+    queue.push_back(cc);
+    while (!queue.empty()) {
+      const CellCoord cur = queue.front();
+      queue.pop_front();
+      const std::vector<Point>* cur_pts = grid_.CellContents(cur);
+      if (cur_pts == nullptr) continue;
+      const CellState& cur_st = state_.at(cur);
+      grid_.ForEachNeighborCell(
+          cur, cell_radius_,
+          [&](const CellCoord& other, const std::vector<Point>& opts) {
+            auto oit = state_.find(other);
+            if (oit == state_.end()) return;
+            CellState& ost = oit->second;
+            if (!ost.has_core || ost.cluster >= 0) return;
+            // Any core-core pair within the approximate link radius?
+            bool connected = false;
+            for (std::size_t i = 0; i < cur_pts->size() && !connected; ++i) {
+              if (!cur_st.is_core[i]) continue;
+              for (std::size_t j = 0; j < opts.size(); ++j) {
+                if (!ost.is_core[j]) continue;
+                if (SquaredDistance((*cur_pts)[i], opts[j]) <= link2) {
+                  connected = true;
+                  break;
+                }
+              }
+            }
+            if (connected) {
+              ost.cluster = cluster;
+              queue.push_back(other);
+            }
+          });
+    }
+  });
+}
+
+ClusteringSnapshot RhoDbscan::Snapshot() const {
+  ClusteringSnapshot snap;
+  snap.ids.reserve(grid_.size());
+  snap.categories.reserve(grid_.size());
+  snap.cids.reserve(grid_.size());
+  const double eps2 = options_.eps * options_.eps;
+  grid_.ForEachCell([&](const CellCoord& cc, const std::vector<Point>& pts) {
+    const CellState& st = state_.at(cc);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      snap.ids.push_back(pts[i].id);
+      if (st.is_core[i]) {
+        snap.categories.push_back(Category::kCore);
+        snap.cids.push_back(st.cluster);
+        continue;
+      }
+      // Border assignment: the cluster of any core within eps.
+      std::int64_t label = kNoiseCluster;
+      grid_.ForEachNeighborCell(
+          cc, cell_radius_,
+          [&](const CellCoord& other, const std::vector<Point>& opts) {
+            if (label != kNoiseCluster) return;
+            auto oit = state_.find(other);
+            if (oit == state_.end() || !oit->second.has_core) return;
+            for (std::size_t j = 0; j < opts.size(); ++j) {
+              if (!oit->second.is_core[j]) continue;
+              if (SquaredDistance(pts[i], opts[j]) <= eps2) {
+                label = oit->second.cluster;
+                return;
+              }
+            }
+          });
+      snap.categories.push_back(label == kNoiseCluster ? Category::kNoise
+                                                       : Category::kBorder);
+      snap.cids.push_back(label);
+    }
+  });
+  return snap;
+}
+
+}  // namespace disc

@@ -1,0 +1,76 @@
+#ifndef DISC_BASELINES_RHO_DBSCAN_H_
+#define DISC_BASELINES_RHO_DBSCAN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "index/grid_index.h"
+#include "stream/stream_clusterer.h"
+
+namespace disc {
+
+// rho-double-approximate DBSCAN (Gan & Tao, SIGMOD '15/'17): the dynamic
+// grid-based approximate clusterer the paper compares against in Sec. VI-E.
+//
+// Space is partitioned into cells of side eps/sqrt(d), so any two points in
+// one cell are eps-neighbors. Core status uses the grid: a cell holding at
+// least tau points makes all of its points cores outright; points in sparse
+// cells count exact neighbors over the surrounding cells (early exit at
+// tau). Connectivity is approximate: two core cells are linked when some
+// pair of their cores lies within eps*(1+rho) — pairs in (eps, eps*(1+rho)]
+// may or may not be linked, which is exactly the rho-approximation
+// guarantee. Clusters are connected components of core cells.
+//
+// Costs scale with the number of occupied cells, i.e., with 1/eps^d: at the
+// small eps needed for high-resolution clusters the method slows down
+// drastically (Fig. 11), while at very large eps it beats exact methods —
+// after the clustering has already degenerated into one giant cluster.
+//
+// Dynamic-maintenance fidelity: the original maintains an approximate
+// bichromatic closest pair (aBCP) per pair of nearby core cells, updated on
+// every insertion/deletion at an amortized cost of O((1/rho)^(d-1)) — the
+// term that makes high-accuracy (small rho) configurations expensive. We do
+// not reimplement the aBCP structures; instead every update performs the
+// equivalent amount of distance work per affected cell pair
+// (min(|c1|*|c2|, ceil(1/rho)^(d-1)) point-pair evaluations), so the
+// latency behaves like the published algorithm's.
+class RhoDbscan : public StreamClusterer {
+ public:
+  struct Options {
+    double eps = 1.0;
+    std::uint32_t tau = 5;
+    double rho = 0.001;  // Approximation parameter.
+  };
+
+  RhoDbscan(std::uint32_t dims, const Options& options);
+
+  void Update(const std::vector<Point>& incoming,
+              const std::vector<Point>& outgoing) override;
+  ClusteringSnapshot Snapshot() const override;
+  std::string name() const override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct CellState {
+    std::vector<std::uint8_t> is_core;  // Parallel to the cell's point list.
+    std::int64_t cluster = -1;
+    bool has_core = false;
+  };
+
+  void Recluster();
+  void MaintainAbcp(const Point& p);
+
+  std::uint32_t dims_;
+  Options options_;
+  GridIndex grid_;
+  std::int64_t cell_radius_;    // Chebyshev cell radius covering eps.
+  std::size_t abcp_budget_;     // ceil(1/rho)^(d-1), capped.
+  double abcp_sink_ = 0.0;      // Keeps the emulated work observable.
+  std::unordered_map<CellCoord, CellState, CellCoordHash> state_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_BASELINES_RHO_DBSCAN_H_

@@ -1,0 +1,42 @@
+#include "common/point.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace disc {
+
+double SquaredDistance(const Point& a, const Point& b) {
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < a.dims; ++i) {
+    const double d = a.x[i] - b.x[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+bool WithinEps(const Point& a, const Point& b, double eps) {
+  return SquaredDistance(a, b) <= eps * eps;
+}
+
+bool IsValidPoint(const Point& p) {
+  if (p.dims < 1 || p.dims > static_cast<std::uint32_t>(kMaxDims)) {
+    return false;
+  }
+  for (std::uint32_t i = 0; i < p.dims; ++i) {
+    if (!std::isfinite(p.x[i])) return false;
+  }
+  return true;
+}
+
+std::string ToString(const Point& p) {
+  std::ostringstream os;
+  os << "#" << p.id << "(";
+  for (std::uint32_t i = 0; i < p.dims; ++i) {
+    if (i > 0) os << ", ";
+    os << p.x[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace disc

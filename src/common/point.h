@@ -1,0 +1,46 @@
+#ifndef DISC_COMMON_POINT_H_
+#define DISC_COMMON_POINT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace disc {
+
+// Maximum spatial dimensionality supported by the library. The paper's
+// datasets use 2-D (DTG, COVID-19), 3-D (GeoLife) and 4-D (IRIS) points;
+// eight leaves headroom without making Point heavyweight.
+inline constexpr int kMaxDims = 8;
+
+// Identifier of a streamed data point. Ids are assigned by the stream source
+// in arrival order and are unique for the lifetime of a stream.
+using PointId = std::uint64_t;
+
+// A single streamed data point: an id plus a dims-dimensional coordinate.
+// Points are cheap to copy and carry no clustering state; per-point
+// clustering state lives inside each clusterer.
+struct Point {
+  PointId id = 0;
+  std::uint32_t dims = 2;
+  std::array<double, kMaxDims> x{};
+
+  double operator[](int i) const { return x[i]; }
+  double& operator[](int i) { return x[i]; }
+};
+
+// Squared Euclidean distance over the first `a.dims` coordinates.
+// Both points must have the same dimensionality.
+double SquaredDistance(const Point& a, const Point& b);
+
+// True iff the Euclidean distance between a and b is <= eps.
+bool WithinEps(const Point& a, const Point& b, double eps);
+
+// True iff every coordinate of p is finite and p.dims is in [1, kMaxDims].
+bool IsValidPoint(const Point& p);
+
+// "(x0, x1, ...)" representation for diagnostics.
+std::string ToString(const Point& p);
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_POINT_H_

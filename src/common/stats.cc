@@ -1,0 +1,17 @@
+#include "common/stats.h"
+
+namespace disc {
+
+void StatsAccumulator::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  sum_ += value;
+  ++count_;
+}
+
+}  // namespace disc

@@ -1,0 +1,29 @@
+#ifndef DISC_COMMON_STATS_H_
+#define DISC_COMMON_STATS_H_
+
+#include <cstdint>
+
+namespace disc {
+
+// Streaming accumulator for count / mean / min / max of a series of samples.
+// Used by the benchmark harness to aggregate per-slide measurements.
+class StatsAccumulator {
+ public:
+  void Add(double value);
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_STATS_H_

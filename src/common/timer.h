@@ -1,0 +1,38 @@
+#ifndef DISC_COMMON_TIMER_H_
+#define DISC_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace disc {
+
+// Monotonic wall-clock stopwatch. Mirrors the paper's use of
+// System.nanoTime for elapsed-time measurements.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_TIMER_H_

@@ -1,0 +1,110 @@
+// Checkpoint save/restore for Disc. The persisted state is exactly what the
+// algorithm needs across slides: per-point coordinates, density, previous
+// core status, category, and cluster handle, plus the cluster registry. The
+// spatial index and all per-update scratch fields are rebuilt/reset.
+
+#include <istream>
+#include <ostream>
+
+#include "core/disc.h"
+
+namespace disc {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x44495343'43503031ULL;  // "DISCCP01"
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool Disc::SaveCheckpoint(std::ostream& out) const {
+  WritePod(out, kMagic);
+  WritePod(out, static_cast<std::uint32_t>(tree_.dims()));
+  WritePod(out, config_.eps);
+  WritePod(out, config_.tau);
+  WritePod(out, static_cast<std::uint64_t>(records_.size()));
+  for (const auto& [id, rec] : records_) {
+    WritePod(out, id);
+    out.write(reinterpret_cast<const char*>(rec.pt.x.data()),
+              sizeof(double) * kMaxDims);
+    WritePod(out, rec.n_eps);
+    WritePod(out, static_cast<std::uint8_t>(rec.core_prev ? 1 : 0));
+    WritePod(out, static_cast<std::uint8_t>(rec.category));
+    WritePod(out, rec.cid);
+  }
+  if (!registry_.Save(out)) return false;
+  return static_cast<bool>(out);
+}
+
+bool Disc::LoadCheckpoint(std::istream& in) {
+  std::uint64_t magic = 0;
+  std::uint32_t dims = 0;
+  double eps = 0.0;
+  std::uint32_t tau = 0;
+  std::uint64_t count = 0;
+  if (!ReadPod(in, &magic) || magic != kMagic) return false;
+  if (!ReadPod(in, &dims) || dims != tree_.dims()) return false;
+  if (!ReadPod(in, &eps) || eps != config_.eps) return false;
+  if (!ReadPod(in, &tau) || tau != config_.tau) return false;
+  if (!ReadPod(in, &count)) return false;
+
+  records_.clear();
+  records_.reserve(count);
+  std::vector<Point> points;
+  points.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PointId id = 0;
+    Record rec;
+    std::uint8_t core_prev = 0;
+    std::uint8_t category = 0;
+    if (!ReadPod(in, &id)) return false;
+    in.read(reinterpret_cast<char*>(rec.pt.x.data()),
+            sizeof(double) * kMaxDims);
+    if (!in) return false;
+    if (!ReadPod(in, &rec.n_eps)) return false;
+    if (!ReadPod(in, &core_prev)) return false;
+    if (!ReadPod(in, &category)) return false;
+    if (!ReadPod(in, &rec.cid)) return false;
+    if (category > static_cast<std::uint8_t>(Category::kNoise)) return false;
+    rec.pt.id = id;
+    rec.pt.dims = dims;
+    if (!IsValidPoint(rec.pt)) return false;
+    rec.core_prev = core_prev != 0;
+    rec.category = static_cast<Category>(category);
+    points.push_back(rec.pt);
+    if (!records_.emplace(id, rec).second) return false;  // Duplicate id.
+  }
+  if (!registry_.Load(in)) return false;
+  // Validate handles against the restored registry.
+  for (const auto& [id, rec] : records_) {
+    if (rec.cid != kNoiseCluster &&
+        (rec.cid < 0 ||
+         static_cast<std::size_t>(rec.cid) >= registry_.num_handles())) {
+      return false;
+    }
+  }
+
+  // Rebuild the index; reset per-update scratch state.
+  tree_.Clear();
+  tree_.BulkLoad(std::move(points));
+  events_.clear();
+  metrics_.Reset();
+  delta_ = LabelDelta{};
+  recheck_.clear();
+  touched_.clear();
+  update_serial_ = 0;
+  search_serial_ = 0;
+  return true;
+}
+
+}  // namespace disc

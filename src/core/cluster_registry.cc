@@ -1,0 +1,74 @@
+#include "core/cluster_registry.h"
+
+#include <cassert>
+#include <istream>
+#include <ostream>
+
+namespace disc {
+
+ClusterId ClusterRegistry::NewCluster() {
+  const ClusterId h = static_cast<ClusterId>(parent_.size());
+  parent_.push_back(h);
+  rank_.push_back(0);
+  return h;
+}
+
+ClusterId ClusterRegistry::Find(ClusterId h) {
+  if (h == kNoiseCluster) return kNoiseCluster;
+  assert(h >= 0 && static_cast<std::size_t>(h) < parent_.size());
+  ClusterId root = h;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[h] != root) {
+    const ClusterId next = parent_[h];
+    parent_[h] = root;
+    h = next;
+  }
+  return root;
+}
+
+ClusterId ClusterRegistry::Find(ClusterId h) const {
+  if (h == kNoiseCluster) return kNoiseCluster;
+  assert(h >= 0 && static_cast<std::size_t>(h) < parent_.size());
+  while (parent_[h] != h) h = parent_[h];
+  return h;
+}
+
+ClusterId ClusterRegistry::Union(ClusterId a, ClusterId b) {
+  ClusterId ra = Find(a);
+  ClusterId rb = Find(b);
+  if (ra == rb) return ra;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  return ra;
+}
+
+bool ClusterRegistry::Save(std::ostream& out) const {
+  const std::uint64_t n = parent_.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  if (n > 0) {
+    out.write(reinterpret_cast<const char*>(parent_.data()),
+              static_cast<std::streamsize>(n * sizeof(ClusterId)));
+  }
+  return static_cast<bool>(out);
+}
+
+bool ClusterRegistry::Load(std::istream& in) {
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) return false;
+  parent_.assign(n, 0);
+  rank_.assign(n, 0);
+  if (n > 0) {
+    in.read(reinterpret_cast<char*>(parent_.data()),
+            static_cast<std::streamsize>(n * sizeof(ClusterId)));
+  }
+  if (!in) return false;
+  // Validate: parents must be in range.
+  for (ClusterId p : parent_) {
+    if (p < 0 || static_cast<std::uint64_t>(p) >= n) return false;
+  }
+  return true;
+}
+
+}  // namespace disc

@@ -1,0 +1,47 @@
+#ifndef DISC_CORE_CLUSTER_REGISTRY_H_
+#define DISC_CORE_CLUSTER_REGISTRY_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "stream/stream_clusterer.h"
+
+namespace disc {
+
+// Union-find over cluster ids. DISC stores a registry handle in each point
+// record; merging clusters (the neo-core phase) is then a constant-time
+// Union instead of a mass relabeling, and lookups resolve through Find.
+// Handles are never recycled; memory grows by one integer per cluster ever
+// created, which is negligible for realistic streams.
+class ClusterRegistry {
+ public:
+  // Creates a new singleton cluster and returns its handle.
+  ClusterId NewCluster();
+
+  // Canonical representative of the cluster h belongs to. kNoiseCluster maps
+  // to itself. Path-compressing; amortized near-constant.
+  ClusterId Find(ClusterId h);
+
+  // Non-compressing lookup for const contexts (snapshots).
+  ClusterId Find(ClusterId h) const;
+
+  // Merges the clusters of a and b; returns the surviving representative.
+  ClusterId Union(ClusterId a, ClusterId b);
+
+  std::size_t num_handles() const { return parent_.size(); }
+
+  // Binary (de)serialization for checkpointing. Load replaces the current
+  // state; ranks are reset (they only affect union balance). Same-machine
+  // byte order is assumed.
+  bool Save(std::ostream& out) const;
+  bool Load(std::istream& in);
+
+ private:
+  std::vector<ClusterId> parent_;
+  std::vector<std::uint32_t> rank_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_CORE_CLUSTER_REGISTRY_H_

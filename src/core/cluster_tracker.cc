@@ -1,0 +1,108 @@
+#include "core/cluster_tracker.h"
+
+namespace disc {
+
+ClusterLife& ClusterTracker::GetOrCreate(ClusterId id, std::size_t slide) {
+  auto [it, inserted] = lives_.emplace(id, ClusterLife{});
+  if (inserted) {
+    it->second.id = id;
+    it->second.born_slide = slide;
+    it->second.alive = true;
+  }
+  return it->second;
+}
+
+void ClusterTracker::Observe(std::size_t slide_index,
+                             const std::vector<ClusterEvent>& events,
+                             const ClusteringSnapshot& snapshot) {
+  // Structural transitions first.
+  for (const ClusterEvent& event : events) {
+    switch (event.type) {
+      case ClusterEventType::kEmerge:
+        GetOrCreate(event.cids[0], slide_index);
+        break;
+      case ClusterEventType::kDissipate: {
+        ClusterLife& life = GetOrCreate(event.cids[0], slide_index);
+        life.alive = false;
+        life.current_size = 0;
+        break;
+      }
+      case ClusterEventType::kSplit: {
+        // cids[0] survives; the rest split off from it.
+        for (std::size_t i = 1; i < event.cids.size(); ++i) {
+          ClusterLife& child = GetOrCreate(event.cids[i], slide_index);
+          child.split_child = true;
+          child.split_from = event.cids[0];
+        }
+        break;
+      }
+      case ClusterEventType::kMerge: {
+        // cids[0] absorbs the rest.
+        GetOrCreate(event.cids[0], slide_index);
+        for (std::size_t i = 1; i < event.cids.size(); ++i) {
+          ClusterLife& gone = GetOrCreate(event.cids[i], slide_index);
+          gone.alive = false;
+          gone.merged_away = true;
+          gone.merged_into = event.cids[0];
+          gone.current_size = 0;
+        }
+        break;
+      }
+      case ClusterEventType::kShrink:
+      case ClusterEventType::kGrow:
+        break;
+    }
+  }
+
+  // Size accounting from the snapshot (canonical ids).
+  std::unordered_map<ClusterId, std::size_t> sizes;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    if (snapshot.cids[i] != kNoiseCluster) ++sizes[snapshot.cids[i]];
+  }
+  for (auto& [id, life] : lives_) {
+    if (!life.alive) continue;
+    auto it = sizes.find(id);
+    if (it == sizes.end()) {
+      // No members left and no explicit dissipate event reached us (e.g.,
+      // the cluster emptied through relabeling): close it out.
+      life.alive = false;
+      life.current_size = 0;
+      continue;
+    }
+    life.current_size = it->second;
+    if (it->second > life.peak_size) life.peak_size = it->second;
+    life.last_slide = slide_index;
+  }
+  // Clusters present in the snapshot but unknown to the tracker (possible
+  // when observation starts mid-stream) are adopted.
+  for (const auto& [id, size] : sizes) {
+    ClusterLife& life = GetOrCreate(id, slide_index);
+    if (life.alive && life.current_size == 0) {
+      life.current_size = size;
+      if (size > life.peak_size) life.peak_size = size;
+      life.last_slide = slide_index;
+    }
+  }
+}
+
+const ClusterLife* ClusterTracker::Find(ClusterId id) const {
+  auto it = lives_.find(id);
+  return it == lives_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ClusterLife*> ClusterTracker::AllClusters() const {
+  std::vector<const ClusterLife*> out;
+  out.reserve(lives_.size());
+  for (const auto& [id, life] : lives_) out.push_back(&life);
+  return out;
+}
+
+std::size_t ClusterTracker::num_alive() const {
+  std::size_t n = 0;
+  for (const auto& [id, life] : lives_) {
+    if (life.alive) ++n;
+  }
+  return n;
+}
+
+}  // namespace disc

@@ -1,0 +1,59 @@
+#ifndef DISC_CORE_CLUSTER_TRACKER_H_
+#define DISC_CORE_CLUSTER_TRACKER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/events.h"
+#include "stream/stream_clusterer.h"
+
+namespace disc {
+
+// Lifecycle record of one cluster across window slides.
+struct ClusterLife {
+  ClusterId id = kNoiseCluster;
+  std::size_t born_slide = 0;     // First slide the cluster existed.
+  std::size_t last_slide = 0;     // Most recent slide it was alive.
+  bool alive = false;
+  // How it ended (valid when !alive): merged into another cluster, split off
+  // by nobody (it dissipated), or still running.
+  bool merged_away = false;
+  ClusterId merged_into = kNoiseCluster;
+  // Provenance: the cluster this one split off from, if any.
+  bool split_child = false;
+  ClusterId split_from = kNoiseCluster;
+  std::size_t peak_size = 0;
+  std::size_t current_size = 0;
+};
+
+// Consumes DISC's per-slide evolution events and snapshots and maintains the
+// lifecycle of every cluster: birth, death, provenance (split parent / merge
+// target), and size statistics. This is the bookkeeping a monitoring
+// application (community tracking, congestion analysis) layers on top of the
+// raw clustering — possible with DISC because its cluster ids are stable
+// across slides rather than recomputed.
+class ClusterTracker {
+ public:
+  // Feed once per slide, in order.
+  void Observe(std::size_t slide_index, const std::vector<ClusterEvent>& events,
+               const ClusteringSnapshot& snapshot);
+
+  // Lifecycle of a specific cluster; nullptr when never seen.
+  const ClusterLife* Find(ClusterId id) const;
+
+  // All clusters ever seen (arbitrary order).
+  std::vector<const ClusterLife*> AllClusters() const;
+
+  std::size_t num_alive() const;
+  std::size_t num_ever() const { return lives_.size(); }
+
+ private:
+  ClusterLife& GetOrCreate(ClusterId id, std::size_t slide);
+
+  std::unordered_map<ClusterId, ClusterLife> lives_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_CORE_CLUSTER_TRACKER_H_

@@ -1,0 +1,227 @@
+#include "core/disc.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/timer.h"
+
+namespace disc {
+
+Disc::Disc(std::uint32_t dims, const DiscConfig& config)
+    : config_(config),
+      tree_(dims, config.rtree_max_entries, config.rtree_split_policy) {
+  assert(config.eps > 0.0);
+  assert(config.tau >= 1);
+}
+
+Disc::Record& Disc::GetRecord(PointId id) {
+  auto it = records_.find(id);
+  assert(it != records_.end());
+  return it->second;
+}
+
+void Disc::SearchMarking(const Point& center, std::uint64_t tick,
+                         const RTree::MarkingVisitor& visit) {
+  if (config_.use_epoch_probing) {
+    tree_.EpochRangeSearch(center, config_.eps, tick, visit);
+  } else {
+    tree_.RangeSearch(center, config_.eps,
+                      [&](PointId id, const Point& p) { visit(id, p); });
+  }
+}
+
+void Disc::AddRecheck(PointId id, Record* rec) {
+  if (rec->recheck_serial == update_serial_) return;
+  rec->recheck_serial = update_serial_;
+  recheck_.push_back(id);
+}
+
+void Disc::SetLabel(PointId id, Record* rec, Category category,
+                    ClusterId cid) {
+  if (rec->category == category && rec->cid == cid) return;
+  rec->category = category;
+  rec->cid = cid;
+  if (rec->delta_serial != update_serial_) {
+    rec->delta_serial = update_serial_;
+    delta_.relabeled.push_back(id);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// COLLECT (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+void Disc::Collect(const std::vector<Point>& incoming,
+                   const std::vector<Point>& outgoing,
+                   std::vector<PointId>* ex_cores,
+                   std::vector<PointId>* neo_cores, std::vector<Point>* c_out) {
+  // touched_ records every point whose n_eps changed this update, deduplicated
+  // by marking records under a dedicated traversal serial.
+  const std::uint64_t touch_serial = ++search_serial_;
+  auto touch = [&](PointId id, Record* rec) {
+    if (rec->visit_serial == touch_serial) return;
+    rec->visit_serial = touch_serial;
+    touched_.push_back(id);
+  };
+
+  // --- Points exiting the window (Alg. 1, lines 2-7). ---
+  for (const Point& p : outgoing) {
+    auto it = records_.find(p.id);
+    assert(it != records_.end());
+    if (it == records_.end()) continue;  // Tolerate misuse in release builds.
+    Record& rec = it->second;
+    if (rec.core_prev) {
+      // Ex-cores in Delta_out stay in the R-tree until CLUSTER finishes.
+      c_out->push_back(rec.pt);
+    } else {
+      tree_.Delete(rec.pt);
+    }
+    tree_.RangeSearch(rec.pt, config_.eps, [&](PointId qid, const Point&) {
+      if (qid == p.id) return;
+      auto qit = records_.find(qid);
+      if (qit == records_.end()) return;
+      Record& q = qit->second;
+      if (q.deleted) return;
+      assert(q.n_eps > 0);
+      --q.n_eps;
+      touch(qid, &q);
+    });
+    rec.deleted = true;
+    rec.n_eps = 0;
+    touch(p.id, &rec);
+    delta_.exited.push_back(p.id);
+  }
+
+  // --- Points entering the window (Alg. 1, lines 8-12). ---
+  for (const Point& p : incoming) {
+    if (!IsValidPoint(p) || p.dims != tree_.dims()) {
+      assert(false && "invalid incoming point");
+      continue;  // Reject non-finite or mis-dimensioned points.
+    }
+    auto [it, inserted] = records_.emplace(p.id, Record{});
+    assert(inserted);
+    if (!inserted) continue;  // Duplicate id: ignore.
+    Record& rec = it->second;
+    rec.pt = p;
+    rec.n_eps = 1;  // The neighborhood includes the point itself.
+    rec.delta_serial = update_serial_;  // Listed in `entered`, not `relabeled`.
+    delta_.entered.push_back(p.id);
+    tree_.Insert(p);
+    tree_.RangeSearch(p, config_.eps, [&](PointId qid, const Point&) {
+      if (qid == p.id) return;
+      auto qit = records_.find(qid);
+      if (qit == records_.end()) return;
+      Record& q = qit->second;
+      if (q.deleted) return;
+      ++q.n_eps;
+      ++rec.n_eps;
+      touch(qid, &q);
+      if (q.n_eps >= config_.tau) {
+        // q is a core from here on (n_eps only grows for the rest of this
+        // update), so it can serve as rec's border witness.
+        rec.witness = qid;
+        rec.witness_serial = update_serial_;
+      }
+    });
+    touch(p.id, &rec);
+    // The new point's category is settled by the recheck pass unless the
+    // CLUSTER step labels it first.
+    AddRecheck(p.id, &rec);
+  }
+
+  // --- Ex-core / neo-core identification (Alg. 1, line 13). ---
+  for (PointId id : touched_) {
+    Record& rec = GetRecord(id);
+    if (IsExCore(rec)) {
+      ex_cores->push_back(id);
+    } else if (IsNeoCore(rec)) {
+      neo_cores->push_back(id);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Update orchestration
+// ---------------------------------------------------------------------------
+
+void Disc::Update(const std::vector<Point>& incoming,
+                  const std::vector<Point>& outgoing) {
+  ++update_serial_;
+  events_.clear();
+  metrics_.Reset();
+  recheck_.clear();
+  touched_.clear();
+  delta_.entered.clear();
+  delta_.exited.clear();
+  delta_.relabeled.clear();
+
+  const std::uint64_t searches_at_start = tree_.stats().range_searches;
+
+  std::vector<PointId> ex_cores;
+  std::vector<PointId> neo_cores;
+  std::vector<Point> c_out;
+  Timer phase_timer;
+  Collect(incoming, outgoing, &ex_cores, &neo_cores, &c_out);
+  metrics_.collect_ms = phase_timer.ElapsedMillis();
+
+  metrics_.num_ex_cores = ex_cores.size();
+  metrics_.num_neo_cores = neo_cores.size();
+  metrics_.collect_searches = tree_.stats().range_searches - searches_at_start;
+
+  // CLUSTER (Algorithm 2): splits first, then remove C_out, then mergers.
+  phase_timer.Reset();
+  ProcessExCores(ex_cores);
+  for (const Point& p : c_out) tree_.Delete(p);
+  metrics_.ex_phase_ms = phase_timer.ElapsedMillis();
+  phase_timer.Reset();
+  ProcessNeoCores(neo_cores);
+  metrics_.neo_phase_ms = phase_timer.ElapsedMillis();
+  phase_timer.Reset();
+  RecheckNonCores();
+  metrics_.recheck_ms = phase_timer.ElapsedMillis();
+
+  // Finalize: refresh core_prev for every point whose density changed and
+  // drop the tombstones of exited points.
+  for (PointId id : touched_) {
+    auto it = records_.find(id);
+    if (it == records_.end()) continue;
+    Record& rec = it->second;
+    if (rec.deleted) {
+      records_.erase(it);
+      continue;
+    }
+    rec.core_prev = rec.n_eps >= config_.tau;
+  }
+
+  metrics_.range_searches = tree_.stats().range_searches - searches_at_start;
+  metrics_.cluster_searches =
+      metrics_.range_searches - metrics_.collect_searches;
+}
+
+std::vector<Point> Disc::WindowContents() const {
+  std::vector<Point> out;
+  out.reserve(records_.size());
+  for (const auto& [id, rec] : records_) out.push_back(rec.pt);
+  std::sort(out.begin(), out.end(),
+            [](const Point& a, const Point& b) { return a.id < b.id; });
+  return out;
+}
+
+ClusteringSnapshot Disc::Snapshot() const {
+  ClusteringSnapshot snap;
+  snap.ids.reserve(records_.size());
+  snap.categories.reserve(records_.size());
+  snap.cids.reserve(records_.size());
+  for (const auto& [id, rec] : records_) {
+    assert(!rec.deleted);
+    snap.ids.push_back(id);
+    snap.categories.push_back(rec.category);
+    snap.cids.push_back(rec.category == Category::kNoise
+                            ? kNoiseCluster
+                            : static_cast<const ClusterRegistry&>(registry_)
+                                  .Find(rec.cid));
+  }
+  return snap;
+}
+
+}  // namespace disc

@@ -1,0 +1,23 @@
+#include "core/events.h"
+
+namespace disc {
+
+const char* ToString(ClusterEventType type) {
+  switch (type) {
+    case ClusterEventType::kEmerge:
+      return "emerge";
+    case ClusterEventType::kDissipate:
+      return "dissipate";
+    case ClusterEventType::kSplit:
+      return "split";
+    case ClusterEventType::kShrink:
+      return "shrink";
+    case ClusterEventType::kMerge:
+      return "merge";
+    case ClusterEventType::kGrow:
+      return "grow";
+  }
+  return "unknown";
+}
+
+}  // namespace disc

@@ -1,0 +1,37 @@
+#ifndef DISC_CORE_EVENTS_H_
+#define DISC_CORE_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/stream_clusterer.h"
+
+namespace disc {
+
+// Types of cluster evolution DISC detects while the window slides (Sec. III).
+// Splits/shrinks/dissipations are driven by ex-cores; merges/expansions/
+// emergences by neo-cores.
+enum class ClusterEventType : std::uint8_t {
+  kEmerge,     // A brand-new cluster appears (empty M+).
+  kDissipate,  // A cluster loses all its cores (empty M-).
+  kSplit,      // M- has more than one connected component.
+  kShrink,     // Ex-cores left but the cluster stayed connected.
+  kMerge,      // M+ spans more than one existing cluster.
+  kGrow,       // Neo-cores extended a single existing cluster.
+};
+
+const char* ToString(ClusterEventType type);
+
+// One evolution event observed during an Update call.
+struct ClusterEvent {
+  ClusterEventType type;
+  // Clusters involved: the surviving/receiving cluster first. For kSplit the
+  // list holds the surviving cid followed by the freshly created cids; for
+  // kMerge the absorbing cid followed by the absorbed ones.
+  std::vector<ClusterId> cids;
+};
+
+}  // namespace disc
+
+#endif  // DISC_CORE_EVENTS_H_

@@ -1,0 +1,46 @@
+#include "core/pipeline.h"
+
+namespace disc {
+
+StreamingPipeline::StreamingPipeline(StreamSource* source,
+                                     StreamClusterer* clusterer,
+                                     std::size_t window_size,
+                                     std::size_t stride)
+    : source_(source),
+      clusterer_(clusterer),
+      window_(window_size, stride),
+      stride_(stride) {}
+
+StreamingPipeline::StreamingPipeline(StreamSource* source,
+                                     StreamClusterer* clusterer,
+                                     std::size_t window_size,
+                                     std::size_t stride,
+                                     std::vector<Point> window_contents)
+    : source_(source),
+      clusterer_(clusterer),
+      window_(window_size, stride, std::move(window_contents)),
+      stride_(stride) {}
+
+std::size_t StreamingPipeline::Run(std::size_t max_slides,
+                                   const Observer& observe) {
+  std::size_t executed = 0;
+  for (; executed < max_slides; ++executed) {
+    WindowDelta delta = window_.Advance(source_->NextPoints(stride_));
+    Timer timer;
+    clusterer_->Update(delta.incoming, delta.outgoing);
+    SlideReport report;
+    report.slide_index = slide_index_++;
+    report.window_size = window_.contents().size();
+    report.incoming = delta.incoming.size();
+    report.outgoing = delta.outgoing.size();
+    report.update_ms = timer.ElapsedMillis();
+    report.window_full = window_.full();
+    if (observe && !observe(report)) {
+      ++executed;
+      break;
+    }
+  }
+  return executed;
+}
+
+}  // namespace disc

@@ -1,0 +1,65 @@
+#ifndef DISC_CORE_PIPELINE_H_
+#define DISC_CORE_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/timer.h"
+#include "stream/sliding_window.h"
+#include "stream/stream_clusterer.h"
+#include "stream/stream_source.h"
+
+namespace disc {
+
+// Everything an observer needs to know about one completed slide.
+struct SlideReport {
+  std::size_t slide_index = 0;
+  std::size_t window_size = 0;
+  std::size_t incoming = 0;
+  std::size_t outgoing = 0;
+  double update_ms = 0.0;
+  bool window_full = false;
+};
+
+// Convenience wiring of source -> count-based window -> clusterer, the loop
+// every example and benchmark repeats. Run() pulls strides from the source,
+// advances the window, updates the clusterer, and invokes the observer after
+// each slide; the observer can stop the pipeline early by returning false.
+//
+// The pipeline borrows the source and clusterer (no ownership); both must
+// outlive it.
+class StreamingPipeline {
+ public:
+  // Observer: return false to stop. Called after every slide.
+  using Observer = std::function<bool(const SlideReport&)>;
+
+  StreamingPipeline(StreamSource* source, StreamClusterer* clusterer,
+                    std::size_t window_size, std::size_t stride);
+
+  // Resumption constructor: seeds the window with existing contents (e.g.,
+  // Disc::WindowContents() after LoadCheckpoint) so eviction continues from
+  // where the checkpointed run left off.
+  StreamingPipeline(StreamSource* source, StreamClusterer* clusterer,
+                    std::size_t window_size, std::size_t stride,
+                    std::vector<Point> window_contents);
+
+  // Processes up to max_slides slides (or until the observer stops it).
+  // Returns the number of slides executed. May be called repeatedly; the
+  // window and slide counter persist across calls.
+  std::size_t Run(std::size_t max_slides, const Observer& observe = nullptr);
+
+  const CountBasedWindow& window() const { return window_; }
+  std::size_t slides_run() const { return slide_index_; }
+  StreamClusterer* clusterer() { return clusterer_; }
+
+ private:
+  StreamSource* source_;
+  StreamClusterer* clusterer_;
+  CountBasedWindow window_;
+  std::size_t stride_;
+  std::size_t slide_index_ = 0;
+};
+
+}  // namespace disc
+
+#endif  // DISC_CORE_PIPELINE_H_

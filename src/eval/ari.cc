@@ -1,0 +1,53 @@
+#include "eval/ari.h"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace disc {
+
+namespace {
+
+double Choose2(double n) { return n * (n - 1.0) / 2.0; }
+
+}  // namespace
+
+double AdjustedRandIndex(const std::vector<ClusterId>& a,
+                         const std::vector<ClusterId>& b) {
+  assert(a.size() == b.size());
+  const std::size_t n = a.size();
+  if (n == 0) return 1.0;
+
+  // Contingency table via a hash over (label_a, label_b).
+  std::unordered_map<ClusterId, std::unordered_map<ClusterId, std::int64_t>>
+      table;
+  std::unordered_map<ClusterId, std::int64_t> row_sum;
+  std::unordered_map<ClusterId, std::int64_t> col_sum;
+  for (std::size_t i = 0; i < n; ++i) {
+    ++table[a[i]][b[i]];
+    ++row_sum[a[i]];
+    ++col_sum[b[i]];
+  }
+
+  double sum_ij = 0.0;
+  for (const auto& [ra, row] : table) {
+    for (const auto& [cb, count] : row) {
+      sum_ij += Choose2(static_cast<double>(count));
+    }
+  }
+  double sum_a = 0.0;
+  for (const auto& [ra, count] : row_sum) {
+    sum_a += Choose2(static_cast<double>(count));
+  }
+  double sum_b = 0.0;
+  for (const auto& [cb, count] : col_sum) {
+    sum_b += Choose2(static_cast<double>(count));
+  }
+
+  const double total = Choose2(static_cast<double>(n));
+  const double expected = sum_a * sum_b / total;
+  const double max_index = (sum_a + sum_b) / 2.0;
+  if (max_index == expected) return 1.0;  // Both partitions trivial.
+  return (sum_ij - expected) / (max_index - expected);
+}
+
+}  // namespace disc

@@ -1,0 +1,20 @@
+#ifndef DISC_EVAL_ARI_H_
+#define DISC_EVAL_ARI_H_
+
+#include <vector>
+
+#include "stream/stream_clusterer.h"
+
+namespace disc {
+
+// Adjusted Rand Index of two labelings of the same points (Hubert & Arabie
+// 1985), the quality metric of the paper's Figs. 9 and 10. Values range from
+// about -1 to 1; 1 means identical partitions. Noise (kNoiseCluster) is
+// treated as one ordinary cluster. Returns 1.0 when both labelings are
+// trivially equal (e.g., empty input or both single-cluster).
+double AdjustedRandIndex(const std::vector<ClusterId>& a,
+                         const std::vector<ClusterId>& b);
+
+}  // namespace disc
+
+#endif  // DISC_EVAL_ARI_H_

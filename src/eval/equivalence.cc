@@ -1,0 +1,110 @@
+#include "eval/equivalence.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "eval/partition.h"
+#include "index/grid_index.h"
+
+namespace disc {
+
+namespace {
+
+EquivalenceResult Fail(const std::string& message) {
+  return EquivalenceResult{false, message};
+}
+
+std::string IdStr(PointId id) {
+  std::ostringstream os;
+  os << "point " << id;
+  return os.str();
+}
+
+}  // namespace
+
+EquivalenceResult CheckSameClustering(const ClusteringSnapshot& a,
+                                      const ClusteringSnapshot& b,
+                                      const std::vector<Point>& points,
+                                      double eps) {
+  if (a.size() != b.size()) {
+    return Fail("snapshots differ in size: " + std::to_string(a.size()) +
+                " vs " + std::to_string(b.size()));
+  }
+  const Labeling la = ToLabeling(a);
+  const Labeling lb = ToLabeling(b);
+
+  // 1. Same ids, same categories.
+  for (const auto& [id, cat] : la.category) {
+    auto it = lb.category.find(id);
+    if (it == lb.category.end()) {
+      return Fail(IdStr(id) + " missing from second snapshot");
+    }
+    if (it->second != cat) {
+      return Fail(IdStr(id) + " category differs: " +
+                  std::to_string(static_cast<int>(cat)) + " vs " +
+                  std::to_string(static_cast<int>(it->second)));
+    }
+  }
+
+  // 2. Core partition must be bijective between the two labelings.
+  std::unordered_map<ClusterId, ClusterId> a_to_b;
+  std::unordered_map<ClusterId, ClusterId> b_to_a;
+  for (const auto& [id, cat] : la.category) {
+    if (cat != Category::kCore) continue;
+    const ClusterId ca = la.cid.at(id);
+    const ClusterId cb = lb.cid.at(id);
+    if (ca == kNoiseCluster || cb == kNoiseCluster) {
+      return Fail(IdStr(id) + " is a core without a cluster id");
+    }
+    auto [ita, ins_a] = a_to_b.emplace(ca, cb);
+    if (!ins_a && ita->second != cb) {
+      return Fail(IdStr(id) + " breaks core-partition mapping (A side)");
+    }
+    auto [itb, ins_b] = b_to_a.emplace(cb, ca);
+    if (!ins_b && itb->second != ca) {
+      return Fail(IdStr(id) + " breaks core-partition mapping (B side)");
+    }
+  }
+
+  // 3. Border labels must be justified by an adjacent core in each snapshot.
+  std::unordered_map<PointId, const Point*> coords;
+  coords.reserve(points.size());
+  for (const Point& p : points) coords[p.id] = &p;
+  const std::uint32_t dims = points.empty() ? 2 : points[0].dims;
+  GridIndex cores_index(dims, eps);
+  for (const Point& p : points) {
+    auto it = la.category.find(p.id);
+    if (it != la.category.end() && it->second == Category::kCore) {
+      cores_index.Insert(p);
+    }
+  }
+  for (const auto& [id, cat] : la.category) {
+    if (cat != Category::kBorder) continue;
+    auto cit = coords.find(id);
+    if (cit == coords.end()) {
+      return Fail(IdStr(id) + " not present in the window point list");
+    }
+    const Point& p = *cit->second;
+    const ClusterId ca = la.cid.at(id);
+    const ClusterId cb = lb.cid.at(id);
+    if (ca == kNoiseCluster || cb == kNoiseCluster) {
+      return Fail(IdStr(id) + " is a border without a cluster id");
+    }
+    bool justified_a = false;
+    bool justified_b = false;
+    cores_index.RangeSearch(p, eps, [&](PointId qid, const Point&) {
+      if (qid == id) return;
+      if (la.cid.at(qid) == ca) justified_a = true;
+      if (lb.cid.at(qid) == cb) justified_b = true;
+    });
+    if (!justified_a) {
+      return Fail(IdStr(id) + " border label unjustified in first snapshot");
+    }
+    if (!justified_b) {
+      return Fail(IdStr(id) + " border label unjustified in second snapshot");
+    }
+  }
+  return EquivalenceResult{};
+}
+
+}  // namespace disc

@@ -1,0 +1,36 @@
+#ifndef DISC_EVAL_EQUIVALENCE_H_
+#define DISC_EVAL_EQUIVALENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/point.h"
+#include "stream/stream_clusterer.h"
+
+namespace disc {
+
+// Result of an exactness comparison. `ok` is true when the two snapshots
+// describe the same DBSCAN clustering; otherwise `error` names the first
+// discrepancy found.
+struct EquivalenceResult {
+  bool ok = true;
+  std::string error;
+};
+
+// Verifies that two snapshots over the same window are the *same* DBSCAN
+// clustering in the sense of the paper's exactness claim:
+//  1. identical point sets and identical {core, border, noise} categories;
+//  2. identical partitions of the core points into clusters;
+//  3. every border point is labeled with the cluster of one of its
+//     eps-adjacent cores in *both* snapshots (DBSCAN leaves the choice among
+//     adjacent clusters to visit order, so differing border cids are legal
+//     as long as each is justified by an adjacent core).
+// `points` must contain the window contents (used for the adjacency checks).
+EquivalenceResult CheckSameClustering(const ClusteringSnapshot& a,
+                                      const ClusteringSnapshot& b,
+                                      const std::vector<Point>& points,
+                                      double eps);
+
+}  // namespace disc
+
+#endif  // DISC_EVAL_EQUIVALENCE_H_

@@ -1,0 +1,85 @@
+#include "eval/kdistance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+#include "index/rtree.h"
+
+namespace disc {
+
+std::vector<double> KDistanceGraph(const std::vector<Point>& points,
+                                   std::uint32_t k, std::size_t sample,
+                                   std::uint64_t seed) {
+  std::vector<double> graph;
+  if (points.empty() || k == 0) return graph;
+  const std::uint32_t dims = points[0].dims;
+  RTree tree(dims);
+  tree.BulkLoad(points);
+
+  // Choose the evaluation subset.
+  std::vector<std::size_t> chosen;
+  if (sample == 0 || sample >= points.size()) {
+    chosen.resize(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) chosen[i] = i;
+  } else {
+    Rng rng(seed);
+    chosen.reserve(sample);
+    for (std::size_t i = 0; i < sample; ++i) {
+      chosen.push_back(static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(points.size()) - 1)));
+    }
+  }
+
+  graph.reserve(chosen.size());
+  for (std::size_t idx : chosen) {
+    // k+1 because the query point itself is returned at distance 0.
+    const std::vector<RTree::Neighbor> nn =
+        tree.NearestNeighbors(points[idx], k + 1);
+    if (nn.size() == k + 1) {
+      graph.push_back(nn.back().distance);
+    } else if (!nn.empty()) {
+      graph.push_back(nn.back().distance);  // Fewer than k other points.
+    }
+  }
+  std::sort(graph.begin(), graph.end());
+  return graph;
+}
+
+std::size_t KneeIndex(const std::vector<double>& curve) {
+  if (curve.size() < 3) return 0;
+  const double x0 = 0.0;
+  const double y0 = curve.front();
+  const double x1 = static_cast<double>(curve.size() - 1);
+  const double y1 = curve.back();
+  const double dx = x1 - x0;
+  const double dy = y1 - y0;
+  const double norm = std::sqrt(dx * dx + dy * dy);
+  if (norm == 0.0) return curve.size() / 2;
+  std::size_t best = 0;
+  double best_dist = -1.0;
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    // Perpendicular distance from (i, curve[i]) to the chord.
+    const double d =
+        std::abs(dy * (static_cast<double>(i) - x0) - dx * (curve[i] - y0)) /
+        norm;
+    if (d > best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+ParameterSuggestion SuggestParameters(const std::vector<Point>& points,
+                                      std::uint32_t k, std::size_t sample) {
+  ParameterSuggestion suggestion;
+  suggestion.tau = k + 1;
+  const std::vector<double> graph = KDistanceGraph(points, k, sample);
+  if (graph.empty()) return suggestion;
+  suggestion.eps = graph[KneeIndex(graph)];
+  return suggestion;
+}
+
+}  // namespace disc

@@ -1,0 +1,40 @@
+#ifndef DISC_EVAL_KDISTANCE_H_
+#define DISC_EVAL_KDISTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/point.h"
+
+namespace disc {
+
+// K-distance graph utilities — the eps-selection method the paper uses for
+// GeoLife/COVID/IRIS ("we adopted the parameter settings used by the
+// previous work based on a K-distance graph [13], [19]").
+
+// Distance from each (sampled) point to its k-th nearest *other* point,
+// sorted ascending. `sample` caps how many points are evaluated (0 = all);
+// sampling keeps the tool usable on large windows.
+std::vector<double> KDistanceGraph(const std::vector<Point>& points,
+                                   std::uint32_t k, std::size_t sample = 0,
+                                   std::uint64_t seed = 1);
+
+// Index of the "knee" of an ascending curve: the point with maximum distance
+// below the chord from first to last value. Returns 0 for curves shorter
+// than 3 points.
+std::size_t KneeIndex(const std::vector<double>& curve);
+
+// Suggested DBSCAN/DISC parameters for a dataset: eps at the knee of the
+// k-distance graph, and the matching density threshold tau = k + 1 (this
+// library counts the point itself in its neighborhood).
+struct ParameterSuggestion {
+  double eps = 0.0;
+  std::uint32_t tau = 0;
+};
+ParameterSuggestion SuggestParameters(const std::vector<Point>& points,
+                                      std::uint32_t k,
+                                      std::size_t sample = 2000);
+
+}  // namespace disc
+
+#endif  // DISC_EVAL_KDISTANCE_H_

@@ -1,0 +1,57 @@
+#include "eval/partition.h"
+
+#include <algorithm>
+
+namespace disc {
+
+Labeling ToLabeling(const ClusteringSnapshot& snap) {
+  Labeling l;
+  l.cid.reserve(snap.size());
+  l.category.reserve(snap.size());
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    l.cid[snap.ids[i]] = snap.cids[i];
+    l.category[snap.ids[i]] = snap.categories[i];
+  }
+  return l;
+}
+
+void Canonicalize(const ClusteringSnapshot& snap, std::vector<PointId>* ids,
+                  std::vector<ClusterId>* cids) {
+  std::vector<std::size_t> order(snap.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return snap.ids[a] < snap.ids[b];
+  });
+  std::unordered_map<ClusterId, ClusterId> rename;
+  ids->clear();
+  cids->clear();
+  ids->reserve(order.size());
+  cids->reserve(order.size());
+  for (std::size_t i : order) {
+    ids->push_back(snap.ids[i]);
+    const ClusterId c = snap.cids[i];
+    if (c == kNoiseCluster) {
+      cids->push_back(kNoiseCluster);
+      continue;
+    }
+    auto [it, inserted] =
+        rename.emplace(c, static_cast<ClusterId>(rename.size()));
+    cids->push_back(it->second);
+  }
+}
+
+std::vector<ClusterId> LabelsFor(const ClusteringSnapshot& snap,
+                                 const std::vector<PointId>& ids) {
+  std::unordered_map<PointId, ClusterId> map;
+  map.reserve(snap.size());
+  for (std::size_t i = 0; i < snap.size(); ++i) map[snap.ids[i]] = snap.cids[i];
+  std::vector<ClusterId> out;
+  out.reserve(ids.size());
+  for (PointId id : ids) {
+    auto it = map.find(id);
+    out.push_back(it == map.end() ? kNoiseCluster : it->second);
+  }
+  return out;
+}
+
+}  // namespace disc

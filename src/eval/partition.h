@@ -1,0 +1,35 @@
+#ifndef DISC_EVAL_PARTITION_H_
+#define DISC_EVAL_PARTITION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/stream_clusterer.h"
+
+namespace disc {
+
+// A labeling keyed by point id, convenient for comparing snapshots whose
+// iteration orders differ.
+struct Labeling {
+  std::unordered_map<PointId, ClusterId> cid;
+  std::unordered_map<PointId, Category> category;
+};
+
+// Converts a snapshot into a Labeling.
+Labeling ToLabeling(const ClusteringSnapshot& snap);
+
+// Renumbers cluster ids to 0..k-1 in order of first appearance when ids are
+// sorted by point id, so equal partitions produce equal vectors. Noise stays
+// kNoiseCluster. Returns (sorted ids, canonical cids).
+void Canonicalize(const ClusteringSnapshot& snap, std::vector<PointId>* ids,
+                  std::vector<ClusterId>* cids);
+
+// Extracts the cluster labels of `snap` ordered by the given point ids.
+// Points missing from the snapshot get kNoiseCluster.
+std::vector<ClusterId> LabelsFor(const ClusteringSnapshot& snap,
+                                 const std::vector<PointId>& ids);
+
+}  // namespace disc
+
+#endif  // DISC_EVAL_PARTITION_H_

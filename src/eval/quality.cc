@@ -1,0 +1,102 @@
+#include "eval/quality.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+namespace disc {
+
+namespace {
+
+using Contingency =
+    std::unordered_map<ClusterId, std::unordered_map<ClusterId, double>>;
+
+Contingency BuildContingency(const std::vector<ClusterId>& a,
+                             const std::vector<ClusterId>& b,
+                             std::unordered_map<ClusterId, double>* row_sums,
+                             std::unordered_map<ClusterId, double>* col_sums) {
+  Contingency table;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    table[a[i]][b[i]] += 1.0;
+    (*row_sums)[a[i]] += 1.0;
+    (*col_sums)[b[i]] += 1.0;
+  }
+  return table;
+}
+
+double Choose2(double n) { return n * (n - 1.0) / 2.0; }
+
+}  // namespace
+
+double Purity(const std::vector<ClusterId>& predicted,
+              const std::vector<ClusterId>& truth) {
+  assert(predicted.size() == truth.size());
+  if (predicted.empty()) return 1.0;
+  std::unordered_map<ClusterId, double> rows, cols;
+  const Contingency table = BuildContingency(predicted, truth, &rows, &cols);
+  double majority_total = 0.0;
+  for (const auto& [cluster, row] : table) {
+    double majority = 0.0;
+    for (const auto& [label, count] : row) {
+      if (count > majority) majority = count;
+    }
+    majority_total += majority;
+  }
+  return majority_total / static_cast<double>(predicted.size());
+}
+
+double NormalizedMutualInformation(const std::vector<ClusterId>& predicted,
+                                   const std::vector<ClusterId>& truth) {
+  assert(predicted.size() == truth.size());
+  const double n = static_cast<double>(predicted.size());
+  if (predicted.empty()) return 1.0;
+  std::unordered_map<ClusterId, double> rows, cols;
+  const Contingency table = BuildContingency(predicted, truth, &rows, &cols);
+
+  double h_p = 0.0, h_t = 0.0, mi = 0.0;
+  for (const auto& [cluster, count] : rows) {
+    const double p = count / n;
+    h_p -= p * std::log(p);
+  }
+  for (const auto& [label, count] : cols) {
+    const double p = count / n;
+    h_t -= p * std::log(p);
+  }
+  for (const auto& [cluster, row] : table) {
+    for (const auto& [label, count] : row) {
+      const double p_joint = count / n;
+      const double p_row = rows.at(cluster) / n;
+      const double p_col = cols.at(label) / n;
+      mi += p_joint * std::log(p_joint / (p_row * p_col));
+    }
+  }
+  if (h_p == 0.0 && h_t == 0.0) return 1.0;  // Both trivial partitions.
+  if (h_p == 0.0 || h_t == 0.0) return 0.0;  // Exactly one trivial.
+  return mi / std::sqrt(h_p * h_t);
+}
+
+PairCounts PairwiseF1(const std::vector<ClusterId>& predicted,
+                      const std::vector<ClusterId>& truth) {
+  assert(predicted.size() == truth.size());
+  PairCounts out;
+  std::unordered_map<ClusterId, double> rows, cols;
+  const Contingency table = BuildContingency(predicted, truth, &rows, &cols);
+
+  double both = 0.0;  // Pairs clustered together in both labelings.
+  for (const auto& [cluster, row] : table) {
+    for (const auto& [label, count] : row) both += Choose2(count);
+  }
+  double in_predicted = 0.0, in_truth = 0.0;
+  for (const auto& [cluster, count] : rows) in_predicted += Choose2(count);
+  for (const auto& [label, count] : cols) in_truth += Choose2(count);
+
+  out.precision = in_predicted > 0.0 ? both / in_predicted : 1.0;
+  out.recall = in_truth > 0.0 ? both / in_truth : 1.0;
+  out.f1 = (out.precision + out.recall) > 0.0
+               ? 2.0 * out.precision * out.recall /
+                     (out.precision + out.recall)
+               : 0.0;
+  return out;
+}
+
+}  // namespace disc

@@ -1,0 +1,39 @@
+#ifndef DISC_EVAL_QUALITY_H_
+#define DISC_EVAL_QUALITY_H_
+
+#include <vector>
+
+#include "stream/stream_clusterer.h"
+
+namespace disc {
+
+// Clustering-quality metrics beyond ARI, as used across the stream-clustering
+// comparison literature (e.g., Carnein et al., ref. [38] of the paper). All
+// take two labelings of the same points, aligned by index: `predicted` vs
+// `truth`. Noise (kNoiseCluster) is treated as one ordinary label, matching
+// eval/ari.h.
+
+// Fraction of points whose predicted cluster's majority-truth label matches
+// their own truth label. In [0, 1]; 1 iff every predicted cluster is pure.
+double Purity(const std::vector<ClusterId>& predicted,
+              const std::vector<ClusterId>& truth);
+
+// Normalized mutual information: I(P;T) / sqrt(H(P) * H(T)). In [0, 1];
+// 1 for identical partitions; defined as 1 when both are single-cluster and
+// 0 when exactly one is trivial.
+double NormalizedMutualInformation(const std::vector<ClusterId>& predicted,
+                                   const std::vector<ClusterId>& truth);
+
+// Precision/recall/F1 over point pairs: a pair is positive when both points
+// share a cluster. The classic pair-counting view of clustering accuracy.
+struct PairCounts {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+PairCounts PairwiseF1(const std::vector<ClusterId>& predicted,
+                      const std::vector<ClusterId>& truth);
+
+}  // namespace disc
+
+#endif  // DISC_EVAL_QUALITY_H_

@@ -1,0 +1,140 @@
+#include "eval/runner.h"
+
+#include <cassert>
+
+#include "baselines/dbscan.h"
+#include "common/timer.h"
+#include "eval/ari.h"
+#include "eval/quality.h"
+#include "eval/partition.h"
+#include "stream/sliding_window.h"
+
+namespace disc {
+
+StreamData MakeStreamData(StreamSource& source, std::size_t window,
+                          std::size_t stride, int warmup_slides,
+                          int measured_slides) {
+  StreamData data;
+  data.window = window;
+  data.stride = stride;
+  const std::size_t fill = (window + stride - 1) / stride;
+  const std::size_t total =
+      (fill + static_cast<std::size_t>(warmup_slides) +
+       static_cast<std::size_t>(measured_slides)) *
+      stride;
+  data.points = source.NextBatch(total);
+  return data;
+}
+
+namespace {
+
+// Ids of the points in the window right after slide `s` (0-based).
+std::vector<Point> StrideSlice(const StreamData& data, std::size_t slide) {
+  std::vector<Point> out;
+  out.reserve(data.stride);
+  for (std::size_t i = slide * data.stride; i < (slide + 1) * data.stride;
+       ++i) {
+    out.push_back(data.points[i].point);
+  }
+  return out;
+}
+
+}  // namespace
+
+MethodStats RunMethod(const StreamData& data, StreamClusterer* method,
+                      const MeasureOptions& options) {
+  MethodStats stats;
+  stats.name = method->name();
+  CountBasedWindow window(data.window, data.stride);
+  const std::size_t total_slides = data.num_slides();
+  const std::size_t timed_from =
+      data.fill_slides() + static_cast<std::size_t>(options.warmup_slides);
+  assert(timed_from < total_slides);
+
+  double total_ms = 0.0;
+  double total_searches = 0.0;
+  double total_ari_truth = 0.0;
+  double total_ari_ref = 0.0;
+  double total_purity_truth = 0.0;
+  double total_nmi_truth = 0.0;
+  double total_purity_ref = 0.0;
+  double total_nmi_ref = 0.0;
+  std::size_t measured = 0;
+
+  for (std::size_t s = 0; s < total_slides; ++s) {
+    WindowDelta delta = window.Advance(StrideSlice(data, s));
+    const bool timed = s >= timed_from;
+    Timer timer;
+    method->Update(delta.incoming, delta.outgoing);
+    const double ms = timer.ElapsedMillis();
+    if (!timed) continue;
+    total_ms += ms;
+    if (options.searches_probe) {
+      total_searches += static_cast<double>(options.searches_probe());
+    }
+    if (options.ari_vs_truth || options.reference_snapshots != nullptr) {
+      const ClusteringSnapshot snap = method->Snapshot();
+      std::vector<PointId> ids;
+      ids.reserve(window.contents().size());
+      for (const Point& p : window.contents()) ids.push_back(p.id);
+      const std::vector<ClusterId> labels = LabelsFor(snap, ids);
+      if (options.ari_vs_truth) {
+        std::vector<ClusterId> truth;
+        truth.reserve(ids.size());
+        const std::size_t base = (s + 1) * data.stride - window.contents().size();
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          truth.push_back(data.points[base + i].true_label);
+        }
+        total_ari_truth += AdjustedRandIndex(labels, truth);
+        total_purity_truth += Purity(labels, truth);
+        total_nmi_truth += NormalizedMutualInformation(labels, truth);
+      }
+      if (options.reference_snapshots != nullptr) {
+        const std::size_t ref_idx = measured;
+        assert(ref_idx < options.reference_snapshots->size());
+        const std::vector<ClusterId> ref_labels =
+            LabelsFor((*options.reference_snapshots)[ref_idx], ids);
+        total_ari_ref += AdjustedRandIndex(labels, ref_labels);
+        total_purity_ref += Purity(labels, ref_labels);
+        total_nmi_ref += NormalizedMutualInformation(labels, ref_labels);
+      }
+    }
+    ++measured;
+  }
+
+  stats.measured_slides = measured;
+  if (measured > 0) {
+    stats.avg_update_ms = total_ms / static_cast<double>(measured);
+    stats.per_point_latency_us =
+        stats.avg_update_ms * 1000.0 / static_cast<double>(data.stride);
+    stats.avg_range_searches = total_searches / static_cast<double>(measured);
+    stats.avg_ari_truth = total_ari_truth / static_cast<double>(measured);
+    stats.avg_ari_reference = total_ari_ref / static_cast<double>(measured);
+    stats.avg_purity_truth = total_purity_truth / static_cast<double>(measured);
+    stats.avg_nmi_truth = total_nmi_truth / static_cast<double>(measured);
+    stats.avg_purity_reference =
+        total_purity_ref / static_cast<double>(measured);
+    stats.avg_nmi_reference = total_nmi_ref / static_cast<double>(measured);
+  }
+  return stats;
+}
+
+std::vector<ClusteringSnapshot> DbscanReference(const StreamData& data,
+                                                double eps, std::uint32_t tau,
+                                                int warmup_slides) {
+  std::vector<ClusteringSnapshot> refs;
+  CountBasedWindow window(data.window, data.stride);
+  const std::size_t total_slides = data.num_slides();
+  const std::size_t timed_from =
+      data.fill_slides() + static_cast<std::size_t>(warmup_slides);
+  for (std::size_t s = 0; s < total_slides; ++s) {
+    window.Advance(StrideSlice(data, s));
+    if (s < timed_from) continue;
+    std::vector<Point> contents(window.contents().begin(),
+                                window.contents().end());
+    refs.push_back(RunDbscan(contents, eps, tau).snapshot);
+  }
+  return refs;
+}
+
+}  // namespace disc

@@ -1,0 +1,76 @@
+#ifndef DISC_EVAL_RUNNER_H_
+#define DISC_EVAL_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/stream_clusterer.h"
+#include "stream/stream_source.h"
+
+namespace disc {
+
+// A pre-generated stream prefix, so every method measured in a figure is
+// driven by the identical point sequence.
+struct StreamData {
+  std::vector<LabeledPoint> points;
+  std::size_t window = 0;
+  std::size_t stride = 0;
+
+  std::size_t num_slides() const { return points.size() / stride; }
+  // Slides needed before the window is full.
+  std::size_t fill_slides() const { return (window + stride - 1) / stride; }
+};
+
+// Pulls window-fill + (warmup + measured) strides from the source.
+StreamData MakeStreamData(StreamSource& source, std::size_t window,
+                          std::size_t stride, int warmup_slides,
+                          int measured_slides);
+
+// Measurement knobs for RunMethod.
+struct MeasureOptions {
+  // Extra settle slides after the window fills and before timing starts.
+  int warmup_slides = 1;
+  // Per-update range-search counter (e.g., [&] { return m.last_metrics()
+  // .range_searches; }); leave empty when the method has none.
+  std::function<std::uint64_t()> searches_probe;
+  // Average ARI of the method's snapshots against the generator's true
+  // labels over the measured slides.
+  bool ari_vs_truth = false;
+  // Reference snapshots (one per measured slide, e.g., from DbscanReference)
+  // to ARI against — the paper's Fig. 10 protocol.
+  const std::vector<ClusteringSnapshot>* reference_snapshots = nullptr;
+};
+
+// Aggregated per-method measurements over the measured slides.
+struct MethodStats {
+  std::string name;
+  std::size_t measured_slides = 0;
+  double avg_update_ms = 0.0;       // Mean elapsed time per slide.
+  double per_point_latency_us = 0.0;  // avg_update_ms / stride, in usec.
+  double avg_range_searches = 0.0;
+  double avg_ari_truth = 0.0;
+  double avg_ari_reference = 0.0;
+  // Companion quality metrics (eval/quality.h), averaged over the measured
+  // slides against the same labels as the corresponding ARI.
+  double avg_purity_truth = 0.0;
+  double avg_nmi_truth = 0.0;
+  double avg_purity_reference = 0.0;
+  double avg_nmi_reference = 0.0;
+};
+
+// Replays `data` through `method`: fill + warmup slides untimed, remaining
+// slides timed. Snapshot extraction is excluded from the timings.
+MethodStats RunMethod(const StreamData& data, StreamClusterer* method,
+                      const MeasureOptions& options);
+
+// Fresh-DBSCAN snapshots for each measured slide of `data` (used as the ARI
+// reference for datasets without ground truth, per the paper's Sec. VI-E).
+std::vector<ClusteringSnapshot> DbscanReference(const StreamData& data,
+                                                double eps, std::uint32_t tau,
+                                                int warmup_slides);
+
+}  // namespace disc
+
+#endif  // DISC_EVAL_RUNNER_H_

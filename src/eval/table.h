@@ -1,0 +1,33 @@
+#ifndef DISC_EVAL_TABLE_H_
+#define DISC_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace disc {
+
+// Minimal aligned-text table used by the benchmark binaries to print the
+// rows/series of each paper figure, plus a CSV dump for plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience for mixed numeric rows.
+  static std::string Num(double v, int precision = 3);
+
+  // Aligned, human-readable rendering.
+  std::string ToText() const;
+
+  // Comma-separated rendering (header + rows).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_EVAL_TABLE_H_

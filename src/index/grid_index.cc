@@ -1,0 +1,96 @@
+#include "index/grid_index.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace disc {
+
+GridIndex::GridIndex(std::uint32_t dims, double cell_side)
+    : dims_(dims), cell_side_(cell_side) {
+  assert(dims >= 1 && dims <= static_cast<std::uint32_t>(kMaxDims));
+  assert(cell_side > 0.0);
+}
+
+CellCoord GridIndex::CellOf(const Point& p) const {
+  CellCoord cc;
+  cc.dims = dims_;
+  for (std::uint32_t i = 0; i < dims_; ++i) {
+    cc.c[i] = static_cast<std::int64_t>(std::floor(p.x[i] / cell_side_));
+  }
+  return cc;
+}
+
+void GridIndex::Insert(const Point& p) {
+  assert(p.dims == dims_);
+  cells_[CellOf(p)].push_back(p);
+  ++size_;
+}
+
+bool GridIndex::Delete(const Point& p) {
+  auto it = cells_.find(CellOf(p));
+  if (it == cells_.end()) return false;
+  std::vector<Point>& pts = it->second;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].id == p.id) {
+      pts[i] = pts.back();
+      pts.pop_back();
+      if (pts.empty()) cells_.erase(it);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void GridIndex::RangeSearch(const Point& center, double eps,
+                            const Visitor& visit) const {
+  const double eps2 = eps * eps;
+  const auto radius =
+      static_cast<std::int64_t>(std::ceil(eps / cell_side_));
+  ForEachNeighborCell(
+      CellOf(center), radius,
+      [&](const CellCoord&, const std::vector<Point>& pts) {
+        for (const Point& p : pts) {
+          if (SquaredDistance(p, center) <= eps2) visit(p.id, p);
+        }
+      });
+}
+
+std::size_t GridIndex::RangeCount(const Point& center, double eps) const {
+  std::size_t n = 0;
+  RangeSearch(center, eps, [&](PointId, const Point&) { ++n; });
+  return n;
+}
+
+void GridIndex::ForEachNeighborCell(const CellCoord& cell, std::int64_t radius,
+                                    const CellVisitor& visit) const {
+  // Iterate the (2*radius+1)^dims neighborhood with an odometer.
+  std::array<std::int64_t, kMaxDims> offset{};
+  for (std::uint32_t i = 0; i < dims_; ++i) offset[i] = -radius;
+  while (true) {
+    CellCoord cc;
+    cc.dims = dims_;
+    for (std::uint32_t i = 0; i < dims_; ++i) cc.c[i] = cell.c[i] + offset[i];
+    auto it = cells_.find(cc);
+    if (it != cells_.end()) visit(cc, it->second);
+    // Advance odometer.
+    std::uint32_t d = 0;
+    while (d < dims_) {
+      if (++offset[d] <= radius) break;
+      offset[d] = -radius;
+      ++d;
+    }
+    if (d == dims_) break;
+  }
+}
+
+void GridIndex::ForEachCell(const CellVisitor& visit) const {
+  for (const auto& [coord, pts] : cells_) visit(coord, pts);
+}
+
+const std::vector<Point>* GridIndex::CellContents(const CellCoord& cell) const {
+  auto it = cells_.find(cell);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+}  // namespace disc

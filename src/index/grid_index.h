@@ -1,0 +1,84 @@
+#ifndef DISC_INDEX_GRID_INDEX_H_
+#define DISC_INDEX_GRID_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/point.h"
+
+namespace disc {
+
+// Integer coordinates of a grid cell.
+struct CellCoord {
+  std::array<std::int64_t, kMaxDims> c{};
+  std::uint32_t dims = 2;
+
+  bool operator==(const CellCoord& other) const {
+    for (std::uint32_t i = 0; i < dims; ++i) {
+      if (c[i] != other.c[i]) return false;
+    }
+    return true;
+  }
+};
+
+struct CellCoordHash {
+  std::size_t operator()(const CellCoord& cc) const {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::uint32_t i = 0; i < cc.dims; ++i) {
+      h ^= static_cast<std::uint64_t>(cc.c[i]);
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+// Uniform hash grid over points with a fixed cell side length. Substrate for
+// the rho-double-approximate DBSCAN baseline (whose cells have side
+// eps/sqrt(d)) and a simple alternative neighborhood index for tests.
+class GridIndex {
+ public:
+  using Visitor = std::function<void(PointId, const Point&)>;
+  using CellVisitor =
+      std::function<void(const CellCoord&, const std::vector<Point>&)>;
+
+  GridIndex(std::uint32_t dims, double cell_side);
+
+  void Insert(const Point& p);
+  // Removes the point with p's id from p's cell. Returns false if absent.
+  bool Delete(const Point& p);
+
+  CellCoord CellOf(const Point& p) const;
+
+  // Visits every point within Euclidean distance eps of center.
+  void RangeSearch(const Point& center, double eps, const Visitor& visit) const;
+
+  // Counts points within Euclidean distance eps of center.
+  std::size_t RangeCount(const Point& center, double eps) const;
+
+  // Visits every non-empty cell whose integer coordinates differ from `cell`
+  // by at most `radius` in every dimension (including `cell` itself).
+  void ForEachNeighborCell(const CellCoord& cell, std::int64_t radius,
+                           const CellVisitor& visit) const;
+
+  // Visits every non-empty cell.
+  void ForEachCell(const CellVisitor& visit) const;
+
+  const std::vector<Point>* CellContents(const CellCoord& cell) const;
+
+  std::size_t size() const { return size_; }
+  double cell_side() const { return cell_side_; }
+  std::uint32_t dims() const { return dims_; }
+  std::size_t num_cells() const { return cells_.size(); }
+
+ private:
+  std::uint32_t dims_;
+  double cell_side_;
+  std::size_t size_ = 0;
+  std::unordered_map<CellCoord, std::vector<Point>, CellCoordHash> cells_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_INDEX_GRID_INDEX_H_

@@ -1,0 +1,720 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace disc {
+
+namespace {
+
+constexpr std::uint64_t kNeverVisited = 0;
+
+}  // namespace
+
+// A node entry either references a child node (internal) or an indexed point
+// (leaf). `epoch` implements Algorithm 4: for a leaf entry it is the tick of
+// the last marking search that visited the point; for an internal entry it is
+// the minimum epoch over the child node's entries.
+struct RTree::Entry {
+  Rect rect;
+  Node* child = nullptr;
+  PointId id = 0;
+  std::uint64_t epoch = kNeverVisited;
+};
+
+struct RTree::Node {
+  bool leaf = true;
+  std::vector<Entry> entries;
+};
+
+namespace {
+
+Rect PointRect(const Point& p) {
+  Rect r;
+  r.lo = p.x;
+  r.hi = p.x;
+  return r;
+}
+
+Point EntryPoint(const Rect& rect, PointId id, std::uint32_t dims) {
+  Point p;
+  p.id = id;
+  p.dims = dims;
+  p.x = rect.lo;
+  return p;
+}
+
+double RectArea(const Rect& r, std::uint32_t dims) {
+  double area = 1.0;
+  for (std::uint32_t i = 0; i < dims; ++i) area *= r.hi[i] - r.lo[i];
+  return area;
+}
+
+Rect RectUnion(const Rect& a, const Rect& b, std::uint32_t dims) {
+  Rect r;
+  for (std::uint32_t i = 0; i < dims; ++i) {
+    r.lo[i] = std::min(a.lo[i], b.lo[i]);
+    r.hi[i] = std::max(a.hi[i], b.hi[i]);
+  }
+  return r;
+}
+
+double Enlargement(const Rect& r, const Rect& add, std::uint32_t dims) {
+  return RectArea(RectUnion(r, add, dims), dims) - RectArea(r, dims);
+}
+
+bool RectContains(const Rect& outer, const Rect& inner, std::uint32_t dims) {
+  for (std::uint32_t i = 0; i < dims; ++i) {
+    if (inner.lo[i] < outer.lo[i] || inner.hi[i] > outer.hi[i]) return false;
+  }
+  return true;
+}
+
+// Squared distance from `center` to the nearest boundary of `rect`; zero when
+// the center lies inside. A rect intersects the eps-ball iff this <= eps^2.
+double MinSquaredDistance(const Rect& rect, const Point& center) {
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < center.dims; ++i) {
+    double d = 0.0;
+    if (center.x[i] < rect.lo[i]) {
+      d = rect.lo[i] - center.x[i];
+    } else if (center.x[i] > rect.hi[i]) {
+      d = center.x[i] - rect.hi[i];
+    }
+    sum += d * d;
+  }
+  return sum;
+}
+
+double SquaredDistanceToEntryPoint(const Rect& rect, const Point& center) {
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < center.dims; ++i) {
+    const double d = rect.lo[i] - center.x[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+RTree::RTree(std::uint32_t dims, int max_entries, SplitPolicy split_policy)
+    : dims_(dims),
+      max_entries_(max_entries),
+      min_entries_(std::max(2, max_entries / 4)),
+      split_policy_(split_policy),
+      root_(new Node{}) {
+  assert(dims >= 1 && dims <= static_cast<std::uint32_t>(kMaxDims));
+  assert(max_entries >= 4);
+}
+
+RTree::~RTree() { FreeSubtree(root_); }
+
+void RTree::Clear() {
+  FreeSubtree(root_);
+  root_ = new Node{};
+  size_ = 0;
+}
+
+void RTree::FreeSubtree(Node* node) {
+  if (!node->leaf) {
+    for (Entry& e : node->entries) FreeSubtree(e.child);
+  }
+  delete node;
+}
+
+// ---------------------------------------------------------------------------
+// Insertion
+// ---------------------------------------------------------------------------
+
+RTree::Node* RTree::InsertRecurse(Node* node, const Point& p) {
+  if (node->leaf) {
+    Entry e;
+    e.rect = PointRect(p);
+    e.id = p.id;
+    node->entries.push_back(e);
+  } else {
+    // Choose the subtree needing the least area enlargement (ties broken by
+    // smaller area).
+    std::size_t best = 0;
+    double best_enlarge = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    const Rect prect = PointRect(p);
+    for (std::size_t i = 0; i < node->entries.size(); ++i) {
+      const double enlarge = Enlargement(node->entries[i].rect, prect, dims_);
+      const double area = RectArea(node->entries[i].rect, dims_);
+      if (enlarge < best_enlarge ||
+          (enlarge == best_enlarge && area < best_area)) {
+        best = i;
+        best_enlarge = enlarge;
+        best_area = area;
+      }
+    }
+    Entry& chosen = node->entries[best];
+    Node* sibling = InsertRecurse(chosen.child, p);
+    // Refresh rect and epoch of the chosen entry.
+    chosen.rect = chosen.child->entries[0].rect;
+    chosen.epoch = chosen.child->entries[0].epoch;
+    for (std::size_t i = 1; i < chosen.child->entries.size(); ++i) {
+      chosen.rect = RectUnion(chosen.rect, chosen.child->entries[i].rect, dims_);
+      chosen.epoch = std::min(chosen.epoch, chosen.child->entries[i].epoch);
+    }
+    if (sibling != nullptr) {
+      Entry se;
+      se.child = sibling;
+      se.rect = sibling->entries[0].rect;
+      se.epoch = sibling->entries[0].epoch;
+      for (std::size_t i = 1; i < sibling->entries.size(); ++i) {
+        se.rect = RectUnion(se.rect, sibling->entries[i].rect, dims_);
+        se.epoch = std::min(se.epoch, sibling->entries[i].epoch);
+      }
+      node->entries.push_back(se);
+    }
+  }
+  if (node->entries.size() > static_cast<std::size_t>(max_entries_)) {
+    return SplitNode(node);
+  }
+  return nullptr;
+}
+
+RTree::Node* RTree::SplitNode(Node* node) {
+  return split_policy_ == SplitPolicy::kRStar ? SplitNodeRStar(node)
+                                              : SplitNodeQuadratic(node);
+}
+
+// R*-tree split (Beckmann et al.): choose the axis whose sorted distributions
+// have minimum total margin, then the distribution with minimum overlap
+// (ties: minimum combined area).
+RTree::Node* RTree::SplitNodeRStar(Node* node) {
+  std::vector<Entry> all;
+  all.swap(node->entries);
+  const std::size_t n = all.size();
+  const std::size_t min_k = static_cast<std::size_t>(min_entries_);
+
+  auto margin = [this](const Rect& r) {
+    double m = 0.0;
+    for (std::uint32_t d = 0; d < dims_; ++d) m += r.hi[d] - r.lo[d];
+    return m;
+  };
+  auto overlap = [this](const Rect& a, const Rect& b) {
+    double v = 1.0;
+    for (std::uint32_t d = 0; d < dims_; ++d) {
+      const double lo = std::max(a.lo[d], b.lo[d]);
+      const double hi = std::min(a.hi[d], b.hi[d]);
+      if (hi <= lo) return 0.0;
+      v *= hi - lo;
+    }
+    return v;
+  };
+  auto cover = [this](const std::vector<Entry>& es, std::size_t lo,
+                      std::size_t hi) {
+    Rect r = es[lo].rect;
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      r = RectUnion(r, es[i].rect, dims_);
+    }
+    return r;
+  };
+
+  // Pick the split axis: minimum sum of margins over all distributions.
+  std::uint32_t best_axis = 0;
+  double best_axis_margin = std::numeric_limits<double>::infinity();
+  for (std::uint32_t axis = 0; axis < dims_; ++axis) {
+    std::sort(all.begin(), all.end(), [axis](const Entry& a, const Entry& b) {
+      return a.rect.lo[axis] < b.rect.lo[axis] ||
+             (a.rect.lo[axis] == b.rect.lo[axis] &&
+              a.rect.hi[axis] < b.rect.hi[axis]);
+    });
+    double axis_margin = 0.0;
+    for (std::size_t k = min_k; k + min_k <= n; ++k) {
+      axis_margin += margin(cover(all, 0, k)) + margin(cover(all, k, n));
+    }
+    if (axis_margin < best_axis_margin) {
+      best_axis_margin = axis_margin;
+      best_axis = axis;
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [best_axis](const Entry& a, const Entry& b) {
+              return a.rect.lo[best_axis] < b.rect.lo[best_axis] ||
+                     (a.rect.lo[best_axis] == b.rect.lo[best_axis] &&
+                      a.rect.hi[best_axis] < b.rect.hi[best_axis]);
+            });
+
+  // Pick the distribution: minimum overlap, ties by minimum total area.
+  std::size_t best_k = min_k;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (std::size_t k = min_k; k + min_k <= n; ++k) {
+    const Rect left = cover(all, 0, k);
+    const Rect right = cover(all, k, n);
+    const double ov = overlap(left, right);
+    const double area = RectArea(left, dims_) + RectArea(right, dims_);
+    if (ov < best_overlap || (ov == best_overlap && area < best_area)) {
+      best_overlap = ov;
+      best_area = area;
+      best_k = k;
+    }
+  }
+
+  Node* sibling = new Node{};
+  sibling->leaf = node->leaf;
+  node->entries.assign(all.begin(),
+                       all.begin() + static_cast<std::ptrdiff_t>(best_k));
+  sibling->entries.assign(all.begin() + static_cast<std::ptrdiff_t>(best_k),
+                          all.end());
+  return sibling;
+}
+
+// Quadratic split (Guttman): pick the pair of entries wasting the most area
+// as seeds, then assign remaining entries by maximal preference difference.
+RTree::Node* RTree::SplitNodeQuadratic(Node* node) {
+  std::vector<Entry> all;
+  all.swap(node->entries);
+
+  std::size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      const double waste = RectArea(RectUnion(all[i].rect, all[j].rect, dims_),
+                                    dims_) -
+                           RectArea(all[i].rect, dims_) -
+                           RectArea(all[j].rect, dims_);
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  Node* sibling = new Node{};
+  sibling->leaf = node->leaf;
+
+  Rect rect_a = all[seed_a].rect;
+  Rect rect_b = all[seed_b].rect;
+  node->entries.push_back(all[seed_a]);
+  sibling->entries.push_back(all[seed_b]);
+
+  std::vector<bool> assigned(all.size(), false);
+  assigned[seed_a] = assigned[seed_b] = true;
+  std::size_t remaining = all.size() - 2;
+
+  while (remaining > 0) {
+    // If one group must take all remaining entries to reach min_entries_,
+    // assign them wholesale.
+    if (node->entries.size() + remaining ==
+        static_cast<std::size_t>(min_entries_)) {
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        if (!assigned[i]) {
+          node->entries.push_back(all[i]);
+          rect_a = RectUnion(rect_a, all[i].rect, dims_);
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    if (sibling->entries.size() + remaining ==
+        static_cast<std::size_t>(min_entries_)) {
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        if (!assigned[i]) {
+          sibling->entries.push_back(all[i]);
+          rect_b = RectUnion(rect_b, all[i].rect, dims_);
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+
+    // PickNext: entry with maximal |enlargement(A) - enlargement(B)|.
+    std::size_t pick = 0;
+    double best_diff = -1.0;
+    double pick_ea = 0.0, pick_eb = 0.0;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (assigned[i]) continue;
+      const double ea = Enlargement(rect_a, all[i].rect, dims_);
+      const double eb = Enlargement(rect_b, all[i].rect, dims_);
+      const double diff = std::abs(ea - eb);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        pick_ea = ea;
+        pick_eb = eb;
+      }
+    }
+    assigned[pick] = true;
+    --remaining;
+    const bool to_a =
+        pick_ea < pick_eb ||
+        (pick_ea == pick_eb && node->entries.size() <= sibling->entries.size());
+    if (to_a) {
+      node->entries.push_back(all[pick]);
+      rect_a = RectUnion(rect_a, all[pick].rect, dims_);
+    } else {
+      sibling->entries.push_back(all[pick]);
+      rect_b = RectUnion(rect_b, all[pick].rect, dims_);
+    }
+  }
+  return sibling;
+}
+
+void RTree::GrowRoot(Node* sibling) {
+  Node* new_root = new Node{};
+  new_root->leaf = false;
+  for (Node* child : {root_, sibling}) {
+    Entry e;
+    e.child = child;
+    e.rect = child->entries[0].rect;
+    e.epoch = child->entries[0].epoch;
+    for (std::size_t i = 1; i < child->entries.size(); ++i) {
+      e.rect = RectUnion(e.rect, child->entries[i].rect, dims_);
+      e.epoch = std::min(e.epoch, child->entries[i].epoch);
+    }
+    new_root->entries.push_back(e);
+  }
+  root_ = new_root;
+}
+
+void RTree::Insert(const Point& p) {
+  assert(p.dims == dims_);
+  Node* sibling = InsertRecurse(root_, p);
+  if (sibling != nullptr) GrowRoot(sibling);
+  ++size_;
+}
+
+// ---------------------------------------------------------------------------
+// Bulk loading (Sort-Tile-Recursive)
+// ---------------------------------------------------------------------------
+
+void RTree::StrOrder(std::vector<Point>* points, std::size_t lo,
+                     std::size_t hi, std::uint32_t dim) {
+  auto begin = points->begin() + static_cast<std::ptrdiff_t>(lo);
+  auto end = points->begin() + static_cast<std::ptrdiff_t>(hi);
+  std::sort(begin, end, [dim](const Point& a, const Point& b) {
+    return a.x[dim] < b.x[dim];
+  });
+  if (dim + 1 >= dims_) return;
+  const std::size_t n = hi - lo;
+  const std::size_t leaves =
+      (n + static_cast<std::size_t>(max_entries_) - 1) /
+      static_cast<std::size_t>(max_entries_);
+  if (leaves <= 1) return;
+  const auto slabs = static_cast<std::size_t>(std::ceil(std::pow(
+      static_cast<double>(leaves), 1.0 / static_cast<double>(dims_ - dim))));
+  const std::size_t slab_size = (n + slabs - 1) / slabs;
+  for (std::size_t s = lo; s < hi; s += slab_size) {
+    StrOrder(points, s, std::min(hi, s + slab_size), dim + 1);
+  }
+}
+
+void RTree::BulkLoad(std::vector<Point> points) {
+  assert(size_ == 0 && root_->entries.empty());
+  if (points.empty()) return;
+  StrOrder(&points, 0, points.size(), 0);
+
+  // Group boundaries that distribute n children over ceil(n/max) nodes
+  // evenly, so no node (in particular the last one) underflows.
+  const auto group_sizes = [this](std::size_t n) {
+    const std::size_t groups =
+        (n + static_cast<std::size_t>(max_entries_) - 1) /
+        static_cast<std::size_t>(max_entries_);
+    std::vector<std::size_t> sizes(groups, n / groups);
+    for (std::size_t g = 0; g < n % groups; ++g) ++sizes[g];
+    return sizes;
+  };
+
+  // Pack leaves from the STR order.
+  std::vector<Node*> level;
+  std::size_t pos = 0;
+  for (std::size_t size : group_sizes(points.size())) {
+    Node* leaf = new Node{};
+    leaf->leaf = true;
+    for (std::size_t j = pos; j < pos + size; ++j) {
+      Entry e;
+      e.rect = PointRect(points[j]);
+      e.id = points[j].id;
+      leaf->entries.push_back(e);
+    }
+    pos += size;
+    level.push_back(leaf);
+  }
+
+  // Pack upper levels from consecutive children (the STR order keeps
+  // neighbors spatially close).
+  while (level.size() > 1) {
+    std::vector<Node*> parents;
+    pos = 0;
+    for (std::size_t size : group_sizes(level.size())) {
+      Node* parent = new Node{};
+      parent->leaf = false;
+      for (std::size_t j = pos; j < pos + size; ++j) {
+        Node* child = level[j];
+        Entry e;
+        e.child = child;
+        e.rect = child->entries[0].rect;
+        for (std::size_t k = 1; k < child->entries.size(); ++k) {
+          e.rect = RectUnion(e.rect, child->entries[k].rect, dims_);
+        }
+        parent->entries.push_back(e);
+      }
+      pos += size;
+      parents.push_back(parent);
+    }
+    level.swap(parents);
+  }
+  delete root_;
+  root_ = level[0];
+  size_ = points.size();
+}
+
+// ---------------------------------------------------------------------------
+// Deletion
+// ---------------------------------------------------------------------------
+
+bool RTree::DeleteRecurse(Node* node, const Point& p,
+                          std::vector<Point>* orphans) {
+  if (node->leaf) {
+    for (std::size_t i = 0; i < node->entries.size(); ++i) {
+      if (node->entries[i].id != p.id) continue;
+      // Both id and stored coordinates must match.
+      bool same = true;
+      for (std::uint32_t d = 0; d < dims_; ++d) {
+        if (node->entries[i].rect.lo[d] != p.x[d]) {
+          same = false;
+          break;
+        }
+      }
+      if (!same) continue;
+      node->entries[i] = node->entries.back();
+      node->entries.pop_back();
+      return true;
+    }
+    return false;
+  }
+  const Rect prect = PointRect(p);
+  for (std::size_t i = 0; i < node->entries.size(); ++i) {
+    Entry& e = node->entries[i];
+    if (!RectContains(e.rect, prect, dims_)) continue;
+    if (!DeleteRecurse(e.child, p, orphans)) continue;
+    // Found and removed under this child. Handle underflow: pull every point
+    // still in the child subtree into the orphan list and drop the entry.
+    if (e.child->entries.size() < static_cast<std::size_t>(min_entries_)) {
+      CollectRecurse(e.child, orphans);
+      FreeSubtree(e.child);
+      node->entries[i] = node->entries.back();
+      node->entries.pop_back();
+    } else {
+      // Tighten the entry's rect and refresh its epoch.
+      e.rect = e.child->entries[0].rect;
+      e.epoch = e.child->entries[0].epoch;
+      for (std::size_t j = 1; j < e.child->entries.size(); ++j) {
+        e.rect = RectUnion(e.rect, e.child->entries[j].rect, dims_);
+        e.epoch = std::min(e.epoch, e.child->entries[j].epoch);
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+bool RTree::Delete(const Point& p) {
+  assert(p.dims == dims_);
+  std::vector<Point> orphans;
+  if (!DeleteRecurse(root_, p, &orphans)) return false;
+  --size_;
+  // Shrink the root if it lost all but one child.
+  while (!root_->leaf && root_->entries.size() == 1) {
+    Node* child = root_->entries[0].child;
+    delete root_;
+    root_ = child;
+  }
+  if (!root_->leaf && root_->entries.empty()) {
+    root_->leaf = true;
+  }
+  // Re-insert points stranded by condensed nodes. size_ already accounts for
+  // them (they were never subtracted), so bypass Insert's counter.
+  for (const Point& orphan : orphans) {
+    Node* sibling = InsertRecurse(root_, orphan);
+    if (sibling != nullptr) GrowRoot(sibling);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Search
+// ---------------------------------------------------------------------------
+
+void RTree::RangeRecurse(const Node* node, const Point& center, double eps2,
+                         const Visitor& visit) const {
+  ++stats_.nodes_visited;
+  for (const Entry& e : node->entries) {
+    ++stats_.entries_checked;
+    if (node->leaf) {
+      if (SquaredDistanceToEntryPoint(e.rect, center) <= eps2) {
+        visit(e.id, EntryPoint(e.rect, e.id, dims_));
+      }
+    } else if (MinSquaredDistance(e.rect, center) <= eps2) {
+      RangeRecurse(e.child, center, eps2, visit);
+    }
+  }
+}
+
+void RTree::RangeSearch(const Point& center, double eps,
+                        const Visitor& visit) const {
+  ++stats_.range_searches;
+  RangeRecurse(root_, center, eps * eps, visit);
+}
+
+std::vector<RTree::Neighbor> RTree::NearestNeighbors(const Point& center,
+                                                     std::size_t k) const {
+  std::vector<Neighbor> result;
+  if (k == 0 || size_ == 0) return result;
+  ++stats_.range_searches;
+
+  // Best-first search over index entries ordered by minimum possible
+  // distance; max-heap over the current k best candidates for pruning.
+  struct QueueItem {
+    double min_dist2;
+    const Node* node;
+  };
+  auto queue_cmp = [](const QueueItem& a, const QueueItem& b) {
+    return a.min_dist2 > b.min_dist2;
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(queue_cmp)>
+      frontier(queue_cmp);
+  frontier.push({0.0, root_});
+
+  auto result_cmp = [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance;
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(result_cmp)>
+      best(result_cmp);
+
+  while (!frontier.empty()) {
+    const QueueItem item = frontier.top();
+    frontier.pop();
+    if (best.size() == k && item.min_dist2 > best.top().distance) break;
+    ++stats_.nodes_visited;
+    for (const Entry& e : item.node->entries) {
+      ++stats_.entries_checked;
+      if (item.node->leaf) {
+        const double d2 = SquaredDistanceToEntryPoint(e.rect, center);
+        if (best.size() < k) {
+          best.push(Neighbor{e.id, d2});
+        } else if (d2 < best.top().distance) {
+          best.pop();
+          best.push(Neighbor{e.id, d2});
+        }
+      } else {
+        const double d2 = MinSquaredDistance(e.rect, center);
+        if (best.size() < k || d2 <= best.top().distance) {
+          frontier.push({d2, e.child});
+        }
+      }
+    }
+  }
+  result.resize(best.size());
+  for (std::size_t i = result.size(); i-- > 0;) {
+    result[i] = best.top();
+    result[i].distance = std::sqrt(result[i].distance);
+    best.pop();
+  }
+  return result;
+}
+
+void RTree::EpochRecurse(Node* node, const Point& center, double eps2,
+                         std::uint64_t tick, const MarkingVisitor& visit) {
+  ++stats_.nodes_visited;
+  for (Entry& e : node->entries) {
+    ++stats_.entries_checked;
+    if (e.epoch >= tick) continue;  // Fully visited under this tick.
+    if (node->leaf) {
+      if (SquaredDistanceToEntryPoint(e.rect, center) <= eps2) {
+        if (visit(e.id, EntryPoint(e.rect, e.id, dims_))) {
+          e.epoch = tick;
+        }
+      }
+    } else if (MinSquaredDistance(e.rect, center) <= eps2) {
+      EpochRecurse(e.child, center, eps2, tick, visit);
+      // Backtracking step of Algorithm 4: an internal entry is only prunable
+      // once every entry below it has been visited.
+      std::uint64_t min_epoch = e.child->entries.empty()
+                                    ? tick
+                                    : e.child->entries[0].epoch;
+      for (std::size_t i = 1; i < e.child->entries.size(); ++i) {
+        min_epoch = std::min(min_epoch, e.child->entries[i].epoch);
+      }
+      e.epoch = min_epoch;
+    }
+  }
+}
+
+void RTree::EpochRangeSearch(const Point& center, double eps,
+                             std::uint64_t tick, const MarkingVisitor& visit) {
+  ++stats_.range_searches;
+  EpochRecurse(root_, center, eps * eps, tick, visit);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection (tests)
+// ---------------------------------------------------------------------------
+
+bool RTree::CheckRecurse(const Node* node, int depth, int leaf_depth,
+                         std::size_t* count) const {
+  if (node->leaf) {
+    if (depth != leaf_depth) return false;
+    *count += node->entries.size();
+    return true;
+  }
+  if (node->entries.empty()) return false;
+  for (const Entry& e : node->entries) {
+    if (e.child == nullptr) return false;
+    if (e.child->entries.size() < static_cast<std::size_t>(min_entries_) &&
+        depth + 1 != leaf_depth) {
+      // Underflow is only tolerated at the root, which is not reached here.
+      return false;
+    }
+    // Entry rect must contain all child rects; entry epoch must equal the
+    // minimum child epoch or be stale-low (epochs may lag behind, never lead).
+    std::uint64_t min_epoch = std::numeric_limits<std::uint64_t>::max();
+    for (const Entry& ce : e.child->entries) {
+      if (!RectContains(e.rect, ce.rect, dims_)) return false;
+      min_epoch = std::min(min_epoch, ce.epoch);
+    }
+    if (!e.child->entries.empty() && e.epoch > min_epoch) return false;
+    if (!CheckRecurse(e.child, depth + 1, leaf_depth, count)) return false;
+  }
+  return true;
+}
+
+bool RTree::CheckInvariants() const {
+  int leaf_depth = 0;
+  const Node* n = root_;
+  while (!n->leaf) {
+    if (n->entries.empty()) return false;
+    n = n->entries[0].child;
+    ++leaf_depth;
+  }
+  std::size_t count = 0;
+  if (!CheckRecurse(root_, 0, leaf_depth, &count)) return false;
+  return count == size_;
+}
+
+void RTree::CollectRecurse(const Node* node, std::vector<Point>* out) const {
+  if (node->leaf) {
+    for (const Entry& e : node->entries) {
+      out->push_back(EntryPoint(e.rect, e.id, dims_));
+    }
+  } else {
+    for (const Entry& e : node->entries) CollectRecurse(e.child, out);
+  }
+}
+
+void RTree::CollectAll(std::vector<Point>* out) const {
+  CollectRecurse(root_, out);
+}
+
+}  // namespace disc

@@ -1,0 +1,154 @@
+#ifndef DISC_INDEX_RTREE_H_
+#define DISC_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/point.h"
+
+namespace disc {
+
+// Axis-aligned bounding box over the first `dims` coordinates (the
+// dimensionality is carried by the owning RTree).
+struct Rect {
+  std::array<double, kMaxDims> lo{};
+  std::array<double, kMaxDims> hi{};
+};
+
+// Statistics about index probes, used to reproduce the paper's range-search
+// counts (Fig. 7) and to quantify the benefit of epoch-based probing.
+struct RTreeStats {
+  std::uint64_t range_searches = 0;
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t entries_checked = 0;
+
+  void Reset() { *this = RTreeStats{}; }
+};
+
+// Node-splitting heuristic used on overflow.
+enum class SplitPolicy {
+  kQuadratic,  // Guttman '84: seeds with maximal dead area (default).
+  kRStar,      // Beckmann et al. '90: min-margin axis, min-overlap split.
+};
+
+// In-memory R-tree over points with configurable node splitting, deletion
+// with subtree re-insertion, epsilon-range search, k-nearest-neighbor
+// search, STR bulk loading, and the paper's epoch-based probing
+// (Algorithm 4): every entry carries an epoch; a search running under tick T
+// skips entries whose epoch >= T, and on backtracking each internal entry's
+// epoch is restored to the minimum of its child entries' epochs.
+//
+// The tree is not thread-safe. Ids must be unique among indexed points.
+class RTree {
+ public:
+  // Callback for range searches. Receives the id and coordinates of each
+  // point within the query ball.
+  using Visitor = std::function<void(PointId, const Point&)>;
+
+  // Callback for epoch-probed searches. Returns true if the visited leaf
+  // entry should be marked with the current tick (i.e., excluded from all
+  // later searches under the same tick).
+  using MarkingVisitor = std::function<bool(PointId, const Point&)>;
+
+  explicit RTree(std::uint32_t dims, int max_entries = 16,
+                 SplitPolicy split_policy = SplitPolicy::kQuadratic);
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  // Inserts p. Behaviour is undefined if a point with the same id is already
+  // present (the tree does not deduplicate ids).
+  void Insert(const Point& p);
+
+  // Builds the tree from `points` using Sort-Tile-Recursive packing — much
+  // faster and better-packed than repeated Insert for a static load. The
+  // tree must be empty. Subsequent Insert/Delete calls work normally.
+  void BulkLoad(std::vector<Point> points);
+
+  // Removes the point with p's id located at p's coordinates. Returns false
+  // if no such point exists.
+  bool Delete(const Point& p);
+
+  // Removes every point. Tick counter and statistics are preserved.
+  void Clear();
+
+  // Visits every indexed point within Euclidean distance eps of center.
+  void RangeSearch(const Point& center, double eps, const Visitor& visit) const;
+
+  // A point together with its distance to a query center.
+  struct Neighbor {
+    PointId id = 0;
+    double distance = 0.0;
+  };
+
+  // Returns the k nearest indexed points to `center` (fewer when the tree
+  // holds fewer than k), ordered by ascending distance. A point with
+  // center's id is not excluded — callers filter if needed. Best-first
+  // branch-and-bound traversal.
+  std::vector<Neighbor> NearestNeighbors(const Point& center,
+                                         std::size_t k) const;
+
+  // Epoch-probed variant: skips any entry whose epoch >= tick, marks visited
+  // leaf entries when the visitor returns true, and propagates minimum epochs
+  // to internal entries on backtracking. Ticks must come from NewTick().
+  void EpochRangeSearch(const Point& center, double eps, std::uint64_t tick,
+                        const MarkingVisitor& visit);
+
+  // Returns a fresh tick, strictly larger than all previously issued ticks
+  // and than the epoch of every entry currently in the tree.
+  std::uint64_t NewTick() { return ++tick_counter_; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::uint32_t dims() const { return dims_; }
+
+  RTreeStats& stats() const { return stats_; }
+
+  // Validates structural invariants (entry counts, MBR containment, uniform
+  // leaf depth, epoch consistency, size bookkeeping). Test-only; O(n).
+  bool CheckInvariants() const;
+
+  // Appends every indexed point to *out (arbitrary order). Test-only; O(n).
+  void CollectAll(std::vector<Point>* out) const;
+
+ private:
+  struct Node;
+  struct Entry;
+
+  // Orders [lo, hi) of `points` into Sort-Tile-Recursive layout.
+  void StrOrder(std::vector<Point>* points, std::size_t lo, std::size_t hi,
+                std::uint32_t dim);
+  // Returns a new sibling if `node` was split, nullptr otherwise.
+  Node* InsertRecurse(Node* node, const Point& p);
+  Node* SplitNode(Node* node);
+  Node* SplitNodeQuadratic(Node* node);
+  Node* SplitNodeRStar(Node* node);
+  void GrowRoot(Node* sibling);
+
+  bool DeleteRecurse(Node* node, const Point& p, std::vector<Point>* orphans);
+
+  void RangeRecurse(const Node* node, const Point& center, double eps2,
+                    const Visitor& visit) const;
+  void EpochRecurse(Node* node, const Point& center, double eps2,
+                    std::uint64_t tick, const MarkingVisitor& visit);
+
+  void FreeSubtree(Node* node);
+  bool CheckRecurse(const Node* node, int depth, int leaf_depth,
+                    std::size_t* count) const;
+  void CollectRecurse(const Node* node, std::vector<Point>* out) const;
+
+  std::uint32_t dims_;
+  int max_entries_;
+  int min_entries_;
+  SplitPolicy split_policy_;
+  Node* root_;
+  std::size_t size_ = 0;
+  std::uint64_t tick_counter_ = 0;
+  mutable RTreeStats stats_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_INDEX_RTREE_H_

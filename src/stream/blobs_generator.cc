@@ -1,0 +1,47 @@
+#include "stream/blobs_generator.h"
+
+namespace disc {
+
+BlobsGenerator::BlobsGenerator(const Options& options)
+    : options_(options), rng_(options.seed) {
+  centers_.reserve(options_.num_blobs);
+  for (int i = 0; i < options_.num_blobs; ++i) {
+    Point c;
+    c.dims = options_.dims;
+    for (std::uint32_t d = 0; d < options_.dims; ++d) {
+      c.x[d] = rng_.Uniform(0.0, options_.extent);
+    }
+    centers_.push_back(c);
+  }
+}
+
+LabeledPoint BlobsGenerator::Next() {
+  LabeledPoint lp;
+  lp.point.id = TakeId();
+  lp.point.dims = options_.dims;
+
+  if (rng_.Bernoulli(options_.noise_fraction)) {
+    for (std::uint32_t d = 0; d < options_.dims; ++d) {
+      lp.point.x[d] = rng_.Uniform(0.0, options_.extent);
+    }
+    lp.true_label = -1;
+    return lp;
+  }
+
+  const int bi = static_cast<int>(rng_.UniformInt(0, options_.num_blobs - 1));
+  Point& c = centers_[bi];
+  if (options_.drift > 0.0) {
+    for (std::uint32_t d = 0; d < options_.dims; ++d) {
+      c.x[d] += rng_.Normal(0.0, options_.drift);
+      if (c.x[d] < 0.0) c.x[d] = -c.x[d];
+      if (c.x[d] > options_.extent) c.x[d] = 2.0 * options_.extent - c.x[d];
+    }
+  }
+  for (std::uint32_t d = 0; d < options_.dims; ++d) {
+    lp.point.x[d] = c.x[d] + rng_.Normal(0.0, options_.stddev);
+  }
+  lp.true_label = bi;
+  return lp;
+}
+
+}  // namespace disc

@@ -1,0 +1,41 @@
+#ifndef DISC_STREAM_BLOBS_GENERATOR_H_
+#define DISC_STREAM_BLOBS_GENERATOR_H_
+
+#include <vector>
+
+#include "stream/stream_source.h"
+
+namespace disc {
+
+// Gaussian-blob mixture stream with optional center drift and background
+// noise. Primarily used by tests: drifting blobs force every kind of cluster
+// evolution (emergence, growth, merger, split, shrink, dissipation) as the
+// window slides. True label = blob index, -1 for noise.
+class BlobsGenerator : public StreamSource {
+ public:
+  struct Options {
+    std::uint32_t dims = 2;
+    int num_blobs = 5;
+    double extent = 10.0;      // Domain is [0, extent]^dims.
+    double stddev = 0.15;      // Blob scatter.
+    double noise_fraction = 0.1;
+    double drift = 0.0;        // Per-emission center drift stddev.
+    std::uint64_t seed = 23;
+  };
+
+  explicit BlobsGenerator(const Options& options);
+
+  LabeledPoint Next() override;
+
+  // Current blob centers (test hooks).
+  const std::vector<Point>& centers() const { return centers_; }
+
+ private:
+  Options options_;
+  Rng rng_;
+  std::vector<Point> centers_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_STREAM_BLOBS_GENERATOR_H_

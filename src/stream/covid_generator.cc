@@ -1,0 +1,54 @@
+#include "stream/covid_generator.h"
+
+#include <cmath>
+
+namespace disc {
+
+CovidGenerator::CovidGenerator(const Options& options)
+    : options_(options), rng_(options.seed) {
+  hotspots_.reserve(options_.num_hotspots);
+  for (int i = 0; i < options_.num_hotspots; ++i) {
+    Hotspot h;
+    h.lat = rng_.Uniform(0.0, options_.lat_extent);
+    h.lon = rng_.Uniform(0.0, options_.lon_extent);
+    h.weight = 1.0 / static_cast<double>(i + 1);  // Zipf(1).
+    total_weight_ += h.weight;
+    hotspots_.push_back(h);
+  }
+}
+
+LabeledPoint CovidGenerator::Next() {
+  LabeledPoint lp;
+  lp.point.id = TakeId();
+  lp.point.dims = 2;
+
+  if (rng_.Bernoulli(options_.noise_fraction)) {
+    lp.point.x[0] = rng_.Uniform(0.0, options_.lat_extent);
+    lp.point.x[1] = rng_.Uniform(0.0, options_.lon_extent);
+    lp.true_label = -1;
+    return lp;
+  }
+
+  // Weighted hotspot pick.
+  double r = rng_.Uniform(0.0, total_weight_);
+  std::size_t hi = 0;
+  for (; hi + 1 < hotspots_.size(); ++hi) {
+    if (r < hotspots_[hi].weight) break;
+    r -= hotspots_[hi].weight;
+  }
+  Hotspot& h = hotspots_[hi];
+  // The epidemic focus drifts slowly.
+  h.lat += rng_.Normal(0.0, options_.drift);
+  h.lon += rng_.Normal(0.0, options_.drift);
+  if (h.lat < 0.0) h.lat = -h.lat;
+  if (h.lat > options_.lat_extent) h.lat = 2.0 * options_.lat_extent - h.lat;
+  if (h.lon < 0.0) h.lon = -h.lon;
+  if (h.lon > options_.lon_extent) h.lon = 2.0 * options_.lon_extent - h.lon;
+
+  lp.point.x[0] = h.lat + rng_.Normal(0.0, options_.hotspot_stddev);
+  lp.point.x[1] = h.lon + rng_.Normal(0.0, options_.hotspot_stddev);
+  lp.true_label = static_cast<std::int64_t>(hi);
+  return lp;
+}
+
+}  // namespace disc

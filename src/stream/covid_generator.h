@@ -1,0 +1,45 @@
+#ifndef DISC_STREAM_COVID_GENERATOR_H_
+#define DISC_STREAM_COVID_GENERATOR_H_
+
+#include <vector>
+
+#include "stream/stream_source.h"
+
+namespace disc {
+
+// Synthetic analogue of the COVID-19 geo-tagged tweet dataset: a sparse,
+// world-wide 2-D point stream drawn from a mixture of city hotspots with
+// heavy-tailed (Zipf) popularity plus uniform background noise. Hotspot
+// activity drifts slowly, emulating the epidemic's moving focus over the
+// March-September 2020 span. True label = hotspot index, -1 for noise.
+class CovidGenerator : public StreamSource {
+ public:
+  struct Options {
+    int num_hotspots = 30;
+    double lat_extent = 180.0;   // Domain [-90, 90] mapped to [0, 180].
+    double lon_extent = 360.0;   // Domain [-180, 180] mapped to [0, 360].
+    double hotspot_stddev = 0.8; // City-scale scatter (degrees).
+    double noise_fraction = 0.2;
+    double drift = 0.02;         // Hotspot-center drift per emission.
+    std::uint64_t seed = 17;
+  };
+
+  explicit CovidGenerator(const Options& options);
+
+  LabeledPoint Next() override;
+
+ private:
+  struct Hotspot {
+    double lat, lon;
+    double weight;  // Zipf popularity.
+  };
+
+  Options options_;
+  Rng rng_;
+  std::vector<Hotspot> hotspots_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace disc
+
+#endif  // DISC_STREAM_COVID_GENERATOR_H_

@@ -1,0 +1,60 @@
+#include "stream/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace disc {
+
+bool WriteLabeledCsv(const std::string& path, const std::vector<Point>& points,
+                     const std::vector<ClusterId>& cids) {
+  if (!cids.empty() && cids.size() != points.size()) return false;
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(17);
+  const std::uint32_t dims = points.empty() ? 2 : points[0].dims;
+  out << "id";
+  for (std::uint32_t d = 0; d < dims; ++d) out << ",x" << d;
+  out << ",cid\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out << points[i].id;
+    for (std::uint32_t d = 0; d < dims; ++d) out << "," << points[i].x[d];
+    out << "," << (cids.empty() ? kNoiseCluster : cids[i]) << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool ReadPointsCsv(const std::string& path, std::vector<Point>* points,
+                   std::vector<ClusterId>* cids) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;  // Header.
+  // Count columns from the header: id + dims + cid.
+  int cols = 1;
+  for (char ch : line) {
+    if (ch == ',') ++cols;
+  }
+  const int dims = cols - 2;
+  if (dims < 1 || dims > kMaxDims) return false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string field;
+    Point p;
+    p.dims = static_cast<std::uint32_t>(dims);
+    if (!std::getline(ss, field, ',')) return false;
+    p.id = std::stoull(field);
+    for (int d = 0; d < dims; ++d) {
+      if (!std::getline(ss, field, ',')) return false;
+      p.x[d] = std::stod(field);
+    }
+    if (cids != nullptr) {
+      if (!std::getline(ss, field, ',')) return false;
+      cids->push_back(std::stoll(field));
+    }
+    points->push_back(p);
+  }
+  return true;
+}
+
+}  // namespace disc

@@ -1,0 +1,24 @@
+#ifndef DISC_STREAM_CSV_H_
+#define DISC_STREAM_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/point.h"
+#include "stream/stream_clusterer.h"
+
+namespace disc {
+
+// Writes "id,x0,...,x{d-1},cid" rows (with header) for plotting; used by the
+// Fig. 12 bench to dump cluster illustrations. Returns false on I/O error.
+bool WriteLabeledCsv(const std::string& path, const std::vector<Point>& points,
+                     const std::vector<ClusterId>& cids);
+
+// Reads points written by WriteLabeledCsv (cid column optional). Returns
+// false on I/O or parse error.
+bool ReadPointsCsv(const std::string& path, std::vector<Point>* points,
+                   std::vector<ClusterId>* cids);
+
+}  // namespace disc
+
+#endif  // DISC_STREAM_CSV_H_

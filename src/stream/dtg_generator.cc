@@ -1,0 +1,60 @@
+#include "stream/dtg_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace disc {
+
+DtgGenerator::DtgGenerator(const Options& options)
+    : options_(options), rng_(options.seed) {
+  num_roads_ = std::max(
+      2, static_cast<int>(options_.extent / options_.road_spacing) + 1);
+  zones_.reserve(options_.num_zones);
+  for (int i = 0; i < options_.num_zones; ++i) {
+    Zone z;
+    z.horizontal = rng_.Bernoulli(0.5);
+    z.road_pos = options_.road_spacing *
+                 static_cast<double>(rng_.UniformInt(0, num_roads_ - 1));
+    z.center = rng_.Uniform(options_.zone_length,
+                            options_.extent - options_.zone_length);
+    zones_.push_back(z);
+  }
+}
+
+LabeledPoint DtgGenerator::Next() {
+  LabeledPoint lp;
+  lp.point.id = TakeId();
+  lp.point.dims = 2;
+
+  double along, across;
+  bool horizontal;
+  if (!rng_.Bernoulli(options_.background_fraction)) {
+    const int zi = static_cast<int>(
+        rng_.UniformInt(0, static_cast<std::int64_t>(zones_.size()) - 1));
+    const Zone& z = zones_[zi];
+    horizontal = z.horizontal;
+    // Congested vehicles bunch up along the zone.
+    along = z.center + rng_.Uniform(-options_.zone_length / 2.0,
+                                    options_.zone_length / 2.0);
+    across = z.road_pos + rng_.Normal(0.0, options_.lane_stddev);
+    lp.true_label = zi;
+  } else {
+    // Free-flow vehicle anywhere on the network.
+    horizontal = rng_.Bernoulli(0.5);
+    along = rng_.Uniform(0.0, options_.extent);
+    across = options_.road_spacing *
+                 static_cast<double>(rng_.UniformInt(0, num_roads_ - 1)) +
+             rng_.Normal(0.0, options_.lane_stddev);
+    lp.true_label = -1;
+  }
+  if (horizontal) {
+    lp.point.x[0] = along;
+    lp.point.x[1] = across;
+  } else {
+    lp.point.x[0] = across;
+    lp.point.x[1] = along;
+  }
+  return lp;
+}
+
+}  // namespace disc

@@ -1,0 +1,54 @@
+#ifndef DISC_STREAM_DTG_GENERATOR_H_
+#define DISC_STREAM_DTG_GENERATOR_H_
+
+#include <vector>
+
+#include "stream/stream_source.h"
+
+namespace disc {
+
+// Synthetic analogue of the paper's DTG dataset (digital tachograph records
+// of commercial vehicles in a metropolitan city): 2-D vehicle positions
+// concentrated along a grid road network, with congestion hotspots on the
+// roads forming the density-based clusters. The roads run in close proximity
+// (spacing configurable), which is exactly why the paper needs a small
+// distance threshold eps to distinguish them.
+//
+// Each emitted point picks a congestion zone with probability
+// (1 - background_fraction) or a uniformly random road position otherwise.
+// A congestion zone lives on one road and spreads along it; across-road
+// scatter is a few lane widths. True label = zone index, -1 for background.
+class DtgGenerator : public StreamSource {
+ public:
+  struct Options {
+    double extent = 10.0;          // City is [0, extent]^2.
+    double road_spacing = 1.0;     // Distance between parallel roads.
+    double lane_stddev = 0.005;    // Across-road scatter.
+    int num_zones = 40;            // Congestion zones (dense clusters).
+    double zone_length = 0.35;     // Along-road extent of a zone.
+    double background_fraction = 0.25;  // Free-flow traffic share.
+    std::uint64_t seed = 11;
+  };
+
+  explicit DtgGenerator(const Options& options);
+
+  LabeledPoint Next() override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Zone {
+    bool horizontal;   // Orientation of the road the zone sits on.
+    double road_pos;   // Coordinate of the road line.
+    double center;     // Along-road center of the congestion.
+  };
+
+  Options options_;
+  Rng rng_;
+  std::vector<Zone> zones_;
+  int num_roads_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_STREAM_DTG_GENERATOR_H_

@@ -1,0 +1,68 @@
+#include "stream/geolife_generator.h"
+
+#include <cmath>
+
+namespace disc {
+
+GeolifeGenerator::GeolifeGenerator(const Options& options)
+    : options_(options), rng_(options.seed) {
+  places_.reserve(options_.num_places);
+  for (int i = 0; i < options_.num_places; ++i) {
+    places_.push_back(Place{rng_.Uniform(0.0, options_.extent),
+                            rng_.Uniform(0.0, options_.extent),
+                            rng_.Uniform(0.0, options_.alt_extent)});
+  }
+  users_.reserve(options_.num_users);
+  for (int i = 0; i < options_.num_users; ++i) {
+    User u;
+    const Place& start =
+        places_[rng_.UniformInt(0, options_.num_places - 1)];
+    u.x = start.x;
+    u.y = start.y;
+    u.z = start.z;
+    u.target_place = -1;
+    PickNewTarget(&u);
+    users_.push_back(u);
+  }
+}
+
+void GeolifeGenerator::PickNewTarget(User* user) {
+  int next = static_cast<int>(rng_.UniformInt(0, options_.num_places - 1));
+  if (next == user->target_place) {
+    next = (next + 1) % options_.num_places;
+  }
+  user->target_place = next;
+}
+
+LabeledPoint GeolifeGenerator::Next() {
+  User& u = users_[current_user_];
+  const Place& target = places_[u.target_place];
+  const double dx = target.x - u.x;
+  const double dy = target.y - u.y;
+  const double dz = target.z - u.z;
+  const double dist = std::sqrt(dx * dx + dy * dy + dz * dz);
+  if (dist < options_.speed) {
+    u.x = target.x;
+    u.y = target.y;
+    u.z = target.z;
+    PickNewTarget(&u);
+  } else {
+    const double f = options_.speed / dist;
+    u.x += f * dx;
+    u.y += f * dy;
+    u.z += f * dz;
+  }
+
+  LabeledPoint lp;
+  lp.point.id = TakeId();
+  lp.point.dims = 3;
+  lp.point.x[0] = u.x + rng_.Normal(0.0, options_.jitter);
+  lp.point.x[1] = u.y + rng_.Normal(0.0, options_.jitter);
+  lp.point.x[2] = u.z + rng_.Normal(0.0, options_.jitter / 3.0);
+  lp.true_label = current_user_;
+
+  current_user_ = (current_user_ + 1) % options_.num_users;
+  return lp;
+}
+
+}  // namespace disc

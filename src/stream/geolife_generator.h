@@ -1,0 +1,52 @@
+#ifndef DISC_STREAM_GEOLIFE_GENERATOR_H_
+#define DISC_STREAM_GEOLIFE_GENERATOR_H_
+
+#include <vector>
+
+#include "stream/stream_source.h"
+
+namespace disc {
+
+// Synthetic analogue of the GeoLife GPS-trajectory dataset: `num_users`
+// users move through a 3-D space (lat, lon, normalized altitude) following a
+// random-waypoint model; every emission advances one user toward its current
+// waypoint and emits the position with GPS jitter. Trajectories of users who
+// frequent the same places overlap, creating the merged/split cluster
+// evolution typical of trajectory streams. True label = user index.
+class GeolifeGenerator : public StreamSource {
+ public:
+  struct Options {
+    int num_users = 60;
+    double extent = 10.0;       // Horizontal domain is [0, extent]^2.
+    double alt_extent = 0.5;    // Altitude domain (already normalized).
+    int num_places = 15;        // Popular destinations users travel between.
+    double speed = 0.02;        // Advance per emission.
+    double jitter = 0.01;       // GPS noise.
+    std::uint64_t seed = 13;
+  };
+
+  explicit GeolifeGenerator(const Options& options);
+
+  LabeledPoint Next() override;
+
+ private:
+  struct User {
+    double x, y, z;
+    int target_place;
+  };
+  struct Place {
+    double x, y, z;
+  };
+
+  void PickNewTarget(User* user);
+
+  Options options_;
+  Rng rng_;
+  std::vector<Place> places_;
+  std::vector<User> users_;
+  int current_user_ = 0;
+};
+
+}  // namespace disc
+
+#endif  // DISC_STREAM_GEOLIFE_GENERATOR_H_

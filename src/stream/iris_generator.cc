@@ -1,0 +1,53 @@
+#include "stream/iris_generator.h"
+
+#include <cmath>
+
+namespace disc {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+IrisGenerator::IrisGenerator(const Options& options)
+    : options_(options), rng_(options.seed) {
+  faults_.reserve(options_.num_faults);
+  for (int i = 0; i < options_.num_faults; ++i) {
+    Fault f;
+    f.x0 = rng_.Uniform(0.0, options_.extent);
+    f.y0 = rng_.Uniform(0.0, options_.extent);
+    const double angle = rng_.Uniform(0.0, kPi);
+    f.dx = std::cos(angle);
+    f.dy = std::sin(angle);
+    f.length = rng_.Uniform(options_.fault_length * 0.5,
+                            options_.fault_length * 1.5);
+    f.depth_mean = rng_.Uniform(0.5, options_.depth_scale);
+    // Magnitude*10 in roughly [25, 75]; each fault has a characteristic band.
+    f.mag_base = rng_.Uniform(30.0, 60.0);
+    faults_.push_back(f);
+  }
+}
+
+LabeledPoint IrisGenerator::Next() {
+  const int fi =
+      static_cast<int>(rng_.UniformInt(0, options_.num_faults - 1));
+  const Fault& f = faults_[fi];
+
+  const double along = rng_.Uniform(0.0, f.length);
+  const double cross = rng_.Normal(0.0, options_.scatter);
+
+  LabeledPoint lp;
+  lp.point.id = TakeId();
+  lp.point.dims = 4;
+  lp.point.x[0] = f.x0 + along * f.dx - cross * f.dy;
+  lp.point.x[1] = f.y0 + along * f.dy + cross * f.dx;
+  // depth/10: exponential profile around the fault's characteristic depth.
+  lp.point.x[2] = f.depth_mean - f.depth_mean * std::log(rng_.Uniform(1e-6, 1.0)) * 0.15;
+  // magnitude*10: Gutenberg-Richter-ish, clamped to the fault's band.
+  double mag = f.mag_base - 10.0 * std::log(rng_.Uniform(1e-6, 1.0)) * 0.3;
+  if (mag > f.mag_base + 15.0) mag = f.mag_base + 15.0;
+  lp.point.x[3] = mag;
+  lp.true_label = fi;
+  return lp;
+}
+
+}  // namespace disc

@@ -1,0 +1,46 @@
+#ifndef DISC_STREAM_IRIS_GENERATOR_H_
+#define DISC_STREAM_IRIS_GENERATOR_H_
+
+#include <vector>
+
+#include "stream/stream_source.h"
+
+namespace disc {
+
+// Synthetic analogue of the IRIS earthquake-event dataset: 4-D events
+// (lat, lon, depth/10, magnitude*10) clustered along synthetic fault lines.
+// Each event picks a fault, a position along it, a depth from an exponential
+// profile characteristic of the fault, and a Gutenberg-Richter magnitude.
+// True label = fault index.
+class IrisGenerator : public StreamSource {
+ public:
+  struct Options {
+    int num_faults = 25;
+    double extent = 100.0;       // Lat/lon domain is [0, extent]^2.
+    double fault_length = 20.0;  // Typical fault extent.
+    double scatter = 0.4;        // Cross-fault scatter (degrees).
+    double depth_scale = 3.0;    // Mean of depth/10 per fault family.
+    std::uint64_t seed = 19;
+  };
+
+  explicit IrisGenerator(const Options& options);
+
+  LabeledPoint Next() override;
+
+ private:
+  struct Fault {
+    double x0, y0;       // One endpoint.
+    double dx, dy;       // Unit direction.
+    double length;
+    double depth_mean;   // Characteristic depth/10 of this fault.
+    double mag_base;     // Characteristic magnitude*10 (already scaled).
+  };
+
+  Options options_;
+  Rng rng_;
+  std::vector<Fault> faults_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_STREAM_IRIS_GENERATOR_H_

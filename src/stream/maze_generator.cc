@@ -1,0 +1,61 @@
+#include "stream/maze_generator.h"
+
+#include <cmath>
+
+namespace disc {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+MazeGenerator::MazeGenerator(const Options& options)
+    : options_(options), rng_(options.seed) {
+  walkers_.reserve(options_.num_seeds);
+  for (int i = 0; i < options_.num_seeds; ++i) {
+    Walker w;
+    w.x = rng_.Uniform(0.0, options_.extent);
+    w.y = rng_.Uniform(0.0, options_.extent);
+    w.heading = rng_.Uniform(0.0, 2.0 * kPi);
+    walkers_.push_back(w);
+  }
+}
+
+LabeledPoint MazeGenerator::Next() {
+  Walker& w = walkers_[current_seed_];
+  if (emitted_at_current_ == 0) {
+    // Advance the walker before its first emission of this round.
+    w.heading += rng_.Normal(0.0, options_.turn_stddev);
+    w.x += options_.step * std::cos(w.heading);
+    w.y += options_.step * std::sin(w.heading);
+    // Reflect at the boundary so trajectories stay inside the domain.
+    if (w.x < 0.0) {
+      w.x = -w.x;
+      w.heading = kPi - w.heading;
+    } else if (w.x > options_.extent) {
+      w.x = 2.0 * options_.extent - w.x;
+      w.heading = kPi - w.heading;
+    }
+    if (w.y < 0.0) {
+      w.y = -w.y;
+      w.heading = -w.heading;
+    } else if (w.y > options_.extent) {
+      w.y = 2.0 * options_.extent - w.y;
+      w.heading = -w.heading;
+    }
+  }
+
+  LabeledPoint lp;
+  lp.point.id = TakeId();
+  lp.point.dims = 2;
+  lp.point.x[0] = w.x + rng_.Normal(0.0, options_.jitter);
+  lp.point.x[1] = w.y + rng_.Normal(0.0, options_.jitter);
+  lp.true_label = current_seed_;
+
+  if (++emitted_at_current_ >= options_.points_per_step) {
+    emitted_at_current_ = 0;
+    current_seed_ = (current_seed_ + 1) % options_.num_seeds;
+  }
+  return lp;
+}
+
+}  // namespace disc

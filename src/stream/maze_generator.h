@@ -1,0 +1,54 @@
+#ifndef DISC_STREAM_MAZE_GENERATOR_H_
+#define DISC_STREAM_MAZE_GENERATOR_H_
+
+#include <vector>
+
+#include "stream/stream_source.h"
+
+namespace disc {
+
+// The paper's synthetic "Maze" dataset (Sec. VI-E): `num_seeds` random seeds
+// are placed in the 2-D plane and spread out over time; the trajectory traced
+// by each seed forms a single ground-truth cluster. As the window grows, the
+// trajectories become longer and closer to one another, so cluster shapes get
+// more complicated — exactly the regime where summarization-based methods
+// lose resolution.
+//
+// Each seed carries a walker with a persistent heading; every emission the
+// walker steps forward (with slight heading jitter and reflection at the
+// domain boundary) and emits `points_per_step` points jittered around its
+// position, so each trajectory is locally dense. Seeds emit round-robin.
+class MazeGenerator : public StreamSource {
+ public:
+  struct Options {
+    int num_seeds = 100;
+    double extent = 100.0;         // Domain is [0, extent]^2.
+    double step = 0.05;            // Walker advance per emission round.
+    double jitter = 0.02;          // Point scatter around the walker.
+    double turn_stddev = 0.15;     // Heading drift (radians) per step.
+    int points_per_step = 4;       // Points emitted per walker advance.
+    std::uint64_t seed = 7;
+  };
+
+  explicit MazeGenerator(const Options& options);
+
+  LabeledPoint Next() override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Walker {
+    double x, y;
+    double heading;
+  };
+
+  Options options_;
+  Rng rng_;
+  std::vector<Walker> walkers_;
+  int current_seed_ = 0;
+  int emitted_at_current_ = 0;
+};
+
+}  // namespace disc
+
+#endif  // DISC_STREAM_MAZE_GENERATOR_H_

@@ -1,0 +1,59 @@
+#include "stream/netflow_generator.h"
+
+namespace disc {
+
+NetflowGenerator::NetflowGenerator(const Options& options)
+    : options_(options), rng_(options.seed) {
+  profiles_.reserve(options_.num_profiles);
+  for (int i = 0; i < options_.num_profiles; ++i) {
+    // Spread profiles across the feature space with a minimum separation so
+    // normal services form distinct clusters.
+    Profile p;
+    p.log_bytes = 2.0 + 2.0 * (i % 3) + rng_.Uniform(-0.3, 0.3);
+    p.log_duration = 1.0 + 1.8 * (i / 3) + rng_.Uniform(-0.3, 0.3);
+    p.port_bucket = static_cast<double>(rng_.UniformInt(0, 7));
+    profiles_.push_back(p);
+  }
+}
+
+LabeledPoint NetflowGenerator::Next() {
+  ++emitted_;
+  // Toggle burst phases: during a burst most traffic hits one profile.
+  if (emitted_ % static_cast<std::uint64_t>(options_.burst_every) == 0) {
+    burst_profile_ =
+        static_cast<int>(rng_.UniformInt(0, options_.num_profiles - 1));
+  } else if (burst_profile_ >= 0 &&
+             emitted_ % static_cast<std::uint64_t>(options_.burst_every) >
+                 static_cast<std::uint64_t>(options_.burst_length)) {
+    burst_profile_ = -1;
+  }
+
+  LabeledPoint lp;
+  lp.point.id = TakeId();
+  lp.point.dims = 3;
+
+  if (rng_.Bernoulli(options_.anomaly_fraction)) {
+    // Anomalous flow: extreme byte counts / durations / odd ports, far from
+    // every profile.
+    lp.point.x[0] = rng_.Uniform(8.0, 12.0);
+    lp.point.x[1] = rng_.Uniform(-2.0, 0.0);
+    lp.point.x[2] = 8.0 + rng_.Uniform(0.0, 4.0);
+    lp.true_label = -1;
+    return lp;
+  }
+
+  int pi;
+  if (burst_profile_ >= 0 && rng_.Bernoulli(0.7)) {
+    pi = burst_profile_;
+  } else {
+    pi = static_cast<int>(rng_.UniformInt(0, options_.num_profiles - 1));
+  }
+  const Profile& p = profiles_[pi];
+  lp.point.x[0] = p.log_bytes + rng_.Normal(0.0, options_.profile_stddev);
+  lp.point.x[1] = p.log_duration + rng_.Normal(0.0, options_.profile_stddev);
+  lp.point.x[2] = p.port_bucket + rng_.Normal(0.0, 0.1);
+  lp.true_label = pi;
+  return lp;
+}
+
+}  // namespace disc

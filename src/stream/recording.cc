@@ -1,0 +1,79 @@
+#include "stream/recording.h"
+
+#include <cassert>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace disc {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x44495343'53545231ULL;  // "DISCSTR1"
+
+}  // namespace
+
+bool WriteRecording(std::ostream& out,
+                    const std::vector<LabeledPoint>& points) {
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  const std::uint64_t n = points.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const LabeledPoint& lp : points) {
+    out.write(reinterpret_cast<const char*>(&lp.point.id),
+              sizeof(lp.point.id));
+    out.write(reinterpret_cast<const char*>(&lp.point.dims),
+              sizeof(lp.point.dims));
+    out.write(reinterpret_cast<const char*>(lp.point.x.data()),
+              sizeof(double) * kMaxDims);
+    out.write(reinterpret_cast<const char*>(&lp.true_label),
+              sizeof(lp.true_label));
+  }
+  return static_cast<bool>(out);
+}
+
+bool WriteRecordingFile(const std::string& path,
+                        const std::vector<LabeledPoint>& points) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  return WriteRecording(out, points);
+}
+
+bool ReadRecording(std::istream& in, std::vector<LabeledPoint>* points) {
+  std::uint64_t magic = 0;
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kMagic) return false;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) return false;
+  std::vector<LabeledPoint> loaded;
+  loaded.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    LabeledPoint lp;
+    in.read(reinterpret_cast<char*>(&lp.point.id), sizeof(lp.point.id));
+    in.read(reinterpret_cast<char*>(&lp.point.dims), sizeof(lp.point.dims));
+    in.read(reinterpret_cast<char*>(lp.point.x.data()),
+            sizeof(double) * kMaxDims);
+    in.read(reinterpret_cast<char*>(&lp.true_label), sizeof(lp.true_label));
+    if (!in || !IsValidPoint(lp.point)) return false;
+    loaded.push_back(lp);
+  }
+  points->swap(loaded);
+  return true;
+}
+
+bool ReadRecordingFile(const std::string& path,
+                       std::vector<LabeledPoint>* points) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  return ReadRecording(in, points);
+}
+
+RecordedSource::RecordedSource(std::vector<LabeledPoint> points)
+    : points_(std::move(points)) {}
+
+LabeledPoint RecordedSource::Next() {
+  assert(position_ < points_.size() && "recording exhausted");
+  return points_[position_++];
+}
+
+}  // namespace disc

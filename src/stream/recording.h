@@ -1,0 +1,46 @@
+#ifndef DISC_STREAM_RECORDING_H_
+#define DISC_STREAM_RECORDING_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stream/stream_source.h"
+
+namespace disc {
+
+// Binary record/replay of labeled point streams, so an experiment's exact
+// input can be captured once and replayed byte-for-byte (complementing the
+// seeded generators). Same-machine byte order is assumed.
+
+// Serializes the stream prefix to `out` / the file at `path`.
+bool WriteRecording(std::ostream& out, const std::vector<LabeledPoint>& points);
+bool WriteRecordingFile(const std::string& path,
+                        const std::vector<LabeledPoint>& points);
+
+// Deserializes a recording; returns false (and leaves *points untouched) on
+// any validation failure.
+bool ReadRecording(std::istream& in, std::vector<LabeledPoint>* points);
+bool ReadRecordingFile(const std::string& path,
+                       std::vector<LabeledPoint>* points);
+
+// A StreamSource replaying a recording. Ids are taken verbatim from the
+// recording (they are already unique). The source is finite: callers must
+// not pull more than size() points; remaining() says how many are left.
+class RecordedSource : public StreamSource {
+ public:
+  explicit RecordedSource(std::vector<LabeledPoint> points);
+
+  LabeledPoint Next() override;
+
+  std::size_t size() const { return points_.size(); }
+  std::size_t remaining() const { return points_.size() - position_; }
+
+ private:
+  std::vector<LabeledPoint> points_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace disc
+
+#endif  // DISC_STREAM_RECORDING_H_

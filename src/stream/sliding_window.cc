@@ -1,0 +1,54 @@
+#include "stream/sliding_window.h"
+
+#include <cassert>
+
+namespace disc {
+
+CountBasedWindow::CountBasedWindow(std::size_t window_size, std::size_t stride)
+    : window_size_(window_size), stride_(stride) {
+  assert(window_size >= 1);
+  assert(stride >= 1 && stride <= window_size);
+}
+
+CountBasedWindow::CountBasedWindow(std::size_t window_size, std::size_t stride,
+                                   std::vector<Point> contents)
+    : CountBasedWindow(window_size, stride) {
+  assert(contents.size() <= window_size);
+  for (Point& p : contents) contents_.push_back(std::move(p));
+}
+
+WindowDelta CountBasedWindow::Advance(std::vector<Point> next_stride) {
+  WindowDelta delta;
+  for (const Point& p : next_stride) contents_.push_back(p);
+  while (contents_.size() > window_size_) {
+    delta.outgoing.push_back(contents_.front());
+    contents_.pop_front();
+  }
+  delta.incoming = std::move(next_stride);
+  return delta;
+}
+
+TimeBasedWindow::TimeBasedWindow(double window_span, double stride_span)
+    : window_span_(window_span), stride_span_(stride_span) {
+  assert(window_span > 0.0);
+  assert(stride_span > 0.0 && stride_span <= window_span);
+}
+
+WindowDelta TimeBasedWindow::Advance(const std::vector<TimedPoint>& arrivals) {
+  window_end_ += stride_span_;
+  WindowDelta delta;
+  for (const TimedPoint& tp : arrivals) {
+    assert(tp.timestamp <= window_end_);
+    assert(contents_.empty() || contents_.back().timestamp <= tp.timestamp);
+    contents_.push_back(tp);
+    delta.incoming.push_back(tp.point);
+  }
+  const double cutoff = window_end_ - window_span_;
+  while (!contents_.empty() && contents_.front().timestamp <= cutoff) {
+    delta.outgoing.push_back(contents_.front().point);
+    contents_.pop_front();
+  }
+  return delta;
+}
+
+}  // namespace disc

@@ -1,0 +1,73 @@
+#ifndef DISC_STREAM_SLIDING_WINDOW_H_
+#define DISC_STREAM_SLIDING_WINDOW_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/point.h"
+
+namespace disc {
+
+// The batch of points entering and exiting the window in one slide.
+struct WindowDelta {
+  std::vector<Point> incoming;
+  std::vector<Point> outgoing;
+};
+
+// Count-based sliding window (Sec. II-B): `window_size` points are live at a
+// time and the window advances by `stride` points per slide. The first
+// window fills gradually: slides before the window is full evict nothing.
+class CountBasedWindow {
+ public:
+  CountBasedWindow(std::size_t window_size, std::size_t stride);
+
+  // Resumption constructor: seeds the window with existing contents in
+  // arrival order (e.g., Disc::WindowContents() after LoadCheckpoint).
+  CountBasedWindow(std::size_t window_size, std::size_t stride,
+                   std::vector<Point> contents);
+
+  // Pushes the next stride of points (must have exactly stride() elements
+  // unless the stream is ending) and returns what entered/exited.
+  WindowDelta Advance(std::vector<Point> next_stride);
+
+  const std::deque<Point>& contents() const { return contents_; }
+  std::size_t window_size() const { return window_size_; }
+  std::size_t stride() const { return stride_; }
+  bool full() const { return contents_.size() >= window_size_; }
+
+ private:
+  std::size_t window_size_;
+  std::size_t stride_;
+  std::deque<Point> contents_;
+};
+
+// Time-based sliding window: points carry a timestamp (seconds); the window
+// keeps points with timestamp in (now - window_span, now] and advances by
+// stride_span at a time. DISC is agnostic to which model feeds it (Sec. II-B).
+class TimeBasedWindow {
+ public:
+  struct TimedPoint {
+    Point point;
+    double timestamp = 0.0;
+  };
+
+  TimeBasedWindow(double window_span, double stride_span);
+
+  // Ingests points with timestamps <= the new window end and evicts expired
+  // ones. Points must arrive in non-decreasing timestamp order.
+  WindowDelta Advance(const std::vector<TimedPoint>& arrivals);
+
+  double window_end() const { return window_end_; }
+  const std::deque<TimedPoint>& contents() const { return contents_; }
+
+ private:
+  double window_span_;
+  double stride_span_;
+  double window_end_ = 0.0;
+  std::deque<TimedPoint> contents_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_STREAM_SLIDING_WINDOW_H_

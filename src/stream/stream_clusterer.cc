@@ -1,0 +1,15 @@
+#include "stream/stream_clusterer.h"
+
+#include <unordered_set>
+
+namespace disc {
+
+std::size_t ClusteringSnapshot::NumClusters() const {
+  std::unordered_set<ClusterId> distinct;
+  for (std::size_t i = 0; i < cids.size(); ++i) {
+    if (cids[i] != kNoiseCluster) distinct.insert(cids[i]);
+  }
+  return distinct.size();
+}
+
+}  // namespace disc

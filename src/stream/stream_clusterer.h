@@ -1,0 +1,56 @@
+#ifndef DISC_STREAM_STREAM_CLUSTERER_H_
+#define DISC_STREAM_STREAM_CLUSTERER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/point.h"
+
+namespace disc {
+
+// Category of a point in a density-based clustering (Ester et al. '96).
+enum class Category : std::uint8_t { kCore, kBorder, kNoise };
+
+// Cluster identifier. kNoiseCluster marks points outside every cluster.
+using ClusterId = std::int64_t;
+inline constexpr ClusterId kNoiseCluster = -1;
+
+// A full labeling of the current window: parallel arrays of point id,
+// category, and cluster id. Cluster ids are only meaningful up to renaming;
+// use eval/partition.h to canonicalize before comparing.
+struct ClusteringSnapshot {
+  std::vector<PointId> ids;
+  std::vector<Category> categories;
+  std::vector<ClusterId> cids;
+
+  std::size_t size() const { return ids.size(); }
+  // Number of distinct non-noise cluster ids.
+  std::size_t NumClusters() const;
+};
+
+// Interface every windowed clustering method in this repository implements —
+// DISC itself and all baselines. The stream engine calls Update once per
+// window slide with the batch of points entering and exiting the window.
+//
+// Methods that do not support deletion (the summarization-based baselines)
+// ignore `outgoing` and instead decay their internal summaries.
+class StreamClusterer {
+ public:
+  virtual ~StreamClusterer() = default;
+
+  // Advances the clusterer by one slide. `incoming` holds the points entering
+  // the window and `outgoing` the points leaving it, in arbitrary order.
+  virtual void Update(const std::vector<Point>& incoming,
+                      const std::vector<Point>& outgoing) = 0;
+
+  // Returns the labeling of every point currently in the window.
+  virtual ClusteringSnapshot Snapshot() const = 0;
+
+  // Human-readable method name for tables ("DISC", "IncDBSCAN", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace disc
+
+#endif  // DISC_STREAM_STREAM_CLUSTERER_H_

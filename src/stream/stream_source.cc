@@ -1,0 +1,33 @@
+#include "stream/stream_source.h"
+
+namespace disc {
+
+std::vector<LabeledPoint> StreamSource::NextBatch(std::size_t n) {
+  std::vector<LabeledPoint> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) batch.push_back(Next());
+  return batch;
+}
+
+std::vector<Point> StreamSource::NextPoints(std::size_t n) {
+  std::vector<Point> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) batch.push_back(Next().point);
+  return batch;
+}
+
+UniformGenerator::UniformGenerator(std::uint32_t dims, double lo, double hi,
+                                   std::uint64_t seed)
+    : dims_(dims), lo_(lo), hi_(hi), rng_(seed) {}
+
+LabeledPoint UniformGenerator::Next() {
+  LabeledPoint lp;
+  lp.point.id = TakeId();
+  lp.point.dims = dims_;
+  for (std::uint32_t i = 0; i < dims_; ++i) {
+    lp.point.x[i] = rng_.Uniform(lo_, hi_);
+  }
+  return lp;
+}
+
+}  // namespace disc

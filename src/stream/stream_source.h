@@ -1,0 +1,58 @@
+#ifndef DISC_STREAM_STREAM_SOURCE_H_
+#define DISC_STREAM_STREAM_SOURCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/point.h"
+#include "common/rng.h"
+
+namespace disc {
+
+// A streamed point together with its generator-assigned ground-truth label
+// (-1 when the generator has no notion of truth, e.g., background noise).
+struct LabeledPoint {
+  Point point;
+  std::int64_t true_label = -1;
+};
+
+// Base class of every synthetic data stream. Sources are endless; ids are
+// assigned in arrival order starting at 0 and never repeat.
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  // Produces the next point of the stream.
+  virtual LabeledPoint Next() = 0;
+
+  // Convenience: pulls n points at once.
+  std::vector<LabeledPoint> NextBatch(std::size_t n);
+
+  // Strips labels; handy when feeding clusterers directly.
+  std::vector<Point> NextPoints(std::size_t n);
+
+ protected:
+  PointId TakeId() { return next_id_++; }
+
+ private:
+  PointId next_id_ = 0;
+};
+
+// Uniform noise over [lo, hi]^dims. True label is always -1.
+class UniformGenerator : public StreamSource {
+ public:
+  UniformGenerator(std::uint32_t dims, double lo, double hi,
+                   std::uint64_t seed = 1);
+
+  LabeledPoint Next() override;
+
+ private:
+  std::uint32_t dims_;
+  double lo_;
+  double hi_;
+  Rng rng_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_STREAM_STREAM_SOURCE_H_

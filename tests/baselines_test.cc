@@ -1,0 +1,215 @@
+// Correctness tests for the baseline clusterers: IncDBSCAN and EXTRA-N must
+// match fresh DBSCAN exactly after every slide; the approximate methods must
+// behave sanely (high ARI on well-separated data, labels for every point).
+
+#include <memory>
+#include <vector>
+
+#include "baselines/dbscan.h"
+#include "baselines/dbstream.h"
+#include "baselines/edmstream.h"
+#include "baselines/extra_n.h"
+#include "baselines/inc_dbscan.h"
+#include "baselines/rho_dbscan.h"
+#include "eval/ari.h"
+#include "eval/equivalence.h"
+#include "eval/partition.h"
+#include "gtest/gtest.h"
+#include "stream/blobs_generator.h"
+#include "stream/sliding_window.h"
+
+namespace disc {
+namespace {
+
+std::unique_ptr<BlobsGenerator> MakeBlobs(double drift, std::uint64_t seed) {
+  BlobsGenerator::Options o;
+  o.dims = 2;
+  o.num_blobs = 5;
+  o.extent = 10.0;
+  o.stddev = 0.3;
+  o.noise_fraction = 0.12;
+  o.drift = drift;
+  o.seed = seed;
+  return std::make_unique<BlobsGenerator>(o);
+}
+
+void ExpectExactMethod(StreamClusterer* method, double eps, std::uint32_t tau,
+                       std::size_t window_size, std::size_t stride,
+                       double drift, int slides) {
+  auto source = MakeBlobs(drift, 7);
+  CountBasedWindow window(window_size, stride);
+  for (int s = 0; s < slides; ++s) {
+    WindowDelta delta = window.Advance(source->NextPoints(stride));
+    method->Update(delta.incoming, delta.outgoing);
+    std::vector<Point> contents(window.contents().begin(),
+                                window.contents().end());
+    const DbscanResult truth = RunDbscan(contents, eps, tau);
+    const EquivalenceResult eq =
+        CheckSameClustering(method->Snapshot(), truth.snapshot, contents, eps);
+    ASSERT_TRUE(eq.ok) << method->name() << " slide " << s << ": " << eq.error;
+  }
+}
+
+TEST(IncDbscanTest, MatchesDbscanOnStaticBlobs) {
+  DiscConfig config;
+  config.eps = 0.4;
+  config.tau = 5;
+  IncDbscan inc(2, config);
+  ExpectExactMethod(&inc, config.eps, config.tau, 500, 50, 0.0, 10);
+}
+
+TEST(IncDbscanTest, MatchesDbscanOnDriftingBlobs) {
+  DiscConfig config;
+  config.eps = 0.4;
+  config.tau = 4;
+  IncDbscan inc(2, config);
+  ExpectExactMethod(&inc, config.eps, config.tau, 500, 100, 0.06, 10);
+}
+
+TEST(IncDbscanTest, MatchesDbscanWithoutOptimizations) {
+  DiscConfig config;
+  config.eps = 0.35;
+  config.tau = 5;
+  config.use_msbfs = false;
+  config.use_epoch_probing = false;
+  IncDbscan inc(2, config);
+  ExpectExactMethod(&inc, config.eps, config.tau, 400, 80, 0.05, 8);
+}
+
+TEST(IncDbscanTest, FullTurnoverStride) {
+  DiscConfig config;
+  config.eps = 0.4;
+  config.tau = 4;
+  IncDbscan inc(2, config);
+  ExpectExactMethod(&inc, config.eps, config.tau, 300, 300, 0.02, 6);
+}
+
+TEST(ExtraNTest, MatchesDbscanOnStaticBlobs) {
+  ExtraN extra(2, 0.4, 5, 500, 50);
+  ExpectExactMethod(&extra, 0.4, 5, 500, 50, 0.0, 12);
+}
+
+TEST(ExtraNTest, MatchesDbscanOnDriftingBlobs) {
+  ExtraN extra(2, 0.4, 4, 480, 120);
+  ExpectExactMethod(&extra, 0.4, 4, 480, 120, 0.05, 10);
+}
+
+TEST(ExtraNTest, MemoryGrowsWithViewCount) {
+  // Same data, smaller stride => more predicted views => more memory.
+  auto run = [](std::size_t stride) {
+    ExtraN extra(2, 0.4, 5, 480, stride);
+    auto source = MakeBlobs(0.0, 11);
+    CountBasedWindow window(480, stride);
+    for (int s = 0; s < static_cast<int>(480 / stride) + 2; ++s) {
+      WindowDelta d = window.Advance(source->NextPoints(stride));
+      extra.Update(d.incoming, d.outgoing);
+    }
+    return extra.ApproxMemoryBytes();
+  };
+  EXPECT_GT(run(20), run(240));
+}
+
+TEST(RhoDbscanTest, HighAccuracyMatchesDbscanOnSeparatedBlobs) {
+  RhoDbscan::Options o;
+  o.eps = 0.4;
+  o.tau = 5;
+  o.rho = 0.001;
+  RhoDbscan rho(2, o);
+  auto source = MakeBlobs(0.0, 13);
+  CountBasedWindow window(500, 100);
+  for (int s = 0; s < 8; ++s) {
+    WindowDelta d = window.Advance(source->NextPoints(100));
+    rho.Update(d.incoming, d.outgoing);
+    std::vector<Point> contents(window.contents().begin(),
+                                window.contents().end());
+    const DbscanResult truth = RunDbscan(contents, o.eps, o.tau);
+    std::vector<PointId> ids;
+    for (const Point& p : contents) ids.push_back(p.id);
+    const double ari = AdjustedRandIndex(LabelsFor(rho.Snapshot(), ids),
+                                         LabelsFor(truth.snapshot, ids));
+    // Approximate method: near-exact on well-separated blobs.
+    EXPECT_GT(ari, 0.97) << "slide " << s;
+  }
+}
+
+TEST(RhoDbscanTest, LabelsEveryWindowPoint) {
+  RhoDbscan::Options o;
+  o.eps = 0.5;
+  o.tau = 4;
+  o.rho = 0.1;
+  RhoDbscan rho(2, o);
+  auto source = MakeBlobs(0.05, 17);
+  CountBasedWindow window(300, 60);
+  for (int s = 0; s < 6; ++s) {
+    WindowDelta d = window.Advance(source->NextPoints(60));
+    rho.Update(d.incoming, d.outgoing);
+  }
+  EXPECT_EQ(rho.Snapshot().size(), 300u);
+}
+
+TEST(DbStreamTest, HighAriOnSeparatedBlobs) {
+  DbStream::Options o;
+  o.radius = 0.35;
+  o.decay_lambda = 1e-3;
+  o.alpha = 0.2;
+  DbStream dbs(2, o);
+  auto source = MakeBlobs(0.0, 19);
+  CountBasedWindow window(600, 120);
+  double last_ari = 0.0;
+  for (int s = 0; s < 8; ++s) {
+    WindowDelta d = window.Advance(source->NextPoints(120));
+    dbs.Update(d.incoming, d.outgoing);
+    std::vector<Point> contents(window.contents().begin(),
+                                window.contents().end());
+    const DbscanResult truth = RunDbscan(contents, 0.4, 5);
+    std::vector<PointId> ids;
+    for (const Point& p : contents) ids.push_back(p.id);
+    last_ari = AdjustedRandIndex(LabelsFor(dbs.Snapshot(), ids),
+                                 LabelsFor(truth.snapshot, ids));
+  }
+  EXPECT_GT(last_ari, 0.6);
+  EXPECT_GT(dbs.num_micro_clusters(), 4u);
+}
+
+TEST(EdmStreamTest, HighAriOnSeparatedBlobs) {
+  EdmStream::Options o;
+  o.radius = 0.3;
+  o.decay_lambda = 1e-3;
+  o.delta_threshold = 0.9;
+  o.rho_min = 1.5;
+  EdmStream edm(2, o);
+  auto source = MakeBlobs(0.0, 23);
+  CountBasedWindow window(600, 120);
+  double last_ari = 0.0;
+  for (int s = 0; s < 8; ++s) {
+    WindowDelta d = window.Advance(source->NextPoints(120));
+    edm.Update(d.incoming, d.outgoing);
+    std::vector<Point> contents(window.contents().begin(),
+                                window.contents().end());
+    const DbscanResult truth = RunDbscan(contents, 0.4, 5);
+    std::vector<PointId> ids;
+    for (const Point& p : contents) ids.push_back(p.id);
+    last_ari = AdjustedRandIndex(LabelsFor(edm.Snapshot(), ids),
+                                 LabelsFor(truth.snapshot, ids));
+  }
+  EXPECT_GT(last_ari, 0.6);
+}
+
+TEST(DbscanClustererTest, WindowedRunsMatchStaticRuns) {
+  DbscanClusterer dbscan(2, 0.4, 5);
+  auto source = MakeBlobs(0.04, 29);
+  CountBasedWindow window(400, 100);
+  for (int s = 0; s < 6; ++s) {
+    WindowDelta d = window.Advance(source->NextPoints(100));
+    dbscan.Update(d.incoming, d.outgoing);
+    std::vector<Point> contents(window.contents().begin(),
+                                window.contents().end());
+    const DbscanResult truth = RunDbscan(contents, 0.4, 5);
+    const EquivalenceResult eq = CheckSameClustering(
+        dbscan.Snapshot(), truth.snapshot, contents, 0.4);
+    ASSERT_TRUE(eq.ok) << eq.error;
+  }
+}
+
+}  // namespace
+}  // namespace disc

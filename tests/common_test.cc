@@ -1,0 +1,109 @@
+#include <cmath>
+
+#include "common/point.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "gtest/gtest.h"
+
+namespace disc {
+namespace {
+
+Point MakePoint(PointId id, double x, double y) {
+  Point p;
+  p.id = id;
+  p.dims = 2;
+  p.x[0] = x;
+  p.x[1] = y;
+  return p;
+}
+
+TEST(PointTest, SquaredDistanceIsEuclidean) {
+  const Point a = MakePoint(0, 0.0, 0.0);
+  const Point b = MakePoint(1, 3.0, 4.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, a), 0.0);
+}
+
+TEST(PointTest, SquaredDistanceUsesOnlyDeclaredDims) {
+  Point a = MakePoint(0, 1.0, 2.0);
+  Point b = MakePoint(1, 1.0, 2.0);
+  a.x[2] = 100.0;  // Beyond dims; must be ignored.
+  b.x[2] = -100.0;
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 0.0);
+}
+
+TEST(PointTest, WithinEpsBoundaryIsInclusive) {
+  const Point a = MakePoint(0, 0.0, 0.0);
+  const Point b = MakePoint(1, 1.0, 0.0);
+  EXPECT_TRUE(WithinEps(a, b, 1.0));
+  EXPECT_FALSE(WithinEps(a, b, 0.999));
+}
+
+TEST(PointTest, ValidityChecks) {
+  Point p = MakePoint(0, 1.0, 2.0);
+  EXPECT_TRUE(IsValidPoint(p));
+  p.x[1] = std::nan("");
+  EXPECT_FALSE(IsValidPoint(p));
+  p.x[1] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(IsValidPoint(p));
+  p.x[1] = 0.0;
+  p.dims = 0;
+  EXPECT_FALSE(IsValidPoint(p));
+  p.dims = kMaxDims + 1;
+  EXPECT_FALSE(IsValidPoint(p));
+}
+
+TEST(PointTest, ToStringMentionsIdAndCoords) {
+  const Point p = MakePoint(7, 1.5, -2.0);
+  const std::string s = ToString(p);
+  EXPECT_NE(s.find("#7"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("-2"), std::string::npos);
+}
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0.0, 1.0), b.Uniform(0.0, 1.0));
+  }
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(StatsTest, AccumulatesMinMaxMean) {
+  StatsAccumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  acc.Add(2.0);
+  acc.Add(4.0);
+  acc.Add(-1.0);
+  EXPECT_EQ(acc.count(), 3);
+  EXPECT_DOUBLE_EQ(acc.min(), -1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_NEAR(acc.mean(), 5.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace disc

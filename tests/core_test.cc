@@ -1,0 +1,415 @@
+// Unit tests for DISC's support structures (cluster registry) and targeted
+// behavioural tests of the Disc clusterer itself: injected split / merge /
+// emerge / dissipate scenarios with known outcomes, metrics, event
+// reporting, and failure injection.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/cluster_registry.h"
+#include "core/disc.h"
+#include "core/events.h"
+#include "gtest/gtest.h"
+#include "stream/blobs_generator.h"
+#include "stream/sliding_window.h"
+
+namespace disc {
+namespace {
+
+TEST(ClusterRegistryTest, NewClustersAreTheirOwnRoots) {
+  ClusterRegistry reg;
+  const ClusterId a = reg.NewCluster();
+  const ClusterId b = reg.NewCluster();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.Find(a), a);
+  EXPECT_EQ(reg.Find(b), b);
+}
+
+TEST(ClusterRegistryTest, UnionMergesAndFindResolves) {
+  ClusterRegistry reg;
+  const ClusterId a = reg.NewCluster();
+  const ClusterId b = reg.NewCluster();
+  const ClusterId c = reg.NewCluster();
+  const ClusterId ab = reg.Union(a, b);
+  EXPECT_EQ(reg.Find(a), reg.Find(b));
+  EXPECT_EQ(reg.Find(a), ab);
+  EXPECT_NE(reg.Find(c), ab);
+  reg.Union(b, c);
+  EXPECT_EQ(reg.Find(c), reg.Find(a));
+}
+
+TEST(ClusterRegistryTest, NoiseMapsToItself) {
+  ClusterRegistry reg;
+  EXPECT_EQ(reg.Find(kNoiseCluster), kNoiseCluster);
+}
+
+TEST(ClusterRegistryTest, ConstFindAgreesWithMutableFind) {
+  ClusterRegistry reg;
+  std::vector<ClusterId> handles;
+  for (int i = 0; i < 20; ++i) handles.push_back(reg.NewCluster());
+  for (int i = 1; i < 20; ++i) reg.Union(handles[i - 1], handles[i]);
+  const ClusterRegistry& const_reg = reg;
+  for (ClusterId h : handles) {
+    EXPECT_EQ(const_reg.Find(h), reg.Find(h));
+  }
+}
+
+TEST(EventsTest, ToStringNamesEveryType) {
+  EXPECT_STREQ(ToString(ClusterEventType::kEmerge), "emerge");
+  EXPECT_STREQ(ToString(ClusterEventType::kDissipate), "dissipate");
+  EXPECT_STREQ(ToString(ClusterEventType::kSplit), "split");
+  EXPECT_STREQ(ToString(ClusterEventType::kShrink), "shrink");
+  EXPECT_STREQ(ToString(ClusterEventType::kMerge), "merge");
+  EXPECT_STREQ(ToString(ClusterEventType::kGrow), "grow");
+}
+
+// --- Injected cluster-evolution scenarios -------------------------------
+
+Point P2(PointId id, double x, double y) {
+  Point p;
+  p.id = id;
+  p.dims = 2;
+  p.x[0] = x;
+  p.x[1] = y;
+  return p;
+}
+
+// A dense 5-point plus sign centered at (x, y); with eps=0.15 and tau=3 the
+// center and arms form one solid cluster.
+std::vector<Point> Plus(PointId base, double x, double y) {
+  return {P2(base, x, y), P2(base + 1, x + 0.1, y), P2(base + 2, x - 0.1, y),
+          P2(base + 3, x, y + 0.1), P2(base + 4, x, y - 0.1)};
+}
+
+bool HasEvent(const std::vector<ClusterEvent>& events, ClusterEventType type) {
+  return std::any_of(events.begin(), events.end(),
+                     [&](const ClusterEvent& e) { return e.type == type; });
+}
+
+TEST(DiscScenarioTest, EmergenceAndDissipation) {
+  DiscConfig config;
+  config.eps = 0.15;
+  config.tau = 3;
+  Disc disc(2, config);
+
+  const std::vector<Point> blob = Plus(0, 1.0, 1.0);
+  disc.Update(blob, {});
+  EXPECT_TRUE(HasEvent(disc.last_events(), ClusterEventType::kEmerge));
+  EXPECT_EQ(disc.Snapshot().NumClusters(), 1u);
+
+  disc.Update({}, blob);
+  EXPECT_TRUE(HasEvent(disc.last_events(), ClusterEventType::kDissipate));
+  EXPECT_EQ(disc.Snapshot().NumClusters(), 0u);
+  EXPECT_EQ(disc.window_size(), 0u);
+}
+
+TEST(DiscScenarioTest, BridgeRemovalSplitsCluster) {
+  DiscConfig config;
+  config.eps = 0.15;
+  config.tau = 3;
+  Disc disc(2, config);
+
+  // Two plus-blobs connected by a chain of bridge points.
+  std::vector<Point> initial = Plus(0, 1.0, 1.0);
+  const std::vector<Point> right = Plus(100, 1.6, 1.0);
+  initial.insert(initial.end(), right.begin(), right.end());
+  std::vector<Point> bridge = {P2(200, 1.2, 1.0), P2(201, 1.3, 1.0),
+                               P2(202, 1.4, 1.0)};
+  initial.insert(initial.end(), bridge.begin(), bridge.end());
+  disc.Update(initial, {});
+  ASSERT_EQ(disc.Snapshot().NumClusters(), 1u);
+
+  // Removing the bridge must split the cluster in two.
+  disc.Update({}, bridge);
+  EXPECT_TRUE(HasEvent(disc.last_events(), ClusterEventType::kSplit));
+  EXPECT_EQ(disc.Snapshot().NumClusters(), 2u);
+}
+
+TEST(DiscScenarioTest, BridgeInsertionMergesClusters) {
+  DiscConfig config;
+  config.eps = 0.15;
+  config.tau = 3;
+  Disc disc(2, config);
+
+  std::vector<Point> initial = Plus(0, 1.0, 1.0);
+  const std::vector<Point> right = Plus(100, 1.6, 1.0);
+  initial.insert(initial.end(), right.begin(), right.end());
+  disc.Update(initial, {});
+  ASSERT_EQ(disc.Snapshot().NumClusters(), 2u);
+
+  disc.Update({P2(200, 1.2, 1.0), P2(201, 1.3, 1.0), P2(202, 1.4, 1.0)}, {});
+  EXPECT_TRUE(HasEvent(disc.last_events(), ClusterEventType::kMerge));
+  EXPECT_EQ(disc.Snapshot().NumClusters(), 1u);
+}
+
+TEST(DiscScenarioTest, ThreeWaySplitReportsAllFragments) {
+  DiscConfig config;
+  config.eps = 0.15;
+  config.tau = 3;
+  Disc disc(2, config);
+
+  // Three blobs joined through a central hub point chain.
+  std::vector<Point> initial;
+  for (int b = 0; b < 3; ++b) {
+    const double angle = 2.0 * 3.14159265 * b / 3.0;
+    const std::vector<Point> blob =
+        Plus(100 * b, 1.0 + 0.5 * std::cos(angle), 1.0 + 0.5 * std::sin(angle));
+    initial.insert(initial.end(), blob.begin(), blob.end());
+  }
+  std::vector<Point> hub;
+  for (int b = 0; b < 3; ++b) {
+    const double angle = 2.0 * 3.14159265 * b / 3.0;
+    for (int k = 1; k <= 3; ++k) {
+      hub.push_back(P2(1000 + b * 10 + k, 1.0 + 0.125 * k * std::cos(angle),
+                       1.0 + 0.125 * k * std::sin(angle)));
+    }
+  }
+  hub.push_back(P2(2000, 1.0, 1.0));
+  std::vector<Point> all = initial;
+  all.insert(all.end(), hub.begin(), hub.end());
+  disc.Update(all, {});
+  ASSERT_EQ(disc.Snapshot().NumClusters(), 1u);
+
+  disc.Update({}, hub);
+  EXPECT_EQ(disc.Snapshot().NumClusters(), 3u);
+  bool found_split = false;
+  for (const ClusterEvent& e : disc.last_events()) {
+    if (e.type == ClusterEventType::kSplit) {
+      found_split = true;
+      EXPECT_EQ(e.cids.size(), 3u);  // Survivor + two detached fragments.
+    }
+  }
+  EXPECT_TRUE(found_split);
+}
+
+TEST(DiscScenarioTest, ShrinkAndGrowWithoutTopologyChange) {
+  DiscConfig config;
+  config.eps = 0.15;
+  config.tau = 3;
+  Disc disc(2, config);
+
+  std::vector<Point> blob = Plus(0, 1.0, 1.0);
+  std::vector<Point> extra = {P2(50, 1.1, 1.1), P2(51, 0.9, 1.1)};
+  std::vector<Point> all = blob;
+  all.insert(all.end(), extra.begin(), extra.end());
+  disc.Update(all, {});
+  ASSERT_EQ(disc.Snapshot().NumClusters(), 1u);
+
+  disc.Update({}, extra);  // Lose mass but stay connected.
+  EXPECT_TRUE(HasEvent(disc.last_events(), ClusterEventType::kShrink));
+  EXPECT_EQ(disc.Snapshot().NumClusters(), 1u);
+
+  disc.Update({P2(60, 1.1, 0.9)}, {});  // Gain mass in the same cluster.
+  EXPECT_TRUE(HasEvent(disc.last_events(), ClusterEventType::kGrow));
+  EXPECT_EQ(disc.Snapshot().NumClusters(), 1u);
+}
+
+TEST(DiscScenarioTest, SurvivingClusterKeepsItsIdAcrossShrink) {
+  DiscConfig config;
+  config.eps = 0.15;
+  config.tau = 3;
+  Disc disc(2, config);
+  std::vector<Point> blob = Plus(0, 1.0, 1.0);
+  std::vector<Point> extra = {P2(50, 1.1, 1.1)};
+  std::vector<Point> all = blob;
+  all.insert(all.end(), extra.begin(), extra.end());
+  disc.Update(all, {});
+  const ClusteringSnapshot before = disc.Snapshot();
+  disc.Update({}, extra);
+  const ClusteringSnapshot after = disc.Snapshot();
+  // The cid of a core that stayed core must be stable (identity tracking).
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before.ids[i] != 0) continue;
+    for (std::size_t j = 0; j < after.size(); ++j) {
+      if (after.ids[j] != 0) continue;
+      EXPECT_EQ(before.cids[i], after.cids[j]);
+    }
+  }
+}
+
+// --- Robustness / failure injection -------------------------------------
+
+#ifdef NDEBUG
+TEST(DiscRobustnessTest, InvalidIncomingPointsAreRejected) {
+  DiscConfig config;
+  config.eps = 0.15;
+  config.tau = 3;
+  Disc disc(2, config);
+  Point bad = P2(1, 0.0, 0.0);
+  bad.x[0] = std::nan("");
+  disc.Update({bad, P2(2, 1.0, 1.0)}, {});
+  EXPECT_EQ(disc.window_size(), 1u);  // Only the valid point entered.
+}
+
+TEST(DiscRobustnessTest, UnknownOutgoingPointsAreIgnored) {
+  DiscConfig config;
+  config.eps = 0.15;
+  config.tau = 3;
+  Disc disc(2, config);
+  disc.Update({P2(1, 1.0, 1.0)}, {});
+  disc.Update({}, {P2(99, 5.0, 5.0)});  // Never inserted.
+  EXPECT_EQ(disc.window_size(), 1u);
+}
+#endif  // NDEBUG
+
+TEST(DiscRobustnessTest, EmptyUpdateIsANoOp) {
+  DiscConfig config;
+  config.eps = 0.15;
+  config.tau = 3;
+  Disc disc(2, config);
+  disc.Update(Plus(0, 1.0, 1.0), {});
+  const ClusteringSnapshot before = disc.Snapshot();
+  disc.Update({}, {});
+  const ClusteringSnapshot after = disc.Snapshot();
+  EXPECT_EQ(before.size(), after.size());
+  EXPECT_EQ(disc.last_metrics().range_searches, 0u);
+  EXPECT_TRUE(disc.last_events().empty());
+}
+
+TEST(DiscMetricsTest, CollectSearchesMatchDeltaSizes) {
+  DiscConfig config;
+  config.eps = 0.15;
+  config.tau = 3;
+  Disc disc(2, config);
+  disc.Update(Plus(0, 1.0, 1.0), {});
+  // COLLECT issues exactly one search per incoming and one per outgoing
+  // point.
+  EXPECT_EQ(disc.last_metrics().collect_searches, 5u);
+  disc.Update({P2(10, 4.0, 4.0)}, {P2(4, 1.0, 0.9)});
+  EXPECT_EQ(disc.last_metrics().collect_searches, 2u);
+}
+
+TEST(DiscMetricsTest, TauOneMakesEveryPointACore) {
+  DiscConfig config;
+  config.eps = 0.5;
+  config.tau = 1;
+  Disc disc(2, config);
+  disc.Update({P2(0, 0.0, 0.0), P2(1, 10.0, 10.0)}, {});
+  const ClusteringSnapshot snap = disc.Snapshot();
+  EXPECT_EQ(snap.NumClusters(), 2u);
+  for (Category c : snap.categories) EXPECT_EQ(c, Category::kCore);
+}
+
+
+// --- Single-point API and label deltas -----------------------------------
+
+TEST(DiscDeltaTest, InsertRemoveConvenienceWrappers) {
+  DiscConfig config;
+  config.eps = 0.15;
+  config.tau = 3;
+  Disc disc(2, config);
+  for (const Point& p : Plus(0, 1.0, 1.0)) disc.Insert(p);
+  EXPECT_EQ(disc.window_size(), 5u);
+  EXPECT_EQ(disc.Snapshot().NumClusters(), 1u);
+  disc.Remove(P2(0, 1.0, 1.0));
+  EXPECT_EQ(disc.window_size(), 4u);
+}
+
+TEST(DiscDeltaTest, EnteredAndExitedMirrorTheUpdate) {
+  DiscConfig config;
+  config.eps = 0.15;
+  config.tau = 3;
+  Disc disc(2, config);
+  const std::vector<Point> blob = Plus(0, 1.0, 1.0);
+  disc.Update(blob, {});
+  EXPECT_EQ(disc.last_delta().entered.size(), 5u);
+  EXPECT_TRUE(disc.last_delta().exited.empty());
+  // New points are reported as entered, never double-counted as relabeled.
+  for (PointId id : disc.last_delta().relabeled) {
+    for (PointId entered : disc.last_delta().entered) {
+      EXPECT_NE(id, entered);
+    }
+  }
+  disc.Update({}, {blob[0]});
+  EXPECT_EQ(disc.last_delta().exited.size(), 1u);
+  EXPECT_EQ(disc.last_delta().exited[0], blob[0].id);
+}
+
+TEST(DiscDeltaTest, RelabeledListsDemotedSurvivors) {
+  DiscConfig config;
+  config.eps = 0.15;
+  config.tau = 3;
+  Disc disc(2, config);
+  std::vector<Point> blob = Plus(0, 1.0, 1.0);
+  disc.Update(blob, {});
+  // Removing two arm points demotes the remaining arms (2 neighbors < tau)
+  // from core to border; the center keeps its core status and cluster id.
+  disc.Update({}, {blob[3], blob[4]});
+  EXPECT_EQ(disc.last_delta().relabeled.size(), 2u);
+}
+
+TEST(DiscDeltaTest, UntouchedPointsAreNotRelabeled) {
+  DiscConfig config;
+  config.eps = 0.15;
+  config.tau = 3;
+  Disc disc(2, config);
+  disc.Update(Plus(0, 1.0, 1.0), {});
+  // A far-away noise point appears: the existing cluster is untouched.
+  disc.Update({P2(99, 8.0, 8.0)}, {});
+  EXPECT_TRUE(disc.last_delta().relabeled.empty());
+  EXPECT_EQ(disc.last_delta().entered.size(), 1u);
+}
+
+TEST(DiscDeltaTest, DeltaMatchesSnapshotDifference) {
+  // Property: on a random stream, the set of points whose *resolved* label
+  // changed between consecutive snapshots is covered by relabeled + entered
+  // + exited + the clusters merged in events.
+  DiscConfig config;
+  config.eps = 0.4;
+  config.tau = 4;
+  Disc disc(2, config);
+  BlobsGenerator::Options o;
+  o.num_blobs = 4;
+  o.stddev = 0.3;
+  o.drift = 0.05;
+  o.noise_fraction = 0.1;
+  o.seed = 77;
+  BlobsGenerator source(o);
+  CountBasedWindow window(400, 80);
+
+  auto labeling = [&] {
+    std::map<PointId, std::pair<Category, ClusterId>> m;
+    const ClusteringSnapshot s = disc.Snapshot();
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      m[s.ids[i]] = {s.categories[i], s.cids[i]};
+    }
+    return m;
+  };
+
+  std::map<PointId, std::pair<Category, ClusterId>> prev;
+  for (int s = 0; s < 12; ++s) {
+    WindowDelta d = window.Advance(source.NextPoints(80));
+    disc.Update(d.incoming, d.outgoing);
+    auto curr = labeling();
+    std::set<PointId> allowed(disc.last_delta().relabeled.begin(),
+                              disc.last_delta().relabeled.end());
+    for (PointId id : disc.last_delta().entered) allowed.insert(id);
+    // Canonical ids can change for whole clusters via merges/splits without
+    // touching member records; collect the cids involved in this update's
+    // events and exempt their members.
+    std::set<ClusterId> shifted;
+    for (const ClusterEvent& e : disc.last_events()) {
+      for (ClusterId c : e.cids) shifted.insert(c);
+    }
+    for (const auto& [id, label] : curr) {
+      auto pit = prev.find(id);
+      if (pit == prev.end()) {
+        EXPECT_TRUE(allowed.count(id)) << "unreported appearance of " << id;
+        continue;
+      }
+      if (pit->second == label) continue;
+      const bool reported = allowed.count(id) > 0;
+      const bool cid_shift = shifted.count(label.second) > 0 ||
+                             shifted.count(pit->second.second) > 0;
+      EXPECT_TRUE(reported || cid_shift)
+          << "slide " << s << ": unreported label change of point " << id;
+    }
+    prev = std::move(curr);
+  }
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,155 @@
+// Edge-case and behavioural tests for the reference DBSCAN implementation —
+// it is the ground truth every equivalence test leans on, so it gets its own
+// scrutiny against hand-computed expectations and a brute-force oracle.
+
+#include <map>
+#include <vector>
+
+#include "baselines/dbscan.h"
+#include "common/rng.h"
+#include "eval/partition.h"
+#include "gtest/gtest.h"
+
+namespace disc {
+namespace {
+
+Point P2(PointId id, double x, double y) {
+  Point p;
+  p.id = id;
+  p.dims = 2;
+  p.x[0] = x;
+  p.x[1] = y;
+  return p;
+}
+
+TEST(RunDbscanTest, EmptyInput) {
+  const DbscanResult r = RunDbscan({}, 1.0, 3);
+  EXPECT_EQ(r.snapshot.size(), 0u);
+  EXPECT_EQ(r.snapshot.NumClusters(), 0u);
+}
+
+TEST(RunDbscanTest, SinglePointIsNoiseUnlessTauOne) {
+  const std::vector<Point> one = {P2(0, 1.0, 1.0)};
+  EXPECT_EQ(RunDbscan(one, 1.0, 2).snapshot.NumClusters(), 0u);
+  const DbscanResult r = RunDbscan(one, 1.0, 1);
+  EXPECT_EQ(r.snapshot.NumClusters(), 1u);
+  EXPECT_EQ(r.snapshot.categories[0], Category::kCore);
+}
+
+TEST(RunDbscanTest, HandComputedChain) {
+  // Chain of five points spaced 1.0 apart, eps = 1.0, tau = 3 (incl. self):
+  // interior points have 3 neighbors -> cores; endpoints have 2 -> borders.
+  std::vector<Point> chain;
+  for (PointId i = 0; i < 5; ++i) chain.push_back(P2(i, static_cast<double>(i), 0.0));
+  const DbscanResult r = RunDbscan(chain, 1.0, 3);
+  const Labeling l = ToLabeling(r.snapshot);
+  EXPECT_EQ(r.snapshot.NumClusters(), 1u);
+  EXPECT_EQ(l.category.at(0), Category::kBorder);
+  EXPECT_EQ(l.category.at(1), Category::kCore);
+  EXPECT_EQ(l.category.at(2), Category::kCore);
+  EXPECT_EQ(l.category.at(3), Category::kCore);
+  EXPECT_EQ(l.category.at(4), Category::kBorder);
+  EXPECT_EQ(l.cid.at(0), l.cid.at(4));
+}
+
+TEST(RunDbscanTest, TwoSeparatedPairsPlusNoise) {
+  const std::vector<Point> pts = {P2(0, 0.0, 0.0), P2(1, 0.5, 0.0),
+                                  P2(2, 10.0, 0.0), P2(3, 10.5, 0.0),
+                                  P2(4, 5.0, 5.0)};
+  const DbscanResult r = RunDbscan(pts, 1.0, 2);
+  const Labeling l = ToLabeling(r.snapshot);
+  EXPECT_EQ(r.snapshot.NumClusters(), 2u);
+  EXPECT_NE(l.cid.at(0), l.cid.at(2));
+  EXPECT_EQ(l.category.at(4), Category::kNoise);
+}
+
+TEST(RunDbscanTest, CategoriesMatchBruteForceDensities) {
+  Rng rng(91);
+  std::vector<Point> pts;
+  for (PointId id = 0; id < 500; ++id) {
+    pts.push_back(P2(id, rng.Uniform(0.0, 4.0), rng.Uniform(0.0, 4.0)));
+  }
+  const double eps = 0.3;
+  const std::uint32_t tau = 5;
+  const DbscanResult r = RunDbscan(pts, eps, tau);
+  const Labeling l = ToLabeling(r.snapshot);
+  for (const Point& p : pts) {
+    std::size_t n = 0;
+    for (const Point& q : pts) {
+      if (WithinEps(p, q, eps)) ++n;
+    }
+    if (n >= tau) {
+      EXPECT_EQ(l.category.at(p.id), Category::kCore) << p.id;
+    } else {
+      EXPECT_NE(l.category.at(p.id), Category::kCore) << p.id;
+      // Border iff adjacent to a core.
+      bool adjacent_core = false;
+      for (const Point& q : pts) {
+        if (q.id != p.id && WithinEps(p, q, eps) &&
+            l.category.at(q.id) == Category::kCore) {
+          adjacent_core = true;
+          break;
+        }
+      }
+      EXPECT_EQ(l.category.at(p.id) == Category::kBorder, adjacent_core)
+          << p.id;
+    }
+  }
+}
+
+TEST(RunDbscanTest, CorePartitionMatchesBruteForceComponents) {
+  Rng rng(92);
+  std::vector<Point> pts;
+  for (PointId id = 0; id < 400; ++id) {
+    pts.push_back(P2(id, rng.Uniform(0.0, 3.0), rng.Uniform(0.0, 3.0)));
+  }
+  const double eps = 0.25;
+  const std::uint32_t tau = 4;
+  const DbscanResult r = RunDbscan(pts, eps, tau);
+  const Labeling l = ToLabeling(r.snapshot);
+  // Union-find over core points by eps-adjacency.
+  std::map<PointId, PointId> parent;
+  std::function<PointId(PointId)> find = [&](PointId x) {
+    while (parent[x] != x) x = parent[x];
+    return x;
+  };
+  std::vector<PointId> cores;
+  for (const Point& p : pts) {
+    if (l.category.at(p.id) == Category::kCore) {
+      parent[p.id] = p.id;
+      cores.push_back(p.id);
+    }
+  }
+  std::map<PointId, const Point*> by_id;
+  for (const Point& p : pts) by_id[p.id] = &p;
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    for (std::size_t j = i + 1; j < cores.size(); ++j) {
+      if (WithinEps(*by_id[cores[i]], *by_id[cores[j]], eps)) {
+        parent[find(cores[i])] = find(cores[j]);
+      }
+    }
+  }
+  // Same component <=> same DBSCAN cid.
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    for (std::size_t j = i + 1; j < cores.size(); ++j) {
+      EXPECT_EQ(find(cores[i]) == find(cores[j]),
+                l.cid.at(cores[i]) == l.cid.at(cores[j]))
+          << cores[i] << " vs " << cores[j];
+    }
+  }
+}
+
+TEST(RunDbscanTest, ReportsOneRangeSearchPerPoint) {
+  Rng rng(93);
+  std::vector<Point> pts;
+  for (PointId id = 0; id < 300; ++id) {
+    pts.push_back(P2(id, rng.Uniform(0.0, 3.0), rng.Uniform(0.0, 3.0)));
+  }
+  const DbscanResult r = RunDbscan(pts, 0.3, 4);
+  // Classic DBSCAN: at most one neighborhood query per point.
+  EXPECT_LE(r.range_searches, pts.size());
+  EXPECT_GT(r.range_searches, pts.size() / 2);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,163 @@
+#include <vector>
+
+#include "eval/ari.h"
+#include "eval/equivalence.h"
+#include "eval/partition.h"
+#include "eval/table.h"
+#include "gtest/gtest.h"
+
+namespace disc {
+namespace {
+
+TEST(AriTest, IdenticalPartitionsScoreOne) {
+  const std::vector<ClusterId> a = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, a), 1.0);
+}
+
+TEST(AriTest, RenamedPartitionsScoreOne) {
+  const std::vector<ClusterId> a = {0, 0, 1, 1, 2, 2};
+  const std::vector<ClusterId> b = {7, 7, 3, 3, 9, 9};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, b), 1.0);
+}
+
+TEST(AriTest, KnownValueFromLiterature) {
+  // Classic example: ARI of these two partitions of 6 items is 0.24242...
+  const std::vector<ClusterId> a = {0, 0, 0, 1, 1, 1};
+  const std::vector<ClusterId> b = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(AdjustedRandIndex(a, b), 0.242424, 1e-5);
+}
+
+TEST(AriTest, IndependentPartitionsScoreNearZero) {
+  // A checkerboard split carries no information about the block split.
+  std::vector<ClusterId> a, b;
+  for (int i = 0; i < 400; ++i) {
+    a.push_back(i % 2);
+    b.push_back(i < 200 ? 0 : 1);
+  }
+  EXPECT_NEAR(AdjustedRandIndex(a, b), 0.0, 0.02);
+}
+
+TEST(AriTest, EmptyInputScoresOne) {
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({}, {}), 1.0);
+}
+
+TEST(AriTest, SymmetricInArguments) {
+  const std::vector<ClusterId> a = {0, 1, 1, 2, 2, 2, -1, -1};
+  const std::vector<ClusterId> b = {0, 0, 1, 1, 2, 2, 2, -1};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, b), AdjustedRandIndex(b, a));
+}
+
+ClusteringSnapshot MakeSnapshot(
+    std::vector<PointId> ids, std::vector<Category> cats,
+    std::vector<ClusterId> cids) {
+  ClusteringSnapshot s;
+  s.ids = std::move(ids);
+  s.categories = std::move(cats);
+  s.cids = std::move(cids);
+  return s;
+}
+
+TEST(PartitionTest, CanonicalizeIsStableUnderRenamingAndOrder) {
+  const auto a = MakeSnapshot({3, 1, 2}, {Category::kCore, Category::kCore,
+                                          Category::kNoise},
+                              {5, 9, kNoiseCluster});
+  const auto b = MakeSnapshot({1, 2, 3}, {Category::kCore, Category::kNoise,
+                                          Category::kCore},
+                              {100, kNoiseCluster, 42});
+  std::vector<PointId> ids_a, ids_b;
+  std::vector<ClusterId> cids_a, cids_b;
+  Canonicalize(a, &ids_a, &cids_a);
+  Canonicalize(b, &ids_b, &cids_b);
+  EXPECT_EQ(ids_a, ids_b);
+  EXPECT_EQ(cids_a, cids_b);
+}
+
+TEST(PartitionTest, LabelsForHandlesMissingIds) {
+  const auto snap = MakeSnapshot({1, 2}, {Category::kCore, Category::kCore},
+                                 {4, 4});
+  const std::vector<ClusterId> labels = LabelsFor(snap, {2, 99, 1});
+  EXPECT_EQ(labels, (std::vector<ClusterId>{4, kNoiseCluster, 4}));
+}
+
+TEST(NumClustersTest, CountsDistinctNonNoise) {
+  const auto snap = MakeSnapshot(
+      {1, 2, 3, 4},
+      {Category::kCore, Category::kBorder, Category::kNoise, Category::kCore},
+      {7, 7, kNoiseCluster, 9});
+  EXPECT_EQ(snap.NumClusters(), 2u);
+}
+
+Point P2(PointId id, double x, double y) {
+  Point p;
+  p.id = id;
+  p.dims = 2;
+  p.x[0] = x;
+  p.x[1] = y;
+  return p;
+}
+
+TEST(EquivalenceTest, AcceptsRenamedClusters) {
+  const std::vector<Point> pts = {P2(0, 0, 0), P2(1, 0.1, 0), P2(2, 0.2, 0)};
+  const auto a = MakeSnapshot(
+      {0, 1, 2}, {Category::kCore, Category::kCore, Category::kCore},
+      {5, 5, 5});
+  const auto b = MakeSnapshot(
+      {0, 1, 2}, {Category::kCore, Category::kCore, Category::kCore},
+      {11, 11, 11});
+  EXPECT_TRUE(CheckSameClustering(a, b, pts, 0.15).ok);
+}
+
+TEST(EquivalenceTest, RejectsCategoryMismatch) {
+  const std::vector<Point> pts = {P2(0, 0, 0), P2(1, 0.1, 0)};
+  const auto a = MakeSnapshot({0, 1}, {Category::kCore, Category::kCore},
+                              {1, 1});
+  const auto b = MakeSnapshot({0, 1}, {Category::kCore, Category::kBorder},
+                              {1, 1});
+  const EquivalenceResult r = CheckSameClustering(a, b, pts, 0.15);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("category"), std::string::npos);
+}
+
+TEST(EquivalenceTest, RejectsCorePartitionMismatch) {
+  const std::vector<Point> pts = {P2(0, 0, 0), P2(1, 0.1, 0), P2(2, 5, 5),
+                                  P2(3, 5.1, 5)};
+  const auto cats = std::vector<Category>(4, Category::kCore);
+  const auto a = MakeSnapshot({0, 1, 2, 3}, cats, {1, 1, 2, 2});
+  const auto b = MakeSnapshot({0, 1, 2, 3}, cats, {1, 1, 1, 1});
+  EXPECT_FALSE(CheckSameClustering(a, b, pts, 0.15).ok);
+}
+
+TEST(EquivalenceTest, AcceptsBorderTieBreaks) {
+  // Border point 2 sits between two cores of different clusters; either
+  // cluster id is a valid DBSCAN outcome.
+  const std::vector<Point> pts = {P2(0, 0, 0), P2(1, 0.2, 0), P2(2, 0.1, 0)};
+  const auto cats = std::vector<Category>{Category::kCore, Category::kCore,
+                                          Category::kBorder};
+  const auto a = MakeSnapshot({0, 1, 2}, cats, {1, 2, 1});
+  const auto b = MakeSnapshot({0, 1, 2}, cats, {1, 2, 2});
+  EXPECT_TRUE(CheckSameClustering(a, b, pts, 0.12).ok);
+}
+
+TEST(EquivalenceTest, RejectsUnjustifiedBorderLabel) {
+  // Border 2 is adjacent only to core 0 (cluster 1); labeling it cluster 2
+  // is wrong in either snapshot.
+  const std::vector<Point> pts = {P2(0, 0, 0), P2(1, 9, 9), P2(2, 0.1, 0)};
+  const auto cats = std::vector<Category>{Category::kCore, Category::kCore,
+                                          Category::kBorder};
+  const auto a = MakeSnapshot({0, 1, 2}, cats, {1, 2, 2});
+  const auto b = MakeSnapshot({0, 1, 2}, cats, {1, 2, 1});
+  EXPECT_FALSE(CheckSameClustering(a, b, pts, 0.12).ok);
+}
+
+TEST(TableTest, AlignsColumnsAndEmitsCsv) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", Table::Num(1.5, 1)});
+  t.AddRow({"b", "x"});
+  const std::string text = t.ToText();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  EXPECT_EQ(t.ToCsv(), "name,value\nalpha,1.5\nb,x\n");
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,190 @@
+// Parameterized equivalence sweeps for the exact baselines (IncDBSCAN,
+// EXTRA-N) mirroring the DISC sweep: after every slide the produced
+// clustering must equal fresh DBSCAN's over the window contents.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/dbscan.h"
+#include "baselines/extra_n.h"
+#include "baselines/inc_dbscan.h"
+#include "eval/equivalence.h"
+#include "gtest/gtest.h"
+#include "stream/blobs_generator.h"
+#include "stream/maze_generator.h"
+#include "stream/sliding_window.h"
+#include "stream/stream_source.h"
+
+namespace disc {
+namespace {
+
+struct SweepCase {
+  std::string name;
+  int method;  // 0: IncDBSCAN, 1: EXTRA-N.
+  int generator;  // 0: blobs, 1: drifting blobs, 2: maze, 3: uniform.
+  double eps;
+  std::uint32_t tau;
+  std::size_t window;
+  std::size_t stride;
+  std::uint32_t dims;
+};
+
+std::unique_ptr<StreamSource> MakeSource(const SweepCase& sc) {
+  switch (sc.generator) {
+    case 0: {
+      BlobsGenerator::Options o;
+      o.dims = sc.dims;
+      o.num_blobs = 6;
+      o.stddev = 0.35;
+      o.noise_fraction = 0.15;
+      o.seed = 42;
+      return std::make_unique<BlobsGenerator>(o);
+    }
+    case 1: {
+      BlobsGenerator::Options o;
+      o.dims = sc.dims;
+      o.num_blobs = 4;
+      o.extent = 8.0;
+      o.stddev = 0.3;
+      o.noise_fraction = 0.1;
+      o.drift = 0.05;
+      o.seed = 42;
+      return std::make_unique<BlobsGenerator>(o);
+    }
+    case 2: {
+      MazeGenerator::Options o;
+      o.num_seeds = 8;
+      o.extent = 12.0;
+      o.step = 0.08;
+      o.jitter = 0.03;
+      o.points_per_step = 3;
+      o.seed = 42;
+      return std::make_unique<MazeGenerator>(o);
+    }
+    default:
+      return std::make_unique<UniformGenerator>(sc.dims, 0.0, 6.0, 42);
+  }
+}
+
+class ExactBaselineSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ExactBaselineSweepTest, MatchesFreshDbscanAfterEverySlide) {
+  const SweepCase& sc = GetParam();
+  auto source = MakeSource(sc);
+
+  std::unique_ptr<StreamClusterer> method;
+  if (sc.method == 0) {
+    DiscConfig config;
+    config.eps = sc.eps;
+    config.tau = sc.tau;
+    method = std::make_unique<IncDbscan>(sc.dims, config);
+  } else {
+    method = std::make_unique<ExtraN>(sc.dims, sc.eps, sc.tau, sc.window,
+                                      sc.stride);
+  }
+
+  CountBasedWindow window(sc.window, sc.stride);
+  for (int s = 0; s < 10; ++s) {
+    WindowDelta delta = window.Advance(source->NextPoints(sc.stride));
+    method->Update(delta.incoming, delta.outgoing);
+    std::vector<Point> contents(window.contents().begin(),
+                                window.contents().end());
+    const DbscanResult truth = RunDbscan(contents, sc.eps, sc.tau);
+    const EquivalenceResult eq = CheckSameClustering(
+        method->Snapshot(), truth.snapshot, contents, sc.eps);
+    ASSERT_TRUE(eq.ok) << sc.name << " slide " << s << ": " << eq.error;
+  }
+}
+
+std::vector<SweepCase> MakeCases() {
+  std::vector<SweepCase> cases;
+  const char* method_names[] = {"inc", "extran"};
+  for (int method = 0; method < 2; ++method) {
+    for (int gen = 0; gen <= 3; ++gen) {
+      SweepCase sc;
+      sc.method = method;
+      sc.generator = gen;
+      sc.eps = gen == 3 ? 0.45 : 0.4;
+      sc.tau = 5;
+      sc.window = 480;
+      sc.stride = 60;
+      sc.dims = 2;
+      sc.name = std::string(method_names[method]) + "_gen" +
+                std::to_string(gen);
+      cases.push_back(sc);
+    }
+    // Dimension variants.
+    for (std::uint32_t dims : {3U, 4U}) {
+      SweepCase sc;
+      sc.method = method;
+      sc.generator = 0;
+      sc.eps = 0.8;
+      sc.tau = 4;
+      sc.window = 400;
+      sc.stride = 50;
+      sc.dims = dims;
+      sc.name = std::string(method_names[method]) + "_dims" +
+                std::to_string(dims);
+      cases.push_back(sc);
+    }
+    // Stride variants (divide the window evenly for EXTRA-N).
+    for (std::size_t stride : {24UL, 240UL, 480UL}) {
+      SweepCase sc;
+      sc.method = method;
+      sc.generator = 1;
+      sc.eps = 0.4;
+      sc.tau = 4;
+      sc.window = 480;
+      sc.stride = stride;
+      sc.dims = 2;
+      sc.name = std::string(method_names[method]) + "_stride" +
+                std::to_string(stride);
+      cases.push_back(sc);
+    }
+    // Density threshold variants.
+    for (std::uint32_t tau : {1U, 12U}) {
+      SweepCase sc;
+      sc.method = method;
+      sc.generator = 0;
+      sc.eps = 0.35;
+      sc.tau = tau;
+      sc.window = 400;
+      sc.stride = 80;
+      sc.dims = 2;
+      sc.name = std::string(method_names[method]) + "_tau" +
+                std::to_string(tau);
+      cases.push_back(sc);
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExactBaselineSweepTest,
+                         ::testing::ValuesIn(MakeCases()),
+                         [](const ::testing::TestParamInfo<SweepCase>& info) {
+                           return info.param.name;
+                         });
+
+// EXTRA-N structural details.
+TEST(ExtraNTest, ViewCountMatchesWindowStrideRatio) {
+  ExtraN extra(2, 0.3, 4, 600, 50);
+  EXPECT_EQ(extra.num_views(), 12u);
+}
+
+TEST(ExtraNTest, NoRangeSearchesOnPureExpirySlides) {
+  ExtraN extra(2, 0.3, 4, 200, 100);
+  UniformGenerator gen(2, 0.0, 5.0);
+  extra.Update(gen.NextPoints(100), {});
+  extra.Update(gen.NextPoints(100), {});
+  const std::vector<Point> first_batch = [] {
+    UniformGenerator g(2, 0.0, 5.0);
+    return g.NextPoints(100);
+  }();
+  // Expiry-only slide: no insertions, only deletions — zero searches.
+  extra.Update({}, first_batch);
+  EXPECT_EQ(extra.last_range_searches(), 0u);
+}
+
+}  // namespace
+}  // namespace disc

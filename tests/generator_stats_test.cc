@@ -1,0 +1,189 @@
+// Statistical sanity checks for the dataset-analogue generators: each must
+// keep the structural properties DESIGN.md §2 claims preserve the paper's
+// density regimes.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/stats.h"
+#include "gtest/gtest.h"
+#include "stream/covid_generator.h"
+#include "stream/dtg_generator.h"
+#include "stream/geolife_generator.h"
+#include "stream/iris_generator.h"
+#include "stream/maze_generator.h"
+#include "stream/netflow_generator.h"
+
+namespace disc {
+namespace {
+
+TEST(DtgStatsTest, CongestionZonesDominateAndAreCompact) {
+  DtgGenerator::Options o;
+  o.background_fraction = 0.25;
+  DtgGenerator gen(o);
+  std::map<std::int64_t, std::vector<Point>> by_zone;
+  int background = 0;
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) {
+    const LabeledPoint lp = gen.Next();
+    if (lp.true_label < 0) {
+      ++background;
+    } else {
+      by_zone[lp.true_label].push_back(lp.point);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(background) / n, 0.25, 0.03);
+  EXPECT_GE(by_zone.size(), 30u);  // Most of the 40 zones hit.
+  // Each zone is compact: its bounding box along the road is ~zone_length.
+  for (const auto& [zone, pts] : by_zone) {
+    if (pts.size() < 20) continue;
+    double lo_x = 1e9, hi_x = -1e9, lo_y = 1e9, hi_y = -1e9;
+    for (const Point& p : pts) {
+      lo_x = std::min(lo_x, p.x[0]);
+      hi_x = std::max(hi_x, p.x[0]);
+      lo_y = std::min(lo_y, p.x[1]);
+      hi_y = std::max(hi_y, p.x[1]);
+    }
+    const double long_side = std::max(hi_x - lo_x, hi_y - lo_y);
+    const double short_side = std::min(hi_x - lo_x, hi_y - lo_y);
+    EXPECT_LT(long_side, o.zone_length * 1.5) << "zone " << zone;
+    // Across-road scatter is lane-scale, far below the road spacing — the
+    // property that forces a small eps (the paper's DTG argument).
+    EXPECT_LT(short_side, o.road_spacing / 5.0) << "zone " << zone;
+  }
+}
+
+TEST(GeolifeStatsTest, UsersStayInDomainAndMoveContinuously) {
+  GeolifeGenerator::Options o;
+  GeolifeGenerator gen(o);
+  std::map<std::int64_t, Point> last_seen;
+  for (int i = 0; i < 6000; ++i) {
+    const LabeledPoint lp = gen.Next();
+    EXPECT_GE(lp.point.x[0], -0.2);
+    EXPECT_LE(lp.point.x[0], o.extent + 0.2);
+    EXPECT_GE(lp.point.x[2], -0.2);
+    EXPECT_LE(lp.point.x[2], o.alt_extent + 0.2);
+    auto it = last_seen.find(lp.true_label);
+    if (it != last_seen.end()) {
+      // Per-user consecutive emissions differ by about one speed step.
+      EXPECT_LT(SquaredDistance(lp.point, it->second),
+                (o.speed * 4 + 4 * o.jitter) * (o.speed * 4 + 4 * o.jitter));
+    }
+    last_seen[lp.true_label] = lp.point;
+  }
+  EXPECT_EQ(last_seen.size(), static_cast<std::size_t>(o.num_users));
+}
+
+TEST(CovidStatsTest, HotspotPopularityIsHeavyTailed) {
+  CovidGenerator::Options o;
+  o.noise_fraction = 0.0;
+  CovidGenerator gen(o);
+  std::map<std::int64_t, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) counts[gen.Next().true_label]++;
+  ASSERT_GE(counts.size(), 20u);
+  // Zipf(1): the most popular hotspot receives many times the median's mass.
+  std::vector<int> sizes;
+  for (const auto& [label, c] : counts) sizes.push_back(c);
+  std::sort(sizes.rbegin(), sizes.rend());
+  EXPECT_GT(sizes.front(), 5 * sizes[sizes.size() / 2]);
+}
+
+TEST(IrisStatsTest, EventsConcentrateAlongFaults) {
+  IrisGenerator::Options o;
+  IrisGenerator gen(o);
+  std::map<std::int64_t, std::vector<Point>> by_fault;
+  for (int i = 0; i < 6000; ++i) {
+    const LabeledPoint lp = gen.Next();
+    ASSERT_GE(lp.true_label, 0);
+    by_fault[lp.true_label].push_back(lp.point);
+    // Depth and magnitude stay in their scaled bands.
+    EXPECT_GT(lp.point.x[2], 0.0);
+    EXPECT_GT(lp.point.x[3], 20.0);
+    EXPECT_LT(lp.point.x[3], 80.0);
+  }
+  EXPECT_EQ(by_fault.size(), static_cast<std::size_t>(o.num_faults));
+  // A fault's lat/lon footprint is elongated: spread along >> across.
+  for (const auto& [fault, pts] : by_fault) {
+    if (pts.size() < 100) continue;
+    // PCA-lite: compare variance along the principal axis with the
+    // perpendicular one using the 2D covariance.
+    double mx = 0, my = 0;
+    for (const Point& p : pts) {
+      mx += p.x[0];
+      my += p.x[1];
+    }
+    mx /= pts.size();
+    my /= pts.size();
+    double sxx = 0, syy = 0, sxy = 0;
+    for (const Point& p : pts) {
+      sxx += (p.x[0] - mx) * (p.x[0] - mx);
+      syy += (p.x[1] - my) * (p.x[1] - my);
+      sxy += (p.x[0] - mx) * (p.x[1] - my);
+    }
+    const double tr = sxx + syy;
+    const double det = sxx * syy - sxy * sxy;
+    const double disc_root = std::sqrt(std::max(0.0, tr * tr / 4.0 - det));
+    const double lambda_max = tr / 2.0 + disc_root;
+    const double lambda_min = tr / 2.0 - disc_root;
+    EXPECT_GT(lambda_max, 5.0 * std::max(lambda_min, 1e-9)) << fault;
+  }
+}
+
+TEST(MazeStatsTest, RoundRobinEmissionAcrossSeeds) {
+  MazeGenerator::Options o;
+  o.num_seeds = 5;
+  o.points_per_step = 2;
+  MazeGenerator gen(o);
+  // Emission pattern: seeds cycle every points_per_step emissions.
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    for (int s = 0; s < o.num_seeds; ++s) {
+      for (int k = 0; k < o.points_per_step; ++k) {
+        EXPECT_EQ(gen.Next().true_label, s);
+      }
+    }
+  }
+}
+
+TEST(NetflowStatsTest, AnomaliesAreFarFromEveryProfile) {
+  NetflowGenerator::Options o;
+  o.anomaly_fraction = 0.05;
+  NetflowGenerator gen(o);
+  std::vector<Point> normal;
+  std::vector<Point> anomalies;
+  for (int i = 0; i < 8000; ++i) {
+    const LabeledPoint lp = gen.Next();
+    (lp.true_label < 0 ? anomalies : normal).push_back(lp.point);
+  }
+  ASSERT_GT(anomalies.size(), 200u);
+  EXPECT_NEAR(static_cast<double>(anomalies.size()) / 8000.0, 0.05, 0.02);
+  // Every anomaly is at least 2 units from every normal flow's profile area.
+  for (const Point& a : anomalies) {
+    double min_d2 = 1e18;
+    for (std::size_t i = 0; i < normal.size(); i += 13) {
+      min_d2 = std::min(min_d2, SquaredDistance(a, normal[i]));
+    }
+    EXPECT_GT(min_d2, 1.0) << ToString(a);
+  }
+}
+
+TEST(NetflowStatsTest, BurstsSkewTrafficTowardOneProfile) {
+  NetflowGenerator::Options o;
+  o.anomaly_fraction = 0.0;
+  o.burst_every = 2000;
+  o.burst_length = 1000;
+  NetflowGenerator gen(o);
+  // Consume until inside a burst phase, then measure the mode share.
+  for (int i = 0; i < 2000; ++i) gen.Next();
+  std::map<std::int64_t, int> counts;
+  for (int i = 0; i < 900; ++i) counts[gen.Next().true_label]++;
+  int max_count = 0;
+  for (const auto& [label, c] : counts) max_count = std::max(max_count, c);
+  // 70% burst affinity + uniform remainder: the mode well exceeds 1/6.
+  EXPECT_GT(max_count, 900 / 3);
+}
+
+}  // namespace
+}  // namespace disc

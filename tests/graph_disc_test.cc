@@ -1,0 +1,159 @@
+// Tests for GraphDisc — the materialized-eps-graph DISC variant (the
+// alternative the paper's Sec. IV considers and rejects). It must be exactly
+// as correct as Disc; the difference is purely a cost trade-off.
+
+#include <memory>
+#include <vector>
+
+#include "baselines/dbscan.h"
+#include "baselines/graph_disc.h"
+#include "core/disc.h"
+#include "eval/equivalence.h"
+#include "gtest/gtest.h"
+#include "stream/blobs_generator.h"
+#include "stream/iris_generator.h"
+#include "stream/maze_generator.h"
+#include "stream/sliding_window.h"
+#include "stream/stream_source.h"
+
+namespace disc {
+namespace {
+
+void ExpectExact(std::uint32_t dims, StreamSource* source, double eps,
+                 std::uint32_t tau, std::size_t window_size,
+                 std::size_t stride, int slides) {
+  DiscConfig config;
+  config.eps = eps;
+  config.tau = tau;
+  GraphDisc graph(dims, config);
+  CountBasedWindow window(window_size, stride);
+  for (int s = 0; s < slides; ++s) {
+    WindowDelta d = window.Advance(source->NextPoints(stride));
+    graph.Update(d.incoming, d.outgoing);
+    std::vector<Point> contents(window.contents().begin(),
+                                window.contents().end());
+    const DbscanResult truth = RunDbscan(contents, eps, tau);
+    const EquivalenceResult eq =
+        CheckSameClustering(graph.Snapshot(), truth.snapshot, contents, eps);
+    ASSERT_TRUE(eq.ok) << "slide " << s << ": " << eq.error;
+  }
+}
+
+TEST(GraphDiscTest, MatchesDbscanOnStaticBlobs) {
+  BlobsGenerator::Options o;
+  o.num_blobs = 5;
+  o.stddev = 0.3;
+  o.noise_fraction = 0.15;
+  o.seed = 61;
+  BlobsGenerator source(o);
+  ExpectExact(2, &source, 0.4, 5, 500, 50, 10);
+}
+
+TEST(GraphDiscTest, MatchesDbscanOnDriftingBlobs) {
+  BlobsGenerator::Options o;
+  o.num_blobs = 4;
+  o.extent = 8.0;
+  o.stddev = 0.3;
+  o.noise_fraction = 0.1;
+  o.drift = 0.05;
+  o.seed = 62;
+  BlobsGenerator source(o);
+  ExpectExact(2, &source, 0.4, 4, 500, 100, 12);
+}
+
+TEST(GraphDiscTest, MatchesDbscanOnMazeTrajectories) {
+  MazeGenerator::Options o;
+  o.num_seeds = 8;
+  o.extent = 12.0;
+  o.step = 0.08;
+  o.jitter = 0.03;
+  o.points_per_step = 3;
+  o.seed = 63;
+  MazeGenerator source(o);
+  ExpectExact(2, &source, 0.4, 5, 600, 60, 12);
+}
+
+TEST(GraphDiscTest, MatchesDbscanOn4DSoakStream) {
+  // The same stream family that exposed the multi-group survivor bug.
+  IrisGenerator::Options o;
+  o.num_faults = 10;
+  o.seed = 59;
+  IrisGenerator source(o);
+  ExpectExact(4, &source, 2.0, 6, 1500, 150, 40);
+}
+
+TEST(GraphDiscTest, FullTurnoverStride) {
+  BlobsGenerator::Options o;
+  o.seed = 64;
+  BlobsGenerator source(o);
+  ExpectExact(2, &source, 0.4, 5, 300, 300, 6);
+}
+
+TEST(GraphDiscTest, AgreesWithIndexBackedDiscOnEverySlide) {
+  DiscConfig config;
+  config.eps = 0.35;
+  config.tau = 4;
+  Disc index_backed(2, config);
+  GraphDisc graph_backed(2, config);
+  BlobsGenerator::Options o;
+  o.num_blobs = 5;
+  o.drift = 0.04;
+  o.noise_fraction = 0.12;
+  o.seed = 65;
+  BlobsGenerator source(o);
+  CountBasedWindow window(600, 120);
+  for (int s = 0; s < 10; ++s) {
+    WindowDelta d = window.Advance(source.NextPoints(120));
+    index_backed.Update(d.incoming, d.outgoing);
+    graph_backed.Update(d.incoming, d.outgoing);
+    std::vector<Point> contents(window.contents().begin(),
+                                window.contents().end());
+    const EquivalenceResult eq =
+        CheckSameClustering(index_backed.Snapshot(), graph_backed.Snapshot(),
+                            contents, config.eps);
+    ASSERT_TRUE(eq.ok) << "slide " << s << ": " << eq.error;
+  }
+}
+
+TEST(GraphDiscTest, OnlyInsertionsIssueRangeSearches) {
+  DiscConfig config;
+  config.eps = 0.4;
+  config.tau = 4;
+  GraphDisc graph(2, config);
+  BlobsGenerator::Options o;
+  o.seed = 66;
+  BlobsGenerator source(o);
+  std::vector<Point> first = source.NextPoints(200);
+  graph.Update(first, {});
+  EXPECT_EQ(graph.last_range_searches(), 200u);
+  // Deletion-only slide: zero searches — the variant's selling point.
+  graph.Update({}, std::vector<Point>(first.begin(), first.begin() + 100));
+  EXPECT_EQ(graph.last_range_searches(), 0u);
+}
+
+TEST(GraphDiscTest, EdgeAndMemoryAccountingTracksDensity) {
+  DiscConfig config;
+  config.eps = 0.5;
+  config.tau = 4;
+  GraphDisc graph(2, config);
+  // A dense clump: every pair within eps => n*(n-1)/2 edges.
+  std::vector<Point> clump;
+  for (PointId id = 0; id < 40; ++id) {
+    Point p;
+    p.id = id;
+    p.dims = 2;
+    p.x[0] = 1.0 + 0.001 * static_cast<double>(id);
+    p.x[1] = 1.0;
+    clump.push_back(p);
+  }
+  graph.Update(clump, {});
+  EXPECT_EQ(graph.total_edges(), 40u * 39u / 2u);
+  const std::size_t bytes_dense = graph.ApproxMemoryBytes();
+  // Remove half: edges and memory shrink.
+  graph.Update({}, std::vector<Point>(clump.begin(), clump.begin() + 20));
+  EXPECT_EQ(graph.total_edges(), 20u * 19u / 2u);
+  EXPECT_LT(graph.ApproxMemoryBytes(), bytes_dense);
+}
+
+}  // namespace
+}  // namespace disc

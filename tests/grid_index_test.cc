@@ -1,0 +1,105 @@
+#include <set>
+#include <vector>
+
+#include "common/point.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "index/grid_index.h"
+
+namespace disc {
+namespace {
+
+Point P2(PointId id, double x, double y) {
+  Point p;
+  p.id = id;
+  p.dims = 2;
+  p.x[0] = x;
+  p.x[1] = y;
+  return p;
+}
+
+TEST(GridIndexTest, InsertDeleteBookkeeping) {
+  GridIndex grid(2, 0.5);
+  grid.Insert(P2(1, 0.1, 0.1));
+  grid.Insert(P2(2, 0.2, 0.2));
+  grid.Insert(P2(3, 3.0, 3.0));
+  EXPECT_EQ(grid.size(), 3u);
+  EXPECT_EQ(grid.num_cells(), 2u);
+  EXPECT_TRUE(grid.Delete(P2(2, 0.2, 0.2)));
+  EXPECT_FALSE(grid.Delete(P2(2, 0.2, 0.2)));
+  EXPECT_EQ(grid.size(), 2u);
+  EXPECT_TRUE(grid.Delete(P2(3, 3.0, 3.0)));
+  EXPECT_EQ(grid.num_cells(), 1u);  // Emptied cell erased.
+}
+
+TEST(GridIndexTest, NegativeCoordinatesLandInDistinctCells) {
+  GridIndex grid(2, 1.0);
+  grid.Insert(P2(1, -0.5, -0.5));
+  grid.Insert(P2(2, 0.5, 0.5));
+  const CellCoord a = grid.CellOf(P2(0, -0.5, -0.5));
+  const CellCoord b = grid.CellOf(P2(0, 0.5, 0.5));
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a.c[0], -1);
+  EXPECT_EQ(b.c[0], 0);
+}
+
+TEST(GridIndexTest, RangeSearchMatchesBruteForce) {
+  Rng rng(3);
+  std::vector<Point> pts;
+  GridIndex grid(2, 0.37);
+  for (PointId id = 0; id < 600; ++id) {
+    Point p = P2(id, rng.Uniform(-5.0, 5.0), rng.Uniform(-5.0, 5.0));
+    pts.push_back(p);
+    grid.Insert(p);
+  }
+  for (int q = 0; q < 50; ++q) {
+    const Point c = P2(10000, rng.Uniform(-5.0, 5.0), rng.Uniform(-5.0, 5.0));
+    const double eps = rng.Uniform(0.1, 1.5);
+    std::set<PointId> expected;
+    for (const Point& p : pts) {
+      if (WithinEps(p, c, eps)) expected.insert(p.id);
+    }
+    std::set<PointId> got;
+    grid.RangeSearch(c, eps, [&](PointId id, const Point&) { got.insert(id); });
+    ASSERT_EQ(got, expected) << "query " << q;
+    ASSERT_EQ(grid.RangeCount(c, eps), expected.size());
+  }
+}
+
+TEST(GridIndexTest, NeighborCellIterationCoversRadius) {
+  GridIndex grid(2, 1.0);
+  for (int x = -2; x <= 2; ++x) {
+    for (int y = -2; y <= 2; ++y) {
+      grid.Insert(P2(static_cast<PointId>((x + 10) * 100 + y + 10),
+                     x + 0.5, y + 0.5));
+    }
+  }
+  const CellCoord center = grid.CellOf(P2(0, 0.5, 0.5));
+  std::size_t cells = 0, points = 0;
+  grid.ForEachNeighborCell(center, 1,
+                           [&](const CellCoord&, const std::vector<Point>& v) {
+                             ++cells;
+                             points += v.size();
+                           });
+  EXPECT_EQ(cells, 9u);
+  EXPECT_EQ(points, 9u);
+}
+
+TEST(GridIndexTest, ForEachCellVisitsEveryNonEmptyCell) {
+  GridIndex grid(3, 2.0);
+  Rng rng(4);
+  for (PointId id = 0; id < 100; ++id) {
+    Point p;
+    p.id = id;
+    p.dims = 3;
+    for (int d = 0; d < 3; ++d) p.x[d] = rng.Uniform(0.0, 10.0);
+    grid.Insert(p);
+  }
+  std::size_t total = 0;
+  grid.ForEachCell(
+      [&](const CellCoord&, const std::vector<Point>& v) { total += v.size(); });
+  EXPECT_EQ(total, 100u);
+}
+
+}  // namespace
+}  // namespace disc

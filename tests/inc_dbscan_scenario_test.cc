@@ -1,0 +1,182 @@
+// Targeted scenario tests for IncDBSCAN's per-operation cases (Ester et al.
+// '98): insertion noise / creation / absorption / merge, and deletion
+// removal / reduction / split / dissipation.
+
+#include <vector>
+
+#include "baselines/dbscan.h"
+#include "common/rng.h"
+#include "baselines/inc_dbscan.h"
+#include "eval/equivalence.h"
+#include "eval/partition.h"
+#include "gtest/gtest.h"
+
+namespace disc {
+namespace {
+
+Point P2(PointId id, double x, double y) {
+  Point p;
+  p.id = id;
+  p.dims = 2;
+  p.x[0] = x;
+  p.x[1] = y;
+  return p;
+}
+
+std::vector<Point> Plus(PointId base, double x, double y) {
+  return {P2(base, x, y), P2(base + 1, x + 0.1, y), P2(base + 2, x - 0.1, y),
+          P2(base + 3, x, y + 0.1), P2(base + 4, x, y - 0.1)};
+}
+
+DiscConfig Config() {
+  DiscConfig config;
+  config.eps = 0.15;
+  config.tau = 3;
+  return config;
+}
+
+Labeling LabelOf(const IncDbscan& inc) { return ToLabeling(inc.Snapshot()); }
+
+TEST(IncDbscanScenarioTest, InsertionNoiseCase) {
+  IncDbscan inc(2, Config());
+  inc.Update({P2(0, 1.0, 1.0)}, {});
+  EXPECT_EQ(LabelOf(inc).category.at(0), Category::kNoise);
+  inc.Update({P2(1, 5.0, 5.0)}, {});
+  EXPECT_EQ(LabelOf(inc).category.at(1), Category::kNoise);
+  EXPECT_EQ(inc.Snapshot().NumClusters(), 0u);
+}
+
+TEST(IncDbscanScenarioTest, InsertionCreationCase) {
+  IncDbscan inc(2, Config());
+  // Two points, then the third makes all three a brand-new cluster.
+  inc.Update({P2(0, 1.0, 1.0), P2(1, 1.1, 1.0)}, {});
+  EXPECT_EQ(inc.Snapshot().NumClusters(), 0u);
+  inc.Update({P2(2, 1.05, 1.05)}, {});
+  EXPECT_EQ(inc.Snapshot().NumClusters(), 1u);
+  const Labeling l = LabelOf(inc);
+  EXPECT_EQ(l.category.at(0), Category::kCore);
+  EXPECT_EQ(l.category.at(1), Category::kCore);
+  EXPECT_EQ(l.category.at(2), Category::kCore);
+}
+
+TEST(IncDbscanScenarioTest, InsertionAbsorptionCase) {
+  IncDbscan inc(2, Config());
+  inc.Update(Plus(0, 1.0, 1.0), {});
+  ASSERT_EQ(inc.Snapshot().NumClusters(), 1u);
+  const ClusterId before = LabelOf(inc).cid.at(0);
+  // A point near the cluster is absorbed as border, then another makes it
+  // core — still the same single cluster.
+  inc.Update({P2(10, 1.2, 1.0)}, {});
+  inc.Update({P2(11, 1.3, 1.0)}, {});
+  const Labeling l = LabelOf(inc);
+  EXPECT_EQ(inc.Snapshot().NumClusters(), 1u);
+  EXPECT_EQ(l.cid.at(10), before);
+}
+
+TEST(IncDbscanScenarioTest, InsertionMergeCase) {
+  IncDbscan inc(2, Config());
+  std::vector<Point> both = Plus(0, 1.0, 1.0);
+  const std::vector<Point> right = Plus(100, 1.5, 1.0);
+  both.insert(both.end(), right.begin(), right.end());
+  inc.Update(both, {});
+  ASSERT_EQ(inc.Snapshot().NumClusters(), 2u);
+  // One bridging point whose insertion makes itself and its neighbors cores
+  // connecting both clusters.
+  inc.Update({P2(200, 1.25, 1.0), P2(201, 1.25, 1.05)}, {});
+  EXPECT_EQ(inc.Snapshot().NumClusters(), 1u);
+}
+
+TEST(IncDbscanScenarioTest, DeletionRemovalCase) {
+  IncDbscan inc(2, Config());
+  std::vector<Point> pts = Plus(0, 1.0, 1.0);
+  pts.push_back(P2(50, 9.0, 9.0));  // Lone noise.
+  inc.Update(pts, {});
+  inc.Update({}, {P2(50, 9.0, 9.0)});  // Deleting noise changes nothing else.
+  EXPECT_EQ(inc.Snapshot().NumClusters(), 1u);
+  EXPECT_EQ(inc.window_size(), 5u);
+}
+
+TEST(IncDbscanScenarioTest, DeletionReductionCase) {
+  IncDbscan inc(2, Config());
+  std::vector<Point> blob = Plus(0, 1.0, 1.0);
+  blob.push_back(P2(10, 1.05, 1.05));
+  inc.Update(blob, {});
+  ASSERT_EQ(inc.Snapshot().NumClusters(), 1u);
+  inc.Update({}, {P2(10, 1.05, 1.05)});
+  EXPECT_EQ(inc.Snapshot().NumClusters(), 1u);  // Shrinks, stays connected.
+}
+
+TEST(IncDbscanScenarioTest, DeletionSplitCase) {
+  IncDbscan inc(2, Config());
+  std::vector<Point> all = Plus(0, 1.0, 1.0);
+  const std::vector<Point> right = Plus(100, 1.6, 1.0);
+  all.insert(all.end(), right.begin(), right.end());
+  std::vector<Point> bridge = {P2(200, 1.2, 1.0), P2(201, 1.3, 1.0),
+                               P2(202, 1.4, 1.0)};
+  all.insert(all.end(), bridge.begin(), bridge.end());
+  inc.Update(all, {});
+  ASSERT_EQ(inc.Snapshot().NumClusters(), 1u);
+  inc.Update({}, bridge);
+  EXPECT_EQ(inc.Snapshot().NumClusters(), 2u);
+  // The two sides carry different cluster ids.
+  const Labeling l = LabelOf(inc);
+  EXPECT_NE(l.cid.at(0), l.cid.at(100));
+}
+
+TEST(IncDbscanScenarioTest, DeletionDissipationCase) {
+  IncDbscan inc(2, Config());
+  const std::vector<Point> blob = Plus(0, 1.0, 1.0);
+  inc.Update(blob, {});
+  ASSERT_EQ(inc.Snapshot().NumClusters(), 1u);
+  // Remove the center and two arms; the remaining two arms are 0.2 apart —
+  // beyond eps — so density collapses below tau everywhere.
+  inc.Update({}, {blob[0], blob[1], blob[2]});
+  EXPECT_EQ(inc.Snapshot().NumClusters(), 0u);
+  for (const auto& [id, cat] : LabelOf(inc).category) {
+    EXPECT_EQ(cat, Category::kNoise);
+  }
+}
+
+TEST(IncDbscanScenarioTest, NonCoreDeletionCanStillDemoteCores) {
+  IncDbscan inc(2, Config());
+  // A core whose status depends on a border neighbor.
+  std::vector<Point> pts = {P2(0, 1.0, 1.0), P2(1, 1.1, 1.0),
+                            P2(2, 0.9, 1.0)};
+  inc.Update(pts, {});
+  ASSERT_EQ(LabelOf(inc).category.at(0), Category::kCore);
+  // Point 2 is a border (2 neighbors). Deleting it demotes point 0.
+  inc.Update({}, {P2(2, 0.9, 1.0)});
+  EXPECT_EQ(LabelOf(inc).category.at(0), Category::kNoise);
+}
+
+// Per-op validity: IncDBSCAN's contract is a correct clustering after every
+// single operation, not just at batch ends — verified through single-point
+// Updates against fresh DBSCAN.
+TEST(IncDbscanScenarioTest, ValidAfterEverySingleOperation) {
+  IncDbscan inc(2, Config());
+  std::vector<Point> live;
+  Rng rng(41);
+  PointId next = 0;
+  for (int op = 0; op < 120; ++op) {
+    const bool remove = !live.empty() && rng.Bernoulli(0.4);
+    if (remove) {
+      const std::size_t victim =
+          static_cast<std::size_t>(rng.UniformInt(0, live.size() - 1));
+      inc.Update({}, {live[victim]});
+      live[victim] = live.back();
+      live.pop_back();
+    } else {
+      // Cluster-forming region with occasional noise.
+      Point p = P2(next++, rng.Uniform(0.0, 1.2), rng.Uniform(0.0, 1.2));
+      live.push_back(p);
+      inc.Update({p}, {});
+    }
+    const DbscanResult truth = RunDbscan(live, 0.15, 3);
+    const EquivalenceResult eq =
+        CheckSameClustering(inc.Snapshot(), truth.snapshot, live, 0.15);
+    ASSERT_TRUE(eq.ok) << "op " << op << ": " << eq.error;
+  }
+}
+
+}  // namespace
+}  // namespace disc

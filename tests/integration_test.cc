@@ -1,0 +1,130 @@
+// End-to-end integration: the full application stack — generator ->
+// pipeline -> DISC -> tracker — run for many slides, with a checkpoint
+// round-trip in the middle, and the benchmark dataset specs sanity-checked
+// for calibration.
+
+#include <sstream>
+
+#include "baselines/dbscan.h"
+#include "bench/datasets.h"
+#include "core/cluster_tracker.h"
+#include "core/disc.h"
+#include "core/pipeline.h"
+#include "eval/equivalence.h"
+#include "eval/kdistance.h"
+#include "gtest/gtest.h"
+#include "stream/netflow_generator.h"
+
+namespace disc {
+namespace {
+
+TEST(IntegrationTest, PipelineTrackerCheckpointRoundTrip) {
+  NetflowGenerator::Options gen_options;
+  gen_options.seed = 101;
+  NetflowGenerator source(gen_options);
+  DiscConfig config;
+  config.eps = 0.6;
+  config.tau = 8;
+  Disc clusterer(3, config);
+  ClusterTracker tracker;
+  StreamingPipeline pipeline(&source, &clusterer, 3000, 300);
+
+  pipeline.Run(20, [&](const SlideReport& report) {
+    tracker.Observe(report.slide_index, clusterer.last_events(),
+                    clusterer.Snapshot());
+    return true;
+  });
+  ASSERT_GT(tracker.num_alive(), 3u);  // The service profiles.
+  const std::size_t alive_before = tracker.num_alive();
+
+  // Checkpoint mid-stream and continue in a fresh instance, seeding the
+  // resumed pipeline's window from the restored clusterer.
+  std::stringstream buffer;
+  ASSERT_TRUE(clusterer.SaveCheckpoint(buffer));
+  Disc restored(3, config);
+  ASSERT_TRUE(restored.LoadCheckpoint(buffer));
+  StreamingPipeline resumed(&source, &restored, 3000, 300,
+                            restored.WindowContents());
+  resumed.Run(10);
+
+  const ClusteringSnapshot snap = restored.Snapshot();
+  EXPECT_EQ(restored.window_size(), 3000u);
+  EXPECT_GE(snap.NumClusters(), alive_before - 3);
+}
+
+TEST(IntegrationTest, RestoredPipelineStaysExactAgainstDbscan) {
+  NetflowGenerator::Options gen_options;
+  gen_options.seed = 102;
+  NetflowGenerator source(gen_options);
+  DiscConfig config;
+  config.eps = 0.6;
+  config.tau = 8;
+  Disc clusterer(3, config);
+  CountBasedWindow window(2000, 250);
+  // Run, checkpoint, restore, keep running with the same window object so
+  // we can hand the exact contents to DBSCAN.
+  Disc* active = &clusterer;
+  Disc restored(3, config);
+  for (int s = 0; s < 24; ++s) {
+    WindowDelta d = window.Advance(source.NextPoints(250));
+    active->Update(d.incoming, d.outgoing);
+    if (s == 11) {
+      std::stringstream buffer;
+      ASSERT_TRUE(active->SaveCheckpoint(buffer));
+      ASSERT_TRUE(restored.LoadCheckpoint(buffer));
+      active = &restored;
+      continue;
+    }
+    if (s % 4 != 3) continue;
+    std::vector<Point> contents(window.contents().begin(),
+                                window.contents().end());
+    const DbscanResult truth = RunDbscan(contents, config.eps, config.tau);
+    const EquivalenceResult eq = CheckSameClustering(
+        active->Snapshot(), truth.snapshot, contents, config.eps);
+    ASSERT_TRUE(eq.ok) << "slide " << s << ": " << eq.error;
+  }
+}
+
+// The benchmark dataset specs must stay calibrated: clusters exist, noise
+// exists (except where the generator has none), and the density threshold
+// sits in a sane relation to the measured neighborhood sizes.
+TEST(DatasetSpecTest, StandardSpecsProduceSaneClusterings) {
+  for (const bench::DatasetSpec& spec : bench::StandardDatasets(0.25)) {
+    auto source = spec.make(7);
+    std::vector<Point> window;
+    window.reserve(spec.window);
+    for (std::size_t i = 0; i < spec.window; ++i) {
+      window.push_back(source->Next().point);
+    }
+    const DbscanResult result = RunDbscan(window, spec.eps, spec.tau);
+    EXPECT_GE(result.snapshot.NumClusters(), 3u) << spec.name;
+    std::size_t cores = 0;
+    for (Category c : result.snapshot.categories) {
+      if (c == Category::kCore) ++cores;
+    }
+    const double core_fraction =
+        static_cast<double>(cores) / static_cast<double>(window.size());
+    EXPECT_GT(core_fraction, 0.05) << spec.name;
+    EXPECT_LT(core_fraction, 0.999) << spec.name;
+  }
+}
+
+TEST(DatasetSpecTest, KDistanceSuggestionTracksChosenEps) {
+  // The k-distance method the paper uses should land within a small factor
+  // of each spec's chosen eps — evidence the analogues sit in the same
+  // density regime as their real counterparts.
+  for (const bench::DatasetSpec& spec : bench::StandardDatasets(0.25)) {
+    auto source = spec.make(11);
+    std::vector<Point> window;
+    for (std::size_t i = 0; i < spec.window; ++i) {
+      window.push_back(source->Next().point);
+    }
+    const ParameterSuggestion s =
+        SuggestParameters(window, spec.tau - 1, 1500);
+    EXPECT_GT(s.eps, spec.eps / 4.0) << spec.name;
+    EXPECT_LT(s.eps, spec.eps * 4.0) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace disc

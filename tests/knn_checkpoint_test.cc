@@ -1,0 +1,250 @@
+// Tests for the R-tree kNN search, the k-distance parameter estimator, and
+// DISC checkpoint save/restore.
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "core/disc.h"
+#include "eval/equivalence.h"
+#include "eval/kdistance.h"
+#include "gtest/gtest.h"
+#include "index/rtree.h"
+#include "stream/blobs_generator.h"
+#include "stream/sliding_window.h"
+
+namespace disc {
+namespace {
+
+Point P2(PointId id, double x, double y) {
+  Point p;
+  p.id = id;
+  p.dims = 2;
+  p.x[0] = x;
+  p.x[1] = y;
+  return p;
+}
+
+std::vector<Point> RandomPoints(std::size_t n, std::uint32_t dims,
+                                double extent, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Point p;
+    p.id = i;
+    p.dims = dims;
+    for (std::uint32_t d = 0; d < dims; ++d) p.x[d] = rng.Uniform(0.0, extent);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+// --- kNN -----------------------------------------------------------------
+
+TEST(RTreeKnnTest, MatchesBruteForceOrdering) {
+  const std::vector<Point> pts = RandomPoints(600, 2, 10.0, 31);
+  RTree tree(2);
+  tree.BulkLoad(pts);
+  Rng rng(32);
+  for (int q = 0; q < 30; ++q) {
+    Point c = P2(90000, rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0));
+    const std::size_t k = static_cast<std::size_t>(rng.UniformInt(1, 20));
+    const auto got = tree.NearestNeighbors(c, k);
+    ASSERT_EQ(got.size(), k);
+    // Brute force.
+    std::vector<std::pair<double, PointId>> brute;
+    for (const Point& p : pts) {
+      brute.push_back({std::sqrt(SquaredDistance(p, c)), p.id});
+    }
+    std::sort(brute.begin(), brute.end());
+    for (std::size_t i = 0; i < k; ++i) {
+      ASSERT_NEAR(got[i].distance, brute[i].first, 1e-9) << "query " << q;
+    }
+    // Ascending order.
+    for (std::size_t i = 1; i < k; ++i) {
+      ASSERT_LE(got[i - 1].distance, got[i].distance);
+    }
+  }
+}
+
+TEST(RTreeKnnTest, HandlesKLargerThanTree) {
+  RTree tree(2);
+  tree.Insert(P2(1, 0.0, 0.0));
+  tree.Insert(P2(2, 1.0, 0.0));
+  const auto nn = tree.NearestNeighbors(P2(0, 0.0, 0.0), 10);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0].id, 1u);
+  EXPECT_DOUBLE_EQ(nn[1].distance, 1.0);
+}
+
+TEST(RTreeKnnTest, EmptyTreeAndZeroK) {
+  RTree tree(2);
+  EXPECT_TRUE(tree.NearestNeighbors(P2(0, 0.0, 0.0), 5).empty());
+  tree.Insert(P2(1, 0.0, 0.0));
+  EXPECT_TRUE(tree.NearestNeighbors(P2(0, 0.0, 0.0), 0).empty());
+}
+
+// --- k-distance estimator --------------------------------------------------
+
+TEST(KDistanceTest, GraphIsSortedAndSized) {
+  const std::vector<Point> pts = RandomPoints(300, 2, 5.0, 33);
+  const std::vector<double> graph = KDistanceGraph(pts, 4);
+  ASSERT_EQ(graph.size(), pts.size());
+  EXPECT_TRUE(std::is_sorted(graph.begin(), graph.end()));
+  EXPECT_GT(graph.front(), 0.0);
+}
+
+TEST(KDistanceTest, SamplingCapsWork) {
+  const std::vector<Point> pts = RandomPoints(500, 2, 5.0, 34);
+  EXPECT_EQ(KDistanceGraph(pts, 4, 100).size(), 100u);
+}
+
+TEST(KneeTest, FindsTheElbowOfAHockeyStick) {
+  // Flat at 1.0 for 80 points, then sharply rising: knee near index 80.
+  std::vector<double> curve;
+  for (int i = 0; i < 80; ++i) curve.push_back(1.0 + 0.001 * i);
+  for (int i = 0; i < 20; ++i) curve.push_back(1.1 + 0.5 * i);
+  const std::size_t knee = KneeIndex(curve);
+  EXPECT_GE(knee, 75u);
+  EXPECT_LE(knee, 85u);
+}
+
+TEST(KDistanceTest, SuggestedEpsSeparatesBlobsFromNoise) {
+  // Dense blobs + sparse noise: the suggested eps must be around the
+  // blob-internal neighbor distance, far below the noise spacing.
+  BlobsGenerator::Options o;
+  o.num_blobs = 5;
+  o.extent = 10.0;
+  o.stddev = 0.2;
+  o.noise_fraction = 0.1;
+  o.seed = 35;
+  BlobsGenerator gen(o);
+  const std::vector<Point> pts = gen.NextPoints(2000);
+  const ParameterSuggestion s = SuggestParameters(pts, 4);
+  EXPECT_EQ(s.tau, 5u);
+  EXPECT_GT(s.eps, 0.01);
+  EXPECT_LT(s.eps, 1.0);
+  // The suggestion must produce a sensible clustering: blobs found.
+  DiscConfig config;
+  config.eps = s.eps;
+  config.tau = s.tau;
+  Disc disc(2, config);
+  disc.Update(pts, {});
+  EXPECT_GE(disc.Snapshot().NumClusters(), 4u);
+  EXPECT_LE(disc.Snapshot().NumClusters(), 30u);
+}
+
+// --- Checkpointing ----------------------------------------------------------
+
+DiscConfig CheckpointConfig() {
+  DiscConfig config;
+  config.eps = 0.4;
+  config.tau = 4;
+  return config;
+}
+
+TEST(CheckpointTest, RoundTripPreservesSnapshotExactly) {
+  BlobsGenerator::Options o;
+  o.num_blobs = 5;
+  o.stddev = 0.3;
+  o.drift = 0.04;
+  o.noise_fraction = 0.1;
+  o.seed = 36;
+  BlobsGenerator source(o);
+  Disc original(2, CheckpointConfig());
+  CountBasedWindow window(500, 100);
+  for (int s = 0; s < 8; ++s) {
+    WindowDelta d = window.Advance(source.NextPoints(100));
+    original.Update(d.incoming, d.outgoing);
+  }
+
+  std::stringstream buffer;
+  ASSERT_TRUE(original.SaveCheckpoint(buffer));
+
+  Disc restored(2, CheckpointConfig());
+  ASSERT_TRUE(restored.LoadCheckpoint(buffer));
+  EXPECT_EQ(restored.window_size(), original.window_size());
+
+  // Same labeling, bit for bit (ids, categories, canonical cids).
+  std::vector<PointId> ids_a, ids_b;
+  std::vector<ClusterId> cids_a, cids_b;
+  const ClusteringSnapshot sa = original.Snapshot();
+  const ClusteringSnapshot sb = restored.Snapshot();
+  ASSERT_EQ(sa.size(), sb.size());
+  // Compare via sorted (id -> category/cid) maps.
+  std::vector<Point> contents(window.contents().begin(),
+                              window.contents().end());
+  const EquivalenceResult eq = CheckSameClustering(sa, sb, contents, 0.4);
+  EXPECT_TRUE(eq.ok) << eq.error;
+}
+
+TEST(CheckpointTest, RestoredInstanceContinuesExactly) {
+  BlobsGenerator::Options o;
+  o.num_blobs = 4;
+  o.stddev = 0.3;
+  o.drift = 0.05;
+  o.noise_fraction = 0.1;
+  o.seed = 37;
+  BlobsGenerator source(o);
+  Disc original(2, CheckpointConfig());
+  CountBasedWindow window(400, 80);
+  for (int s = 0; s < 6; ++s) {
+    WindowDelta d = window.Advance(source.NextPoints(80));
+    original.Update(d.incoming, d.outgoing);
+  }
+  std::stringstream buffer;
+  ASSERT_TRUE(original.SaveCheckpoint(buffer));
+  Disc restored(2, CheckpointConfig());
+  ASSERT_TRUE(restored.LoadCheckpoint(buffer));
+
+  // Drive both with the same further slides; they must stay equivalent.
+  for (int s = 0; s < 6; ++s) {
+    WindowDelta d = window.Advance(source.NextPoints(80));
+    original.Update(d.incoming, d.outgoing);
+    restored.Update(d.incoming, d.outgoing);
+    std::vector<Point> contents(window.contents().begin(),
+                                window.contents().end());
+    const EquivalenceResult eq = CheckSameClustering(
+        original.Snapshot(), restored.Snapshot(), contents, 0.4);
+    ASSERT_TRUE(eq.ok) << "slide " << s << ": " << eq.error;
+  }
+}
+
+TEST(CheckpointTest, RejectsMismatchedConfigOrGarbage) {
+  Disc original(2, CheckpointConfig());
+  original.Update({P2(1, 1.0, 1.0)}, {});
+  std::stringstream buffer;
+  ASSERT_TRUE(original.SaveCheckpoint(buffer));
+
+  DiscConfig other = CheckpointConfig();
+  other.eps = 0.9;
+  Disc wrong_eps(2, other);
+  EXPECT_FALSE(wrong_eps.LoadCheckpoint(buffer));
+
+  std::stringstream garbage("not a checkpoint at all");
+  Disc fresh(2, CheckpointConfig());
+  EXPECT_FALSE(fresh.LoadCheckpoint(garbage));
+
+  std::stringstream truncated(buffer.str().substr(0, 20));
+  Disc fresh2(2, CheckpointConfig());
+  EXPECT_FALSE(fresh2.LoadCheckpoint(truncated));
+}
+
+TEST(CheckpointTest, EmptyClustererRoundTrips) {
+  Disc original(3, CheckpointConfig());
+  std::stringstream buffer;
+  ASSERT_TRUE(original.SaveCheckpoint(buffer));
+  Disc restored(3, CheckpointConfig());
+  ASSERT_TRUE(restored.LoadCheckpoint(buffer));
+  EXPECT_EQ(restored.window_size(), 0u);
+  // And it still works afterwards.
+  Point p;
+  p.id = 1;
+  p.dims = 3;
+  restored.Update({p}, {});
+  EXPECT_EQ(restored.window_size(), 1u);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,194 @@
+// Tests for the StreamingPipeline wiring and the ClusterTracker lifecycle
+// bookkeeping.
+
+#include <vector>
+
+#include "core/cluster_tracker.h"
+#include "core/disc.h"
+#include "core/pipeline.h"
+#include "gtest/gtest.h"
+#include "stream/blobs_generator.h"
+#include "stream/stream_source.h"
+
+namespace disc {
+namespace {
+
+DiscConfig SmallConfig() {
+  DiscConfig config;
+  config.eps = 0.4;
+  config.tau = 4;
+  return config;
+}
+
+TEST(StreamingPipelineTest, RunsRequestedSlides) {
+  UniformGenerator source(2, 0.0, 5.0);
+  Disc clusterer(2, SmallConfig());
+  StreamingPipeline pipeline(&source, &clusterer, 200, 50);
+  EXPECT_EQ(pipeline.Run(7), 7u);
+  EXPECT_EQ(pipeline.slides_run(), 7u);
+  EXPECT_EQ(pipeline.window().contents().size(), 200u);
+  EXPECT_EQ(clusterer.window_size(), 200u);
+}
+
+TEST(StreamingPipelineTest, ObserverSeesAccurateReports) {
+  UniformGenerator source(2, 0.0, 5.0);
+  Disc clusterer(2, SmallConfig());
+  StreamingPipeline pipeline(&source, &clusterer, 150, 50);
+  std::vector<SlideReport> reports;
+  pipeline.Run(5, [&](const SlideReport& r) {
+    reports.push_back(r);
+    return true;
+  });
+  ASSERT_EQ(reports.size(), 5u);
+  EXPECT_EQ(reports[0].slide_index, 0u);
+  EXPECT_EQ(reports[0].incoming, 50u);
+  EXPECT_EQ(reports[0].outgoing, 0u);
+  EXPECT_FALSE(reports[0].window_full);
+  EXPECT_TRUE(reports[2].window_full);
+  EXPECT_EQ(reports[3].outgoing, 50u);  // Window is full: strides evict.
+  EXPECT_GE(reports[4].update_ms, 0.0);
+}
+
+TEST(StreamingPipelineTest, ObserverCanStopEarly) {
+  UniformGenerator source(2, 0.0, 5.0);
+  Disc clusterer(2, SmallConfig());
+  StreamingPipeline pipeline(&source, &clusterer, 100, 20);
+  const std::size_t executed = pipeline.Run(100, [&](const SlideReport& r) {
+    return r.slide_index < 2;
+  });
+  EXPECT_EQ(executed, 3u);  // Stopped after the observer returned false.
+}
+
+TEST(StreamingPipelineTest, RepeatedRunsContinueTheStream) {
+  UniformGenerator source(2, 0.0, 5.0);
+  Disc clusterer(2, SmallConfig());
+  StreamingPipeline pipeline(&source, &clusterer, 100, 25);
+  pipeline.Run(3);
+  pipeline.Run(2);
+  EXPECT_EQ(pipeline.slides_run(), 5u);
+  EXPECT_EQ(clusterer.window_size(), 100u);
+}
+
+// --- ClusterTracker ------------------------------------------------------
+
+Point P2(PointId id, double x, double y) {
+  Point p;
+  p.id = id;
+  p.dims = 2;
+  p.x[0] = x;
+  p.x[1] = y;
+  return p;
+}
+
+std::vector<Point> Plus(PointId base, double x, double y) {
+  return {P2(base, x, y), P2(base + 1, x + 0.1, y), P2(base + 2, x - 0.1, y),
+          P2(base + 3, x, y + 0.1), P2(base + 4, x, y - 0.1)};
+}
+
+TEST(ClusterTrackerTest, BirthGrowthAndDissipation) {
+  DiscConfig config;
+  config.eps = 0.15;
+  config.tau = 3;
+  Disc disc(2, config);
+  ClusterTracker tracker;
+
+  const std::vector<Point> blob = Plus(0, 1.0, 1.0);
+  disc.Update(blob, {});
+  tracker.Observe(0, disc.last_events(), disc.Snapshot());
+  ASSERT_EQ(tracker.num_alive(), 1u);
+  const ClusterLife* life = tracker.AllClusters()[0];
+  EXPECT_EQ(life->born_slide, 0u);
+  EXPECT_EQ(life->current_size, 5u);
+
+  disc.Update({P2(50, 1.1, 1.1)}, {});
+  tracker.Observe(1, disc.last_events(), disc.Snapshot());
+  EXPECT_EQ(tracker.Find(life->id)->current_size, 6u);
+  EXPECT_EQ(tracker.Find(life->id)->peak_size, 6u);
+
+  std::vector<Point> all = blob;
+  all.push_back(P2(50, 1.1, 1.1));
+  disc.Update({}, all);
+  tracker.Observe(2, disc.last_events(), disc.Snapshot());
+  EXPECT_EQ(tracker.num_alive(), 0u);
+  EXPECT_FALSE(tracker.Find(life->id)->alive);
+  EXPECT_FALSE(tracker.Find(life->id)->merged_away);
+  EXPECT_EQ(tracker.Find(life->id)->peak_size, 6u);
+}
+
+TEST(ClusterTrackerTest, MergeRecordsProvenance) {
+  DiscConfig config;
+  config.eps = 0.15;
+  config.tau = 3;
+  Disc disc(2, config);
+  ClusterTracker tracker;
+
+  std::vector<Point> two = Plus(0, 1.0, 1.0);
+  const std::vector<Point> right = Plus(100, 1.6, 1.0);
+  two.insert(two.end(), right.begin(), right.end());
+  disc.Update(two, {});
+  tracker.Observe(0, disc.last_events(), disc.Snapshot());
+  ASSERT_EQ(tracker.num_alive(), 2u);
+
+  disc.Update({P2(200, 1.2, 1.0), P2(201, 1.3, 1.0), P2(202, 1.4, 1.0)}, {});
+  tracker.Observe(1, disc.last_events(), disc.Snapshot());
+  EXPECT_EQ(tracker.num_alive(), 1u);
+  std::size_t merged = 0;
+  for (const ClusterLife* life : tracker.AllClusters()) {
+    if (life->merged_away) {
+      ++merged;
+      EXPECT_NE(life->merged_into, kNoiseCluster);
+      EXPECT_TRUE(tracker.Find(life->merged_into)->alive);
+    }
+  }
+  EXPECT_EQ(merged, 1u);
+}
+
+TEST(ClusterTrackerTest, SplitRecordsParent) {
+  DiscConfig config;
+  config.eps = 0.15;
+  config.tau = 3;
+  Disc disc(2, config);
+  ClusterTracker tracker;
+
+  std::vector<Point> initial = Plus(0, 1.0, 1.0);
+  const std::vector<Point> right = Plus(100, 1.6, 1.0);
+  initial.insert(initial.end(), right.begin(), right.end());
+  std::vector<Point> bridge = {P2(200, 1.2, 1.0), P2(201, 1.3, 1.0),
+                               P2(202, 1.4, 1.0)};
+  initial.insert(initial.end(), bridge.begin(), bridge.end());
+  disc.Update(initial, {});
+  tracker.Observe(0, disc.last_events(), disc.Snapshot());
+  ASSERT_EQ(tracker.num_alive(), 1u);
+  const ClusterId parent = tracker.AllClusters()[0]->id;
+
+  disc.Update({}, bridge);
+  tracker.Observe(1, disc.last_events(), disc.Snapshot());
+  EXPECT_EQ(tracker.num_alive(), 2u);
+  std::size_t children = 0;
+  for (const ClusterLife* life : tracker.AllClusters()) {
+    if (life->split_child) {
+      ++children;
+      EXPECT_EQ(life->split_from, parent);
+      EXPECT_EQ(life->born_slide, 1u);
+    }
+  }
+  EXPECT_EQ(children, 1u);
+}
+
+TEST(ClusterTrackerTest, AdoptsClustersWhenObservationStartsMidStream) {
+  DiscConfig config;
+  config.eps = 0.15;
+  config.tau = 3;
+  Disc disc(2, config);
+  disc.Update(Plus(0, 1.0, 1.0), {});  // Unobserved slide.
+
+  ClusterTracker tracker;
+  disc.Update({P2(50, 1.1, 1.1)}, {});
+  tracker.Observe(5, disc.last_events(), disc.Snapshot());
+  EXPECT_EQ(tracker.num_alive(), 1u);
+  EXPECT_EQ(tracker.AllClusters()[0]->born_slide, 5u);
+  EXPECT_EQ(tracker.AllClusters()[0]->current_size, 6u);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,115 @@
+// Tests for the extended quality metrics (purity, NMI, pairwise F1) against
+// hand-computed values and structural properties.
+
+#include <vector>
+
+#include "eval/ari.h"
+#include "eval/quality.h"
+#include "gtest/gtest.h"
+
+namespace disc {
+namespace {
+
+const std::vector<ClusterId> kPerfectA = {0, 0, 1, 1, 2, 2};
+const std::vector<ClusterId> kPerfectB = {5, 5, 9, 9, 7, 7};
+
+TEST(PurityTest, PerfectMatchScoresOne) {
+  EXPECT_DOUBLE_EQ(Purity(kPerfectA, kPerfectB), 1.0);
+}
+
+TEST(PurityTest, HandComputedMixedClusters) {
+  // Cluster 0 holds labels {a, a, b} -> majority 2; cluster 1 holds {b, b,
+  // a} -> majority 2. Purity = 4/6.
+  const std::vector<ClusterId> pred = {0, 0, 0, 1, 1, 1};
+  const std::vector<ClusterId> truth = {10, 10, 20, 20, 20, 10};
+  EXPECT_NEAR(Purity(pred, truth), 4.0 / 6.0, 1e-12);
+}
+
+TEST(PurityTest, AllSingletonsScoreOne) {
+  const std::vector<ClusterId> pred = {0, 1, 2, 3};
+  const std::vector<ClusterId> truth = {9, 9, 9, 9};
+  // Singleton clusters are trivially pure (purity ignores over-segmentation).
+  EXPECT_DOUBLE_EQ(Purity(pred, truth), 1.0);
+}
+
+TEST(PurityTest, EmptyInputScoresOne) {
+  EXPECT_DOUBLE_EQ(Purity({}, {}), 1.0);
+}
+
+TEST(NmiTest, PerfectMatchScoresOne) {
+  EXPECT_NEAR(NormalizedMutualInformation(kPerfectA, kPerfectB), 1.0, 1e-12);
+}
+
+TEST(NmiTest, TrivialPartitions) {
+  const std::vector<ClusterId> one_cluster = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(one_cluster, one_cluster), 1.0);
+  const std::vector<ClusterId> split = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(one_cluster, split), 0.0);
+}
+
+TEST(NmiTest, IndependentPartitionsScoreLow) {
+  std::vector<ClusterId> a, b;
+  for (int i = 0; i < 1000; ++i) {
+    a.push_back(i % 2);
+    b.push_back(i < 500 ? 0 : 1);
+  }
+  EXPECT_LT(NormalizedMutualInformation(a, b), 0.05);
+}
+
+TEST(NmiTest, SymmetricInArguments) {
+  const std::vector<ClusterId> a = {0, 0, 1, 1, 2, 2, 2};
+  const std::vector<ClusterId> b = {0, 1, 1, 1, 2, 2, 0};
+  EXPECT_NEAR(NormalizedMutualInformation(a, b),
+              NormalizedMutualInformation(b, a), 1e-12);
+}
+
+TEST(PairwiseF1Test, PerfectMatchScoresOne) {
+  const PairCounts pc = PairwiseF1(kPerfectA, kPerfectB);
+  EXPECT_DOUBLE_EQ(pc.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pc.recall, 1.0);
+  EXPECT_DOUBLE_EQ(pc.f1, 1.0);
+}
+
+TEST(PairwiseF1Test, HandComputedMerge) {
+  // Prediction merges two true clusters of 2: pairs_in_pred = C(4,2) = 6,
+  // pairs_in_truth = 2, both = 2 -> precision 1/3, recall 1.
+  const std::vector<ClusterId> pred = {0, 0, 0, 0};
+  const std::vector<ClusterId> truth = {1, 1, 2, 2};
+  const PairCounts pc = PairwiseF1(pred, truth);
+  EXPECT_NEAR(pc.precision, 2.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pc.recall, 1.0);
+  EXPECT_NEAR(pc.f1, 0.5, 1e-12);
+}
+
+TEST(PairwiseF1Test, HandComputedSplit) {
+  // Prediction splits one true cluster of 4 into two pairs: precision 1,
+  // recall 2/6.
+  const std::vector<ClusterId> pred = {1, 1, 2, 2};
+  const std::vector<ClusterId> truth = {0, 0, 0, 0};
+  const PairCounts pc = PairwiseF1(pred, truth);
+  EXPECT_DOUBLE_EQ(pc.precision, 1.0);
+  EXPECT_NEAR(pc.recall, 2.0 / 6.0, 1e-12);
+}
+
+TEST(QualityConsistencyTest, AllMetricsAgreeOnPerfectAndAwful) {
+  // Perfect labelings score 1 everywhere; a maximally-merged prediction on a
+  // many-cluster truth scores low on ARI/NMI but has recall 1.
+  std::vector<ClusterId> truth, perfect, merged;
+  for (int i = 0; i < 300; ++i) {
+    truth.push_back(i / 30);
+    perfect.push_back(100 + i / 30);
+    merged.push_back(0);
+  }
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(perfect, truth), 1.0);
+  EXPECT_DOUBLE_EQ(Purity(perfect, truth), 1.0);
+  EXPECT_NEAR(NormalizedMutualInformation(perfect, truth), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PairwiseF1(perfect, truth).f1, 1.0);
+
+  EXPECT_NEAR(AdjustedRandIndex(merged, truth), 0.0, 0.01);
+  EXPECT_NEAR(Purity(merged, truth), 0.1, 0.01);
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(merged, truth), 0.0);
+  EXPECT_DOUBLE_EQ(PairwiseF1(merged, truth).recall, 1.0);
+}
+
+}  // namespace
+}  // namespace disc

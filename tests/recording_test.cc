@@ -1,0 +1,116 @@
+// Tests for stream recording/replay (stream/recording.h).
+
+#include <sstream>
+
+#include "core/disc.h"
+#include "eval/equivalence.h"
+#include "gtest/gtest.h"
+#include "stream/maze_generator.h"
+#include "stream/recording.h"
+#include "stream/sliding_window.h"
+
+namespace disc {
+namespace {
+
+std::vector<LabeledPoint> SamplePoints(std::size_t n) {
+  MazeGenerator::Options o;
+  o.num_seeds = 4;
+  o.seed = 121;
+  MazeGenerator gen(o);
+  return gen.NextBatch(n);
+}
+
+TEST(RecordingTest, RoundTripIsBitExact) {
+  const std::vector<LabeledPoint> original = SamplePoints(500);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteRecording(buffer, original));
+  std::vector<LabeledPoint> loaded;
+  ASSERT_TRUE(ReadRecording(buffer, &loaded));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].point.id, original[i].point.id);
+    EXPECT_EQ(loaded[i].point.dims, original[i].point.dims);
+    EXPECT_EQ(loaded[i].true_label, original[i].true_label);
+    for (std::uint32_t d = 0; d < original[i].point.dims; ++d) {
+      EXPECT_EQ(loaded[i].point.x[d], original[i].point.x[d]);
+    }
+  }
+}
+
+TEST(RecordingTest, FileRoundTrip) {
+  const std::vector<LabeledPoint> original = SamplePoints(100);
+  const std::string path = ::testing::TempDir() + "/rec_roundtrip.bin";
+  ASSERT_TRUE(WriteRecordingFile(path, original));
+  std::vector<LabeledPoint> loaded;
+  ASSERT_TRUE(ReadRecordingFile(path, &loaded));
+  EXPECT_EQ(loaded.size(), original.size());
+}
+
+TEST(RecordingTest, RejectsGarbageAndTruncation) {
+  std::vector<LabeledPoint> sink = SamplePoints(3);  // Must stay untouched.
+  const std::vector<LabeledPoint> copy = sink;
+  {
+    std::stringstream garbage("this is not a recording");
+    EXPECT_FALSE(ReadRecording(garbage, &sink));
+  }
+  {
+    std::stringstream buffer;
+    ASSERT_TRUE(WriteRecording(buffer, SamplePoints(50)));
+    std::stringstream truncated(buffer.str().substr(0, 100));
+    EXPECT_FALSE(ReadRecording(truncated, &sink));
+  }
+  ASSERT_EQ(sink.size(), copy.size());
+  EXPECT_EQ(sink[0].point.id, copy[0].point.id);
+}
+
+TEST(RecordingTest, MissingFileFails) {
+  std::vector<LabeledPoint> sink;
+  EXPECT_FALSE(ReadRecordingFile("/nonexistent/path/stream.bin", &sink));
+}
+
+TEST(RecordedSourceTest, ReplaysVerbatim) {
+  const std::vector<LabeledPoint> original = SamplePoints(60);
+  RecordedSource source(original);
+  EXPECT_EQ(source.size(), 60u);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const LabeledPoint lp = source.Next();
+    EXPECT_EQ(lp.point.id, original[i].point.id);
+    EXPECT_EQ(lp.true_label, original[i].true_label);
+  }
+  EXPECT_EQ(source.remaining(), 0u);
+}
+
+TEST(RecordedSourceTest, ReplayedStreamYieldsIdenticalClustering) {
+  // Cluster a live stream and its replayed recording: identical snapshots.
+  const std::vector<LabeledPoint> recorded = SamplePoints(600);
+  DiscConfig config;
+  config.eps = 0.3;
+  config.tau = 4;
+
+  Disc live(2, config);
+  CountBasedWindow window_a(300, 100);
+  std::size_t pos = 0;
+  for (int s = 0; s < 6; ++s) {
+    std::vector<Point> batch;
+    for (int i = 0; i < 100; ++i) batch.push_back(recorded[pos++].point);
+    WindowDelta d = window_a.Advance(batch);
+    live.Update(d.incoming, d.outgoing);
+  }
+
+  RecordedSource source(recorded);
+  Disc replayed(2, config);
+  CountBasedWindow window_b(300, 100);
+  for (int s = 0; s < 6; ++s) {
+    WindowDelta d = window_b.Advance(source.NextPoints(100));
+    replayed.Update(d.incoming, d.outgoing);
+  }
+
+  std::vector<Point> contents(window_a.contents().begin(),
+                              window_a.contents().end());
+  const EquivalenceResult eq = CheckSameClustering(
+      live.Snapshot(), replayed.Snapshot(), contents, config.eps);
+  EXPECT_TRUE(eq.ok) << eq.error;
+}
+
+}  // namespace
+}  // namespace disc

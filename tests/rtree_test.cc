@@ -1,0 +1,399 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/point.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "index/rtree.h"
+
+namespace disc {
+namespace {
+
+Point P2(PointId id, double x, double y) {
+  Point p;
+  p.id = id;
+  p.dims = 2;
+  p.x[0] = x;
+  p.x[1] = y;
+  return p;
+}
+
+std::vector<Point> RandomPoints(std::size_t n, std::uint32_t dims,
+                                double extent, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Point p;
+    p.id = i;
+    p.dims = dims;
+    for (std::uint32_t d = 0; d < dims; ++d) p.x[d] = rng.Uniform(0.0, extent);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+// Brute-force reference for range queries.
+std::set<PointId> BruteRange(const std::vector<Point>& pts, const Point& c,
+                             double eps) {
+  std::set<PointId> out;
+  for (const Point& p : pts) {
+    if (WithinEps(p, c, eps)) out.insert(p.id);
+  }
+  return out;
+}
+
+std::set<PointId> TreeRange(const RTree& tree, const Point& c, double eps) {
+  std::set<PointId> out;
+  tree.RangeSearch(c, eps, [&](PointId id, const Point&) { out.insert(id); });
+  return out;
+}
+
+TEST(RTreeTest, EmptyTreeSearchesFindNothing) {
+  RTree tree(2);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(TreeRange(tree, P2(0, 1.0, 1.0), 5.0).size(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, SinglePointInsertAndExactSearch) {
+  RTree tree(2);
+  tree.Insert(P2(7, 3.0, 4.0));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(TreeRange(tree, P2(100, 0.0, 0.0), 5.0).count(7), 1u);
+  EXPECT_EQ(TreeRange(tree, P2(100, 0.0, 0.0), 4.99).count(7), 0u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, RangeSearchMatchesBruteForce2D) {
+  const std::vector<Point> pts = RandomPoints(800, 2, 10.0, 1);
+  RTree tree(2);
+  for (const Point& p : pts) tree.Insert(p);
+  ASSERT_TRUE(tree.CheckInvariants());
+  Rng rng(2);
+  for (int q = 0; q < 60; ++q) {
+    Point c = P2(10000 + q, rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0));
+    const double eps = rng.Uniform(0.05, 2.0);
+    EXPECT_EQ(TreeRange(tree, c, eps), BruteRange(pts, c, eps));
+  }
+}
+
+TEST(RTreeTest, RangeSearchMatchesBruteForce4D) {
+  const std::vector<Point> pts = RandomPoints(500, 4, 5.0, 3);
+  RTree tree(4);
+  for (const Point& p : pts) tree.Insert(p);
+  ASSERT_TRUE(tree.CheckInvariants());
+  Rng rng(4);
+  for (int q = 0; q < 40; ++q) {
+    Point c;
+    c.id = 20000 + q;
+    c.dims = 4;
+    for (int d = 0; d < 4; ++d) c.x[d] = rng.Uniform(0.0, 5.0);
+    const double eps = rng.Uniform(0.2, 2.0);
+    EXPECT_EQ(TreeRange(tree, c, eps), BruteRange(pts, c, eps));
+  }
+}
+
+TEST(RTreeTest, DuplicateCoordinatesAreAllKept) {
+  RTree tree(2);
+  for (PointId id = 0; id < 50; ++id) tree.Insert(P2(id, 1.0, 1.0));
+  EXPECT_EQ(tree.size(), 50u);
+  EXPECT_EQ(TreeRange(tree, P2(99, 1.0, 1.0), 0.0).size(), 50u);
+  ASSERT_TRUE(tree.CheckInvariants());
+  // Delete them one by one (by id).
+  for (PointId id = 0; id < 50; ++id) {
+    EXPECT_TRUE(tree.Delete(P2(id, 1.0, 1.0)));
+  }
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(RTreeTest, DeleteReturnsFalseForMissingPoint) {
+  RTree tree(2);
+  tree.Insert(P2(1, 1.0, 1.0));
+  EXPECT_FALSE(tree.Delete(P2(2, 1.0, 1.0)));  // Wrong id.
+  EXPECT_FALSE(tree.Delete(P2(1, 5.0, 5.0)));  // Wrong location.
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(RTreeTest, InterleavedInsertDeleteKeepsInvariantsAndAnswers) {
+  Rng rng(5);
+  std::vector<Point> live;
+  RTree tree(2);
+  PointId next_id = 0;
+  for (int round = 0; round < 30; ++round) {
+    // Insert a batch.
+    for (int i = 0; i < 40; ++i) {
+      Point p = P2(next_id++, rng.Uniform(0.0, 8.0), rng.Uniform(0.0, 8.0));
+      live.push_back(p);
+      tree.Insert(p);
+    }
+    // Delete a random third of live points.
+    for (std::size_t i = 0; i < live.size() / 3; ++i) {
+      const std::size_t victim =
+          static_cast<std::size_t>(rng.UniformInt(0, live.size() - 1));
+      ASSERT_TRUE(tree.Delete(live[victim]));
+      live[victim] = live.back();
+      live.pop_back();
+    }
+    ASSERT_TRUE(tree.CheckInvariants()) << "round " << round;
+    ASSERT_EQ(tree.size(), live.size());
+    Point c = P2(900000, rng.Uniform(0.0, 8.0), rng.Uniform(0.0, 8.0));
+    const double eps = rng.Uniform(0.1, 3.0);
+    ASSERT_EQ(TreeRange(tree, c, eps), BruteRange(live, c, eps));
+  }
+  // Drain completely.
+  for (const Point& p : live) ASSERT_TRUE(tree.Delete(p));
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, CollectAllReturnsEveryPoint) {
+  const std::vector<Point> pts = RandomPoints(300, 3, 4.0, 7);
+  RTree tree(3);
+  for (const Point& p : pts) tree.Insert(p);
+  std::vector<Point> all;
+  tree.CollectAll(&all);
+  ASSERT_EQ(all.size(), pts.size());
+  std::set<PointId> ids;
+  for (const Point& p : all) ids.insert(p.id);
+  EXPECT_EQ(ids.size(), pts.size());
+}
+
+TEST(RTreeTest, StatsCountSearches) {
+  RTree tree(2);
+  for (const Point& p : RandomPoints(100, 2, 5.0, 8)) tree.Insert(p);
+  tree.stats().Reset();
+  for (int i = 0; i < 7; ++i) {
+    TreeRange(tree, P2(1000 + i, 2.0, 2.0), 1.0);
+  }
+  EXPECT_EQ(tree.stats().range_searches, 7u);
+  EXPECT_GT(tree.stats().nodes_visited, 0u);
+}
+
+// --- Epoch-based probing (Algorithm 4) ---
+
+TEST(RTreeEpochTest, MarkedEntriesAreSkippedUnderSameTick) {
+  const std::vector<Point> pts = RandomPoints(400, 2, 6.0, 9);
+  RTree tree(2);
+  for (const Point& p : pts) tree.Insert(p);
+
+  const Point center = P2(50000, 3.0, 3.0);
+  const double eps = 2.0;
+  const std::set<PointId> expected = BruteRange(pts, center, eps);
+
+  const std::uint64_t tick = tree.NewTick();
+  std::set<PointId> first;
+  tree.EpochRangeSearch(center, eps, tick, [&](PointId id, const Point&) {
+    first.insert(id);
+    return true;  // Mark everything.
+  });
+  EXPECT_EQ(first, expected);
+
+  // Same tick: everything marked, nothing reported.
+  std::size_t second = 0;
+  tree.EpochRangeSearch(center, eps, tick, [&](PointId, const Point&) {
+    ++second;
+    return true;
+  });
+  EXPECT_EQ(second, 0u);
+
+  // New tick: everything visible again.
+  std::set<PointId> third;
+  tree.EpochRangeSearch(center, eps, tree.NewTick(),
+                        [&](PointId id, const Point&) {
+                          third.insert(id);
+                          return true;
+                        });
+  EXPECT_EQ(third, expected);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeEpochTest, UnmarkedEntriesStayVisible) {
+  const std::vector<Point> pts = RandomPoints(200, 2, 6.0, 10);
+  RTree tree(2);
+  for (const Point& p : pts) tree.Insert(p);
+  const Point center = P2(50000, 3.0, 3.0);
+  const double eps = 3.0;
+  const std::set<PointId> expected = BruteRange(pts, center, eps);
+
+  const std::uint64_t tick = tree.NewTick();
+  // Mark only even ids.
+  tree.EpochRangeSearch(center, eps, tick, [&](PointId id, const Point&) {
+    return id % 2 == 0;
+  });
+  std::set<PointId> visible;
+  tree.EpochRangeSearch(center, eps, tick, [&](PointId id, const Point&) {
+    visible.insert(id);
+    return false;
+  });
+  for (PointId id : expected) {
+    EXPECT_EQ(visible.count(id), id % 2 == 0 ? 0u : 1u) << id;
+  }
+}
+
+TEST(RTreeEpochTest, FreshInsertsAreVisibleUnderOldTick) {
+  RTree tree(2);
+  for (const Point& p : RandomPoints(300, 2, 2.0, 11)) tree.Insert(p);
+  const Point center = P2(60000, 1.0, 1.0);
+  const std::uint64_t tick = tree.NewTick();
+  // Mark the whole neighborhood.
+  tree.EpochRangeSearch(center, 1.0, tick,
+                        [&](PointId, const Point&) { return true; });
+  // Insert a new point inside the marked region.
+  tree.Insert(P2(999999, 1.0, 1.0));
+  std::set<PointId> seen;
+  tree.EpochRangeSearch(center, 1.0, tick, [&](PointId id, const Point&) {
+    seen.insert(id);
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen.count(999999), 1u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeEpochTest, EpochSearchReducesEntryChecksOnRepeat) {
+  const std::vector<Point> pts = RandomPoints(2000, 2, 10.0, 12);
+  RTree tree(2);
+  for (const Point& p : pts) tree.Insert(p);
+  const Point center = P2(70000, 5.0, 5.0);
+  const double eps = 4.0;
+  const std::uint64_t tick = tree.NewTick();
+
+  tree.stats().Reset();
+  tree.EpochRangeSearch(center, eps, tick,
+                        [&](PointId, const Point&) { return true; });
+  const std::uint64_t first_checks = tree.stats().entries_checked;
+
+  tree.stats().Reset();
+  tree.EpochRangeSearch(center, eps, tick,
+                        [&](PointId, const Point&) { return true; });
+  const std::uint64_t second_checks = tree.stats().entries_checked;
+  // Fully-marked subtrees are pruned; subtrees that straddle the ball
+  // boundary keep unvisited (out-of-range) entries and must be re-entered,
+  // so the reduction is substantial but not total (Alg. 4 semantics).
+  EXPECT_LT(second_checks, first_checks * 7 / 10);
+}
+
+
+TEST(RTreeBulkLoadTest, MatchesInsertedTreeOnSearches) {
+  const std::vector<Point> pts = RandomPoints(1500, 2, 10.0, 21);
+  RTree bulk(2);
+  bulk.BulkLoad(pts);
+  ASSERT_EQ(bulk.size(), pts.size());
+  ASSERT_TRUE(bulk.CheckInvariants());
+  Rng rng(22);
+  for (int q = 0; q < 40; ++q) {
+    Point c = P2(50000 + q, rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0));
+    const double eps = rng.Uniform(0.1, 2.0);
+    ASSERT_EQ(TreeRange(bulk, c, eps), BruteRange(pts, c, eps));
+  }
+}
+
+TEST(RTreeBulkLoadTest, WorksAcrossSizesAndDims) {
+  for (std::uint32_t dims : {1u, 2u, 3u, 4u}) {
+    for (std::size_t n : {0u, 1u, 15u, 16u, 17u, 100u, 777u}) {
+      const std::vector<Point> pts = RandomPoints(n, dims, 5.0, 23 + n);
+      RTree tree(dims);
+      tree.BulkLoad(pts);
+      ASSERT_EQ(tree.size(), n) << "dims=" << dims << " n=" << n;
+      ASSERT_TRUE(tree.CheckInvariants()) << "dims=" << dims << " n=" << n;
+      std::vector<Point> all;
+      tree.CollectAll(&all);
+      ASSERT_EQ(all.size(), n);
+    }
+  }
+}
+
+TEST(RTreeBulkLoadTest, SupportsSubsequentInsertAndDelete) {
+  std::vector<Point> pts = RandomPoints(300, 2, 6.0, 25);
+  RTree tree(2);
+  tree.BulkLoad(pts);
+  // Mutate: delete half, insert new ones.
+  for (std::size_t i = 0; i < 150; ++i) {
+    ASSERT_TRUE(tree.Delete(pts[i]));
+  }
+  std::vector<Point> live(pts.begin() + 150, pts.end());
+  for (const Point& p : RandomPoints(200, 2, 6.0, 26)) {
+    Point q = p;
+    q.id += 10000;
+    live.push_back(q);
+    tree.Insert(q);
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  ASSERT_EQ(tree.size(), live.size());
+  Point c = P2(90000, 3.0, 3.0);
+  ASSERT_EQ(TreeRange(tree, c, 1.5), BruteRange(live, c, 1.5));
+}
+
+
+TEST(RTreeSplitPolicyTest, RStarMatchesBruteForceAndInvariants) {
+  const std::vector<Point> pts = RandomPoints(1200, 3, 8.0, 41);
+  RTree tree(3, 16, SplitPolicy::kRStar);
+  for (const Point& p : pts) tree.Insert(p);
+  ASSERT_TRUE(tree.CheckInvariants());
+  ASSERT_EQ(tree.size(), pts.size());
+  Rng rng(42);
+  for (int q = 0; q < 40; ++q) {
+    Point c;
+    c.id = 777777;
+    c.dims = 3;
+    for (int d = 0; d < 3; ++d) c.x[d] = rng.Uniform(0.0, 8.0);
+    const double eps = rng.Uniform(0.2, 2.0);
+    ASSERT_EQ(TreeRange(tree, c, eps), BruteRange(pts, c, eps));
+  }
+}
+
+TEST(RTreeSplitPolicyTest, RStarSurvivesChurnAndDeletes) {
+  Rng rng(43);
+  RTree tree(2, 8, SplitPolicy::kRStar);
+  std::vector<Point> live;
+  PointId next_id = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      Point p = P2(next_id++, rng.Uniform(0.0, 6.0), rng.Uniform(0.0, 6.0));
+      live.push_back(p);
+      tree.Insert(p);
+    }
+    for (std::size_t i = 0; i < live.size() / 4; ++i) {
+      const std::size_t victim =
+          static_cast<std::size_t>(rng.UniformInt(0, live.size() - 1));
+      ASSERT_TRUE(tree.Delete(live[victim]));
+      live[victim] = live.back();
+      live.pop_back();
+    }
+    ASSERT_TRUE(tree.CheckInvariants()) << "round " << round;
+    Point c = P2(888888, rng.Uniform(0.0, 6.0), rng.Uniform(0.0, 6.0));
+    ASSERT_EQ(TreeRange(tree, c, 1.0), BruteRange(live, c, 1.0));
+  }
+}
+
+TEST(RTreeSplitPolicyTest, RStarTendsToLowerOverlapSearchCost) {
+  // Not a strict guarantee, but on clustered data the R* split usually
+  // produces tighter nodes; assert it is at least not drastically worse.
+  Rng rng(44);
+  std::vector<Point> pts;
+  for (PointId id = 0; id < 4000; ++id) {
+    const double cx = 2.0 * static_cast<double>(rng.UniformInt(0, 4));
+    pts.push_back(P2(id, cx + rng.Normal(0.0, 0.15),
+                     cx + rng.Normal(0.0, 0.15)));
+  }
+  RTree quadratic(2, 16, SplitPolicy::kQuadratic);
+  RTree rstar(2, 16, SplitPolicy::kRStar);
+  for (const Point& p : pts) {
+    quadratic.Insert(p);
+    rstar.Insert(p);
+  }
+  quadratic.stats().Reset();
+  rstar.stats().Reset();
+  for (int q = 0; q < 200; ++q) {
+    Point c = P2(999999, rng.Uniform(0.0, 9.0), rng.Uniform(0.0, 9.0));
+    quadratic.RangeSearch(c, 0.4, [](PointId, const Point&) {});
+    rstar.RangeSearch(c, 0.4, [](PointId, const Point&) {});
+  }
+  EXPECT_LT(rstar.stats().entries_checked,
+            quadratic.stats().entries_checked * 3 / 2);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,144 @@
+// Tests for the benchmark harness (eval/runner.h): stream slicing, warmup
+// accounting, metric plumbing, and the DBSCAN reference generator — plus a
+// byte-level fuzz of checkpoint loading.
+
+#include <sstream>
+
+#include "baselines/dbscan.h"
+#include "core/disc.h"
+#include "eval/runner.h"
+#include "gtest/gtest.h"
+#include "stream/blobs_generator.h"
+
+namespace disc {
+namespace {
+
+BlobsGenerator MakeBlobs(std::uint64_t seed) {
+  BlobsGenerator::Options o;
+  o.num_blobs = 4;
+  o.stddev = 0.3;
+  o.noise_fraction = 0.1;
+  o.seed = seed;
+  return BlobsGenerator(o);
+}
+
+TEST(StreamDataTest, SizesFollowWindowStrideAndSlides) {
+  BlobsGenerator source = MakeBlobs(81);
+  const StreamData data = MakeStreamData(source, 400, 100, 2, 5);
+  EXPECT_EQ(data.window, 400u);
+  EXPECT_EQ(data.stride, 100u);
+  EXPECT_EQ(data.fill_slides(), 4u);
+  EXPECT_EQ(data.num_slides(), 4u + 2u + 5u);
+  EXPECT_EQ(data.points.size(), (4u + 2u + 5u) * 100u);
+  // Ids are the arrival order.
+  for (std::size_t i = 0; i < data.points.size(); ++i) {
+    EXPECT_EQ(data.points[i].point.id, i);
+  }
+}
+
+TEST(RunMethodTest, MeasuresExactlyTheRequestedSlides) {
+  BlobsGenerator source = MakeBlobs(82);
+  const StreamData data = MakeStreamData(source, 300, 100, 1, 6);
+  DiscConfig config;
+  config.eps = 0.4;
+  config.tau = 4;
+  Disc method(2, config);
+  MeasureOptions opts;
+  opts.warmup_slides = 1;
+  const MethodStats stats = RunMethod(data, &method, opts);
+  EXPECT_EQ(stats.name, "DISC");
+  EXPECT_EQ(stats.measured_slides, 6u);
+  EXPECT_GE(stats.avg_update_ms, 0.0);
+  EXPECT_NEAR(stats.per_point_latency_us, stats.avg_update_ms * 1000.0 / 100.0,
+              1e-9);
+  // The method saw the whole stream.
+  EXPECT_EQ(method.window_size(), 300u);
+}
+
+TEST(RunMethodTest, SearchesProbeIsAveraged) {
+  BlobsGenerator source = MakeBlobs(83);
+  const StreamData data = MakeStreamData(source, 200, 100, 1, 4);
+  DiscConfig config;
+  config.eps = 0.4;
+  config.tau = 4;
+  Disc method(2, config);
+  MeasureOptions opts;
+  opts.searches_probe = [&] { return method.last_metrics().range_searches; };
+  const MethodStats stats = RunMethod(data, &method, opts);
+  // Every slide issues at least one search per stride point in COLLECT.
+  EXPECT_GE(stats.avg_range_searches, 100.0);
+}
+
+TEST(RunMethodTest, AriAgainstTruthIsHighOnSeparatedBlobs) {
+  BlobsGenerator source = MakeBlobs(84);
+  const StreamData data = MakeStreamData(source, 400, 100, 1, 4);
+  DiscConfig config;
+  config.eps = 0.4;
+  config.tau = 5;
+  Disc method(2, config);
+  MeasureOptions opts;
+  opts.ari_vs_truth = true;
+  const MethodStats stats = RunMethod(data, &method, opts);
+  EXPECT_GT(stats.avg_ari_truth, 0.7);
+}
+
+TEST(RunMethodTest, AriAgainstDbscanReferenceIsOneForDisc) {
+  BlobsGenerator source = MakeBlobs(85);
+  const StreamData data = MakeStreamData(source, 300, 100, 1, 4);
+  const std::vector<ClusteringSnapshot> refs = DbscanReference(data, 0.4, 4, 1);
+  ASSERT_EQ(refs.size(), 4u);
+  DiscConfig config;
+  config.eps = 0.4;
+  config.tau = 4;
+  Disc method(2, config);
+  MeasureOptions opts;
+  opts.reference_snapshots = &refs;
+  const MethodStats stats = RunMethod(data, &method, opts);
+  EXPECT_NEAR(stats.avg_ari_reference, 1.0, 1e-9);
+}
+
+TEST(CheckpointFuzzTest, TruncatedCheckpointsNeverCrashAndAlwaysFail) {
+  DiscConfig config;
+  config.eps = 0.4;
+  config.tau = 4;
+  Disc original(2, config);
+  BlobsGenerator source = MakeBlobs(86);
+  original.Update(source.NextPoints(150), {});
+  std::stringstream buffer;
+  ASSERT_TRUE(original.SaveCheckpoint(buffer));
+  const std::string bytes = buffer.str();
+  ASSERT_GT(bytes.size(), 64u);
+  // Every strict prefix must be rejected cleanly.
+  for (std::size_t cut = 0; cut < bytes.size();
+       cut += std::max<std::size_t>(1, bytes.size() / 97)) {
+    Disc target(2, config);
+    std::stringstream truncated(bytes.substr(0, cut));
+    EXPECT_FALSE(target.LoadCheckpoint(truncated)) << "cut at " << cut;
+  }
+  // The full checkpoint still loads.
+  Disc target(2, config);
+  std::stringstream full(bytes);
+  EXPECT_TRUE(target.LoadCheckpoint(full));
+}
+
+TEST(CheckpointFuzzTest, BitFlippedHeadersAreRejected) {
+  DiscConfig config;
+  config.eps = 0.4;
+  config.tau = 4;
+  Disc original(2, config);
+  BlobsGenerator source = MakeBlobs(87);
+  original.Update(source.NextPoints(50), {});
+  std::stringstream buffer;
+  ASSERT_TRUE(original.SaveCheckpoint(buffer));
+  std::string bytes = buffer.str();
+  for (std::size_t pos : {0u, 8u, 12u, 16u, 20u}) {
+    std::string corrupted = bytes;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x5A);
+    Disc target(2, config);
+    std::stringstream in(corrupted);
+    EXPECT_FALSE(target.LoadCheckpoint(in)) << "flip at " << pos;
+  }
+}
+
+}  // namespace
+}  // namespace disc

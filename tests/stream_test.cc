@@ -1,0 +1,201 @@
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+#include "stream/blobs_generator.h"
+#include "stream/covid_generator.h"
+#include "stream/csv.h"
+#include "stream/dtg_generator.h"
+#include "stream/geolife_generator.h"
+#include "stream/iris_generator.h"
+#include "stream/maze_generator.h"
+#include "stream/sliding_window.h"
+#include "stream/stream_source.h"
+
+namespace disc {
+namespace {
+
+TEST(CountBasedWindowTest, FillsBeforeEvicting) {
+  CountBasedWindow window(10, 5);
+  UniformGenerator gen(2, 0.0, 1.0);
+  WindowDelta d1 = window.Advance(gen.NextPoints(5));
+  EXPECT_EQ(d1.incoming.size(), 5u);
+  EXPECT_TRUE(d1.outgoing.empty());
+  EXPECT_FALSE(window.full());
+  WindowDelta d2 = window.Advance(gen.NextPoints(5));
+  EXPECT_TRUE(d2.outgoing.empty());
+  EXPECT_TRUE(window.full());
+  WindowDelta d3 = window.Advance(gen.NextPoints(5));
+  EXPECT_EQ(d3.outgoing.size(), 5u);
+  EXPECT_EQ(window.contents().size(), 10u);
+  // FIFO: the evicted points are the oldest ones.
+  EXPECT_EQ(d3.outgoing[0].id, d1.incoming[0].id);
+}
+
+TEST(CountBasedWindowTest, StrideEqualsWindowReplacesEverything) {
+  CountBasedWindow window(6, 6);
+  UniformGenerator gen(2, 0.0, 1.0);
+  window.Advance(gen.NextPoints(6));
+  WindowDelta d = window.Advance(gen.NextPoints(6));
+  EXPECT_EQ(d.incoming.size(), 6u);
+  EXPECT_EQ(d.outgoing.size(), 6u);
+  std::unordered_set<PointId> in_ids, out_ids;
+  for (const Point& p : d.incoming) in_ids.insert(p.id);
+  for (const Point& p : d.outgoing) out_ids.insert(p.id);
+  for (PointId id : out_ids) EXPECT_EQ(in_ids.count(id), 0u);
+}
+
+TEST(TimeBasedWindowTest, EvictsByTimestamp) {
+  TimeBasedWindow window(/*window_span=*/10.0, /*stride_span=*/5.0);
+  UniformGenerator gen(2, 0.0, 1.0);
+  std::vector<TimeBasedWindow::TimedPoint> batch1;
+  for (double t : {1.0, 2.0, 4.5}) {
+    batch1.push_back({gen.Next().point, t});
+  }
+  WindowDelta d1 = window.Advance(batch1);
+  EXPECT_EQ(d1.incoming.size(), 3u);
+  EXPECT_TRUE(d1.outgoing.empty());
+
+  std::vector<TimeBasedWindow::TimedPoint> batch2;
+  for (double t : {6.0, 9.9}) {
+    batch2.push_back({gen.Next().point, t});
+  }
+  WindowDelta d2 = window.Advance(batch2);
+  EXPECT_TRUE(d2.outgoing.empty());  // Window now (0, 10].
+
+  WindowDelta d3 = window.Advance({});  // Window now (5, 15].
+  EXPECT_EQ(d3.outgoing.size(), 3u);   // Timestamps 1, 2, 4.5 expire.
+  EXPECT_EQ(window.contents().size(), 2u);
+}
+
+TEST(StreamSourceTest, IdsAreSequentialAndUnique) {
+  MazeGenerator::Options o;
+  o.num_seeds = 4;
+  MazeGenerator gen(o);
+  std::vector<LabeledPoint> batch = gen.NextBatch(100);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].point.id, i);
+  }
+}
+
+TEST(GeneratorTest, AllGeneratorsProduceValidPointsWithDeclaredDims) {
+  MazeGenerator maze{MazeGenerator::Options{}};
+  DtgGenerator dtg{DtgGenerator::Options{}};
+  GeolifeGenerator geolife{GeolifeGenerator::Options{}};
+  CovidGenerator covid{CovidGenerator::Options{}};
+  IrisGenerator iris{IrisGenerator::Options{}};
+  BlobsGenerator blobs{BlobsGenerator::Options{}};
+  struct Case {
+    StreamSource* source;
+    std::uint32_t dims;
+  } cases[] = {{&maze, 2},  {&dtg, 2},  {&geolife, 3},
+               {&covid, 2}, {&iris, 4}, {&blobs, 2}};
+  for (auto& c : cases) {
+    for (int i = 0; i < 500; ++i) {
+      const LabeledPoint lp = c.source->Next();
+      ASSERT_TRUE(IsValidPoint(lp.point));
+      ASSERT_EQ(lp.point.dims, c.dims);
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicForEqualSeeds) {
+  MazeGenerator::Options o;
+  o.seed = 123;
+  MazeGenerator a(o), b(o);
+  for (int i = 0; i < 200; ++i) {
+    const LabeledPoint pa = a.Next();
+    const LabeledPoint pb = b.Next();
+    EXPECT_EQ(pa.point.id, pb.point.id);
+    EXPECT_DOUBLE_EQ(pa.point.x[0], pb.point.x[0]);
+    EXPECT_DOUBLE_EQ(pa.point.x[1], pb.point.x[1]);
+    EXPECT_EQ(pa.true_label, pb.true_label);
+  }
+}
+
+TEST(GeneratorTest, MazeTrajectoriesStayInsideDomainAndAreLocal) {
+  MazeGenerator::Options o;
+  o.num_seeds = 3;
+  o.extent = 20.0;
+  o.step = 0.1;
+  o.jitter = 0.01;
+  o.points_per_step = 2;
+  MazeGenerator gen(o);
+  std::array<Point, 3> last{};
+  std::array<bool, 3> seen{};
+  for (int i = 0; i < 3000; ++i) {
+    const LabeledPoint lp = gen.Next();
+    ASSERT_GE(lp.true_label, 0);
+    ASSERT_LT(lp.true_label, 3);
+    EXPECT_GE(lp.point.x[0], -0.2);
+    EXPECT_LE(lp.point.x[0], 20.2);
+    const auto s = static_cast<std::size_t>(lp.true_label);
+    if (seen[s]) {
+      // Consecutive emissions of one walker are close (trajectory locality).
+      EXPECT_LT(SquaredDistance(lp.point, last[s]), 1.0);
+    }
+    last[s] = lp.point;
+    seen[s] = true;
+  }
+}
+
+TEST(GeneratorTest, DtgPointsLieOnRoadNetwork) {
+  DtgGenerator::Options o;
+  o.lane_stddev = 0.001;
+  DtgGenerator gen(o);
+  int on_grid = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const Point p = gen.Next().point;
+    // At least one coordinate should be near a road line (multiple of
+    // road_spacing).
+    auto near_road = [&](double v) {
+      const double frac = std::abs(v - std::round(v / o.road_spacing) *
+                                           o.road_spacing);
+      return frac < 0.05;
+    };
+    if (near_road(p.x[0]) || near_road(p.x[1])) ++on_grid;
+  }
+  EXPECT_GT(on_grid, n * 95 / 100);
+}
+
+TEST(GeneratorTest, CovidNoiseFractionRoughlyRespected) {
+  CovidGenerator::Options o;
+  o.noise_fraction = 0.3;
+  CovidGenerator gen(o);
+  int noise = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.Next().true_label < 0) ++noise;
+  }
+  EXPECT_NEAR(static_cast<double>(noise) / n, 0.3, 0.05);
+}
+
+TEST(CsvTest, RoundTripsPointsAndLabels) {
+  std::vector<Point> pts;
+  std::vector<ClusterId> cids;
+  Rng rng(6);
+  for (PointId id = 0; id < 25; ++id) {
+    Point p;
+    p.id = id;
+    p.dims = 3;
+    for (int d = 0; d < 3; ++d) p.x[d] = rng.Uniform(-2.0, 2.0);
+    pts.push_back(p);
+    cids.push_back(id % 4 == 0 ? kNoiseCluster : static_cast<ClusterId>(id % 3));
+  }
+  const std::string path = ::testing::TempDir() + "/csv_roundtrip.csv";
+  ASSERT_TRUE(WriteLabeledCsv(path, pts, cids));
+  std::vector<Point> read_pts;
+  std::vector<ClusterId> read_cids;
+  ASSERT_TRUE(ReadPointsCsv(path, &read_pts, &read_cids));
+  ASSERT_EQ(read_pts.size(), pts.size());
+  ASSERT_EQ(read_cids, cids);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(read_pts[i].id, pts[i].id);
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_NEAR(read_pts[i].x[d], pts[i].x[d], 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace disc

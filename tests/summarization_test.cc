@@ -1,0 +1,186 @@
+// Deeper behavioural tests for the summarization-based baselines (DBSTREAM,
+// EDMStream): decay semantics, micro-cluster management, and the
+// quality-degradation property the paper demonstrates in Figs. 9-10.
+
+#include <memory>
+
+#include "baselines/dbscan.h"
+#include "baselines/dbstream.h"
+#include "baselines/edmstream.h"
+#include "eval/ari.h"
+#include "eval/partition.h"
+#include "gtest/gtest.h"
+#include "stream/blobs_generator.h"
+#include "stream/maze_generator.h"
+#include "stream/sliding_window.h"
+
+namespace disc {
+namespace {
+
+Point P2(PointId id, double x, double y) {
+  Point p;
+  p.id = id;
+  p.dims = 2;
+  p.x[0] = x;
+  p.x[1] = y;
+  return p;
+}
+
+TEST(DbStreamTest, CreatesMicroClusterPerDenseRegion) {
+  DbStream::Options o;
+  o.radius = 0.2;
+  DbStream dbs(2, o);
+  std::vector<Point> batch;
+  PointId id = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    batch.push_back(P2(id++, 1.0, 1.0));
+    batch.push_back(P2(id++, 5.0, 5.0));
+  }
+  dbs.Update(batch, {});
+  EXPECT_EQ(dbs.num_micro_clusters(), 2u);
+}
+
+TEST(DbStreamTest, WeakMicroClustersArePrunedByDecay) {
+  DbStream::Options o;
+  o.radius = 0.2;
+  o.decay_lambda = 0.05;  // Aggressive decay.
+  o.w_min = 0.5;
+  o.cleanup_every = 50;
+  DbStream dbs(2, o);
+  // One point far away, then lots of traffic elsewhere.
+  dbs.Update({P2(0, 50.0, 50.0)}, {});
+  std::vector<Point> busy;
+  for (PointId id = 1; id < 400; ++id) busy.push_back(P2(id, 1.0, 1.0));
+  dbs.Update(busy, {});
+  // The lone far-away micro-cluster has decayed below w_min and was pruned.
+  EXPECT_EQ(dbs.num_micro_clusters(), 1u);
+}
+
+TEST(DbStreamTest, SharedDensityConnectsOverlappingRegions) {
+  DbStream::Options o;
+  o.radius = 0.5;
+  o.alpha = 0.05;
+  DbStream dbs(2, o);
+  // Points alternating in the overlap zone of two micro-cluster sites.
+  std::vector<Point> batch;
+  PointId id = 0;
+  for (int rep = 0; rep < 50; ++rep) {
+    batch.push_back(P2(id++, 1.0, 1.0));
+    batch.push_back(P2(id++, 1.6, 1.0));
+    batch.push_back(P2(id++, 1.3, 1.0));  // Falls in both radii.
+  }
+  dbs.Update(batch, {});
+  const ClusteringSnapshot snap = dbs.Snapshot();
+  EXPECT_EQ(snap.NumClusters(), 1u);  // Macro-cluster spans both.
+}
+
+TEST(DbStreamTest, SnapshotLabelsFarPointsNoise) {
+  DbStream::Options o;
+  o.radius = 0.3;
+  DbStream dbs(2, o);
+  std::vector<Point> cluster;
+  for (PointId id = 0; id < 30; ++id) cluster.push_back(P2(id, 1.0, 1.0));
+  cluster.push_back(P2(100, 9.0, 9.0));
+  dbs.Update(cluster, {});
+  const Labeling l = ToLabeling(dbs.Snapshot());
+  // The lone point sits in its own micro-cluster (not noise), but any point
+  // whose id we removed from the window is not labeled at all.
+  EXPECT_EQ(l.cid.size(), 31u);
+}
+
+TEST(EdmStreamTest, CellsFormPerRegionAndAbsorbNearbyPoints) {
+  EdmStream::Options o;
+  o.radius = 0.3;
+  EdmStream edm(2, o);
+  std::vector<Point> batch;
+  PointId id = 0;
+  for (int rep = 0; rep < 25; ++rep) {
+    batch.push_back(P2(id++, 1.0 + 0.01 * rep, 1.0));
+    batch.push_back(P2(id++, 6.0, 6.0 - 0.01 * rep));
+  }
+  edm.Update(batch, {});
+  EXPECT_GE(edm.num_cells(), 2u);
+  EXPECT_LE(edm.num_cells(), 6u);  // Far fewer cells than points.
+  EXPECT_EQ(edm.Snapshot().NumClusters(), 2u);
+}
+
+TEST(EdmStreamTest, LowDensityCellsAreOutliers) {
+  EdmStream::Options o;
+  o.radius = 0.3;
+  o.rho_min = 5.0;
+  EdmStream edm(2, o);
+  std::vector<Point> batch;
+  for (PointId id = 0; id < 30; ++id) batch.push_back(P2(id, 1.0, 1.0));
+  batch.push_back(P2(100, 9.0, 9.0));  // Lone cell: density 1 < rho_min.
+  edm.Update(batch, {});
+  const Labeling l = ToLabeling(edm.Snapshot());
+  EXPECT_EQ(l.category.at(100), Category::kNoise);
+  EXPECT_NE(l.cid.at(0), kNoiseCluster);
+}
+
+TEST(EdmStreamTest, DeltaThresholdSeparatesDensityPeaks) {
+  // Two equally dense regions 5 apart: a small threshold keeps them apart, a
+  // huge one chains them into a single cluster.
+  auto run = [](double threshold) {
+    EdmStream::Options o;
+    o.radius = 0.3;
+    o.delta_threshold = threshold;
+    o.rho_min = 1.0;
+    EdmStream edm(2, o);
+    std::vector<Point> batch;
+    PointId id = 0;
+    for (int rep = 0; rep < 25; ++rep) {
+      batch.push_back(P2(id++, 1.0, 1.0));
+      batch.push_back(P2(id++, 6.0, 1.0));
+    }
+    edm.Update(batch, {});
+    return edm.Snapshot().NumClusters();
+  };
+  EXPECT_EQ(run(1.0), 2u);
+  EXPECT_EQ(run(100.0), 1u);
+}
+
+// The paper's central quality claim (Sec. VI-E): summarization quality
+// degrades as the window grows while the stream's cluster structure gets
+// finer; DISC-level accuracy is out of reach for DBSTREAM on Maze.
+TEST(SummarizationQualityTest, DbstreamAriDegradesWithWindowGrowth) {
+  auto measure = [](std::size_t window_size) {
+    MazeGenerator::Options mo;
+    mo.num_seeds = 40;
+    mo.extent = 60.0;
+    mo.seed = 31;
+    MazeGenerator source(mo);
+    DbStream::Options o;
+    o.radius = 0.15;
+    o.decay_lambda = 4.0 / static_cast<double>(window_size);
+    o.alpha = 0.03;
+    o.eta = 0.02;
+    DbStream dbs(2, o);
+    const std::size_t stride = window_size / 10;
+    CountBasedWindow window(window_size, stride);
+    std::vector<LabeledPoint> all;
+    for (int s = 0; s < 14; ++s) {
+      std::vector<Point> batch;
+      for (std::size_t i = 0; i < stride; ++i) {
+        all.push_back(source.Next());
+        batch.push_back(all.back().point);
+      }
+      WindowDelta d = window.Advance(batch);
+      dbs.Update(d.incoming, d.outgoing);
+    }
+    std::vector<PointId> ids;
+    std::vector<ClusterId> truth;
+    const std::size_t base = all.size() - window.contents().size();
+    for (std::size_t i = 0; i < window.contents().size(); ++i) {
+      ids.push_back(all[base + i].point.id);
+      truth.push_back(all[base + i].true_label);
+    }
+    return AdjustedRandIndex(LabelsFor(dbs.Snapshot(), ids), truth);
+  };
+  const double small_window_ari = measure(2000);
+  const double large_window_ari = measure(16000);
+  EXPECT_GT(small_window_ari, large_window_ari + 0.1);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,124 @@
+// Edge-case coverage for the sliding-window substrate: seeded (resumption)
+// windows, ragged strides, and time-based boundary semantics.
+
+#include "core/disc.h"
+#include "gtest/gtest.h"
+#include "stream/blobs_generator.h"
+#include "stream/sliding_window.h"
+#include "stream/stream_source.h"
+
+namespace disc {
+namespace {
+
+TEST(SeededWindowTest, EvictionContinuesFromSeededContents) {
+  UniformGenerator gen(2, 0.0, 1.0);
+  std::vector<Point> seed = gen.NextPoints(10);
+  CountBasedWindow window(10, 5, seed);
+  EXPECT_TRUE(window.full());
+  WindowDelta d = window.Advance(gen.NextPoints(5));
+  ASSERT_EQ(d.outgoing.size(), 5u);
+  // Oldest seeded points leave first.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(d.outgoing[i].id, seed[i].id);
+  }
+  EXPECT_EQ(window.contents().size(), 10u);
+}
+
+TEST(SeededWindowTest, PartialSeedFillsBeforeEvicting) {
+  UniformGenerator gen(2, 0.0, 1.0);
+  std::vector<Point> seed = gen.NextPoints(4);
+  CountBasedWindow window(10, 5, seed);
+  EXPECT_FALSE(window.full());
+  WindowDelta d1 = window.Advance(gen.NextPoints(5));
+  EXPECT_TRUE(d1.outgoing.empty());
+  WindowDelta d2 = window.Advance(gen.NextPoints(5));
+  EXPECT_EQ(d2.outgoing.size(), 4u);  // 4 + 5 + 5 - 10.
+  EXPECT_EQ(d2.outgoing[0].id, seed[0].id);
+}
+
+TEST(SeededWindowTest, MatchesUnseededRunPointForPoint) {
+  // Driving a fresh window for 8 strides must equal seeding a second window
+  // with the first's mid-run contents and driving the remainder.
+  BlobsGenerator::Options o;
+  o.seed = 111;
+  BlobsGenerator gen_a(o);
+  BlobsGenerator gen_b(o);
+
+  CountBasedWindow continuous(300, 50);
+  for (int s = 0; s < 5; ++s) continuous.Advance(gen_a.NextPoints(50));
+  std::vector<Point> mid(continuous.contents().begin(),
+                         continuous.contents().end());
+  for (int s = 0; s < 3; ++s) continuous.Advance(gen_a.NextPoints(50));
+
+  for (int s = 0; s < 5; ++s) gen_b.NextPoints(50);  // Skip the same prefix.
+  CountBasedWindow resumed(300, 50, mid);
+  for (int s = 0; s < 3; ++s) resumed.Advance(gen_b.NextPoints(50));
+
+  ASSERT_EQ(continuous.contents().size(), resumed.contents().size());
+  for (std::size_t i = 0; i < continuous.contents().size(); ++i) {
+    EXPECT_EQ(continuous.contents()[i].id, resumed.contents()[i].id);
+  }
+}
+
+TEST(CountBasedWindowTest, RaggedFinalStrideEvictsCorrectly) {
+  UniformGenerator gen(2, 0.0, 1.0);
+  CountBasedWindow window(10, 4);
+  window.Advance(gen.NextPoints(4));
+  window.Advance(gen.NextPoints(4));
+  window.Advance(gen.NextPoints(4));  // 12 pushed: 2 evicted.
+  EXPECT_EQ(window.contents().size(), 10u);
+  // A short (end-of-stream) batch still works.
+  WindowDelta d = window.Advance(gen.NextPoints(2));
+  EXPECT_EQ(d.incoming.size(), 2u);
+  EXPECT_EQ(d.outgoing.size(), 2u);
+  // An empty batch changes nothing.
+  WindowDelta e = window.Advance({});
+  EXPECT_TRUE(e.incoming.empty());
+  EXPECT_TRUE(e.outgoing.empty());
+}
+
+TEST(TimeBasedWindowTest, BoundaryTimestampsAreExclusiveAtTheTail) {
+  // Window span 10, stride 5. After the first advance the window is (‑5, 5].
+  TimeBasedWindow window(10.0, 5.0);
+  UniformGenerator gen(2, 0.0, 1.0);
+  std::vector<TimeBasedWindow::TimedPoint> batch;
+  batch.push_back({gen.Next().point, 0.0});
+  batch.push_back({gen.Next().point, 5.0});
+  window.Advance(batch);
+  // Second advance: window (0, 10]. The t=0.0 point expires exactly at the
+  // cutoff (cutoff is inclusive for eviction).
+  WindowDelta d = window.Advance({});
+  ASSERT_EQ(d.outgoing.size(), 1u);
+  EXPECT_EQ(window.contents().size(), 1u);
+}
+
+TEST(TimeBasedWindowTest, EmptySlidesKeepAdvancingTheClock) {
+  TimeBasedWindow window(4.0, 2.0);
+  UniformGenerator gen(2, 0.0, 1.0);
+  window.Advance({{gen.Next().point, 1.0}});
+  EXPECT_DOUBLE_EQ(window.window_end(), 2.0);
+  window.Advance({});
+  window.Advance({});  // Window now (2, 6]: the t=1 point expired.
+  EXPECT_DOUBLE_EQ(window.window_end(), 6.0);
+  EXPECT_TRUE(window.contents().empty());
+}
+
+TEST(DiscWindowInterplayTest, OneDimensionalStreamsWork) {
+  // dims=1 is a legal configuration end to end.
+  DiscConfig config;
+  config.eps = 0.2;
+  config.tau = 3;
+  Disc disc(1, config);
+  UniformGenerator gen(1, 0.0, 4.0, 7);
+  CountBasedWindow window(200, 50);
+  for (int s = 0; s < 8; ++s) {
+    WindowDelta d = window.Advance(gen.NextPoints(50));
+    disc.Update(d.incoming, d.outgoing);
+  }
+  EXPECT_EQ(disc.window_size(), 200u);
+  const ClusteringSnapshot snap = disc.Snapshot();
+  EXPECT_EQ(snap.size(), 200u);
+}
+
+}  // namespace
+}  // namespace disc
