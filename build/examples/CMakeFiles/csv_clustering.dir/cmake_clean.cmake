@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_clustering.dir/csv_clustering.cpp.o"
+  "CMakeFiles/csv_clustering.dir/csv_clustering.cpp.o.d"
+  "csv_clustering"
+  "csv_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

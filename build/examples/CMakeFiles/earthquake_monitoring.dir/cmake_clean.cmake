@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthquake_monitoring.dir/earthquake_monitoring.cpp.o"
+  "CMakeFiles/earthquake_monitoring.dir/earthquake_monitoring.cpp.o.d"
+  "earthquake_monitoring"
+  "earthquake_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthquake_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolution_tracking.dir/evolution_tracking.cpp.o"
+  "CMakeFiles/evolution_tracking.dir/evolution_tracking.cpp.o.d"
+  "evolution_tracking"
+  "evolution_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolution_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

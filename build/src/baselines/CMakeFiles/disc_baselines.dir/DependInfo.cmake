@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dbscan.cc" "src/baselines/CMakeFiles/disc_baselines.dir/dbscan.cc.o" "gcc" "src/baselines/CMakeFiles/disc_baselines.dir/dbscan.cc.o.d"
+  "/root/repo/src/baselines/dbstream.cc" "src/baselines/CMakeFiles/disc_baselines.dir/dbstream.cc.o" "gcc" "src/baselines/CMakeFiles/disc_baselines.dir/dbstream.cc.o.d"
+  "/root/repo/src/baselines/edmstream.cc" "src/baselines/CMakeFiles/disc_baselines.dir/edmstream.cc.o" "gcc" "src/baselines/CMakeFiles/disc_baselines.dir/edmstream.cc.o.d"
+  "/root/repo/src/baselines/extra_n.cc" "src/baselines/CMakeFiles/disc_baselines.dir/extra_n.cc.o" "gcc" "src/baselines/CMakeFiles/disc_baselines.dir/extra_n.cc.o.d"
+  "/root/repo/src/baselines/graph_disc.cc" "src/baselines/CMakeFiles/disc_baselines.dir/graph_disc.cc.o" "gcc" "src/baselines/CMakeFiles/disc_baselines.dir/graph_disc.cc.o.d"
+  "/root/repo/src/baselines/inc_dbscan.cc" "src/baselines/CMakeFiles/disc_baselines.dir/inc_dbscan.cc.o" "gcc" "src/baselines/CMakeFiles/disc_baselines.dir/inc_dbscan.cc.o.d"
+  "/root/repo/src/baselines/rho_dbscan.cc" "src/baselines/CMakeFiles/disc_baselines.dir/rho_dbscan.cc.o" "gcc" "src/baselines/CMakeFiles/disc_baselines.dir/rho_dbscan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/disc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/disc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/disc_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/disc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

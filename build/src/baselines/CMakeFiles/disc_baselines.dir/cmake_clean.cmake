@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_baselines.dir/dbscan.cc.o"
+  "CMakeFiles/disc_baselines.dir/dbscan.cc.o.d"
+  "CMakeFiles/disc_baselines.dir/dbstream.cc.o"
+  "CMakeFiles/disc_baselines.dir/dbstream.cc.o.d"
+  "CMakeFiles/disc_baselines.dir/edmstream.cc.o"
+  "CMakeFiles/disc_baselines.dir/edmstream.cc.o.d"
+  "CMakeFiles/disc_baselines.dir/extra_n.cc.o"
+  "CMakeFiles/disc_baselines.dir/extra_n.cc.o.d"
+  "CMakeFiles/disc_baselines.dir/graph_disc.cc.o"
+  "CMakeFiles/disc_baselines.dir/graph_disc.cc.o.d"
+  "CMakeFiles/disc_baselines.dir/inc_dbscan.cc.o"
+  "CMakeFiles/disc_baselines.dir/inc_dbscan.cc.o.d"
+  "CMakeFiles/disc_baselines.dir/rho_dbscan.cc.o"
+  "CMakeFiles/disc_baselines.dir/rho_dbscan.cc.o.d"
+  "libdisc_baselines.a"
+  "libdisc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

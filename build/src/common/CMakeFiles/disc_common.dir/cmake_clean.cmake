@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_common.dir/point.cc.o"
+  "CMakeFiles/disc_common.dir/point.cc.o.d"
+  "CMakeFiles/disc_common.dir/stats.cc.o"
+  "CMakeFiles/disc_common.dir/stats.cc.o.d"
+  "libdisc_common.a"
+  "libdisc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

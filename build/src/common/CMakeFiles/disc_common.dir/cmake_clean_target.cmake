@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdisc_common.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cc" "src/core/CMakeFiles/disc_core.dir/checkpoint.cc.o" "gcc" "src/core/CMakeFiles/disc_core.dir/checkpoint.cc.o.d"
+  "/root/repo/src/core/cluster_registry.cc" "src/core/CMakeFiles/disc_core.dir/cluster_registry.cc.o" "gcc" "src/core/CMakeFiles/disc_core.dir/cluster_registry.cc.o.d"
+  "/root/repo/src/core/cluster_tracker.cc" "src/core/CMakeFiles/disc_core.dir/cluster_tracker.cc.o" "gcc" "src/core/CMakeFiles/disc_core.dir/cluster_tracker.cc.o.d"
+  "/root/repo/src/core/disc.cc" "src/core/CMakeFiles/disc_core.dir/disc.cc.o" "gcc" "src/core/CMakeFiles/disc_core.dir/disc.cc.o.d"
+  "/root/repo/src/core/disc_cluster.cc" "src/core/CMakeFiles/disc_core.dir/disc_cluster.cc.o" "gcc" "src/core/CMakeFiles/disc_core.dir/disc_cluster.cc.o.d"
+  "/root/repo/src/core/events.cc" "src/core/CMakeFiles/disc_core.dir/events.cc.o" "gcc" "src/core/CMakeFiles/disc_core.dir/events.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/disc_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/disc_core.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/disc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/disc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/disc_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_core.dir/checkpoint.cc.o"
+  "CMakeFiles/disc_core.dir/checkpoint.cc.o.d"
+  "CMakeFiles/disc_core.dir/cluster_registry.cc.o"
+  "CMakeFiles/disc_core.dir/cluster_registry.cc.o.d"
+  "CMakeFiles/disc_core.dir/cluster_tracker.cc.o"
+  "CMakeFiles/disc_core.dir/cluster_tracker.cc.o.d"
+  "CMakeFiles/disc_core.dir/disc.cc.o"
+  "CMakeFiles/disc_core.dir/disc.cc.o.d"
+  "CMakeFiles/disc_core.dir/disc_cluster.cc.o"
+  "CMakeFiles/disc_core.dir/disc_cluster.cc.o.d"
+  "CMakeFiles/disc_core.dir/events.cc.o"
+  "CMakeFiles/disc_core.dir/events.cc.o.d"
+  "CMakeFiles/disc_core.dir/pipeline.cc.o"
+  "CMakeFiles/disc_core.dir/pipeline.cc.o.d"
+  "libdisc_core.a"
+  "libdisc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

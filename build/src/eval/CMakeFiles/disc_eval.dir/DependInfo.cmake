@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/ari.cc" "src/eval/CMakeFiles/disc_eval.dir/ari.cc.o" "gcc" "src/eval/CMakeFiles/disc_eval.dir/ari.cc.o.d"
+  "/root/repo/src/eval/equivalence.cc" "src/eval/CMakeFiles/disc_eval.dir/equivalence.cc.o" "gcc" "src/eval/CMakeFiles/disc_eval.dir/equivalence.cc.o.d"
+  "/root/repo/src/eval/kdistance.cc" "src/eval/CMakeFiles/disc_eval.dir/kdistance.cc.o" "gcc" "src/eval/CMakeFiles/disc_eval.dir/kdistance.cc.o.d"
+  "/root/repo/src/eval/partition.cc" "src/eval/CMakeFiles/disc_eval.dir/partition.cc.o" "gcc" "src/eval/CMakeFiles/disc_eval.dir/partition.cc.o.d"
+  "/root/repo/src/eval/quality.cc" "src/eval/CMakeFiles/disc_eval.dir/quality.cc.o" "gcc" "src/eval/CMakeFiles/disc_eval.dir/quality.cc.o.d"
+  "/root/repo/src/eval/runner.cc" "src/eval/CMakeFiles/disc_eval.dir/runner.cc.o" "gcc" "src/eval/CMakeFiles/disc_eval.dir/runner.cc.o.d"
+  "/root/repo/src/eval/table.cc" "src/eval/CMakeFiles/disc_eval.dir/table.cc.o" "gcc" "src/eval/CMakeFiles/disc_eval.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/disc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/disc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/disc_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/disc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/disc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_eval.dir/ari.cc.o"
+  "CMakeFiles/disc_eval.dir/ari.cc.o.d"
+  "CMakeFiles/disc_eval.dir/equivalence.cc.o"
+  "CMakeFiles/disc_eval.dir/equivalence.cc.o.d"
+  "CMakeFiles/disc_eval.dir/kdistance.cc.o"
+  "CMakeFiles/disc_eval.dir/kdistance.cc.o.d"
+  "CMakeFiles/disc_eval.dir/partition.cc.o"
+  "CMakeFiles/disc_eval.dir/partition.cc.o.d"
+  "CMakeFiles/disc_eval.dir/quality.cc.o"
+  "CMakeFiles/disc_eval.dir/quality.cc.o.d"
+  "CMakeFiles/disc_eval.dir/runner.cc.o"
+  "CMakeFiles/disc_eval.dir/runner.cc.o.d"
+  "CMakeFiles/disc_eval.dir/table.cc.o"
+  "CMakeFiles/disc_eval.dir/table.cc.o.d"
+  "libdisc_eval.a"
+  "libdisc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

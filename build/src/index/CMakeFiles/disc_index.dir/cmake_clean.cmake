@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_index.dir/grid_index.cc.o"
+  "CMakeFiles/disc_index.dir/grid_index.cc.o.d"
+  "CMakeFiles/disc_index.dir/rtree.cc.o"
+  "CMakeFiles/disc_index.dir/rtree.cc.o.d"
+  "libdisc_index.a"
+  "libdisc_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

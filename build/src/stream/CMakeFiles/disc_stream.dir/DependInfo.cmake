@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/blobs_generator.cc" "src/stream/CMakeFiles/disc_stream.dir/blobs_generator.cc.o" "gcc" "src/stream/CMakeFiles/disc_stream.dir/blobs_generator.cc.o.d"
+  "/root/repo/src/stream/covid_generator.cc" "src/stream/CMakeFiles/disc_stream.dir/covid_generator.cc.o" "gcc" "src/stream/CMakeFiles/disc_stream.dir/covid_generator.cc.o.d"
+  "/root/repo/src/stream/csv.cc" "src/stream/CMakeFiles/disc_stream.dir/csv.cc.o" "gcc" "src/stream/CMakeFiles/disc_stream.dir/csv.cc.o.d"
+  "/root/repo/src/stream/dtg_generator.cc" "src/stream/CMakeFiles/disc_stream.dir/dtg_generator.cc.o" "gcc" "src/stream/CMakeFiles/disc_stream.dir/dtg_generator.cc.o.d"
+  "/root/repo/src/stream/geolife_generator.cc" "src/stream/CMakeFiles/disc_stream.dir/geolife_generator.cc.o" "gcc" "src/stream/CMakeFiles/disc_stream.dir/geolife_generator.cc.o.d"
+  "/root/repo/src/stream/iris_generator.cc" "src/stream/CMakeFiles/disc_stream.dir/iris_generator.cc.o" "gcc" "src/stream/CMakeFiles/disc_stream.dir/iris_generator.cc.o.d"
+  "/root/repo/src/stream/maze_generator.cc" "src/stream/CMakeFiles/disc_stream.dir/maze_generator.cc.o" "gcc" "src/stream/CMakeFiles/disc_stream.dir/maze_generator.cc.o.d"
+  "/root/repo/src/stream/netflow_generator.cc" "src/stream/CMakeFiles/disc_stream.dir/netflow_generator.cc.o" "gcc" "src/stream/CMakeFiles/disc_stream.dir/netflow_generator.cc.o.d"
+  "/root/repo/src/stream/recording.cc" "src/stream/CMakeFiles/disc_stream.dir/recording.cc.o" "gcc" "src/stream/CMakeFiles/disc_stream.dir/recording.cc.o.d"
+  "/root/repo/src/stream/sliding_window.cc" "src/stream/CMakeFiles/disc_stream.dir/sliding_window.cc.o" "gcc" "src/stream/CMakeFiles/disc_stream.dir/sliding_window.cc.o.d"
+  "/root/repo/src/stream/stream_clusterer.cc" "src/stream/CMakeFiles/disc_stream.dir/stream_clusterer.cc.o" "gcc" "src/stream/CMakeFiles/disc_stream.dir/stream_clusterer.cc.o.d"
+  "/root/repo/src/stream/stream_source.cc" "src/stream/CMakeFiles/disc_stream.dir/stream_source.cc.o" "gcc" "src/stream/CMakeFiles/disc_stream.dir/stream_source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/disc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

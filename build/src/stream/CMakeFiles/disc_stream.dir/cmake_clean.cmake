@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_stream.dir/blobs_generator.cc.o"
+  "CMakeFiles/disc_stream.dir/blobs_generator.cc.o.d"
+  "CMakeFiles/disc_stream.dir/covid_generator.cc.o"
+  "CMakeFiles/disc_stream.dir/covid_generator.cc.o.d"
+  "CMakeFiles/disc_stream.dir/csv.cc.o"
+  "CMakeFiles/disc_stream.dir/csv.cc.o.d"
+  "CMakeFiles/disc_stream.dir/dtg_generator.cc.o"
+  "CMakeFiles/disc_stream.dir/dtg_generator.cc.o.d"
+  "CMakeFiles/disc_stream.dir/geolife_generator.cc.o"
+  "CMakeFiles/disc_stream.dir/geolife_generator.cc.o.d"
+  "CMakeFiles/disc_stream.dir/iris_generator.cc.o"
+  "CMakeFiles/disc_stream.dir/iris_generator.cc.o.d"
+  "CMakeFiles/disc_stream.dir/maze_generator.cc.o"
+  "CMakeFiles/disc_stream.dir/maze_generator.cc.o.d"
+  "CMakeFiles/disc_stream.dir/netflow_generator.cc.o"
+  "CMakeFiles/disc_stream.dir/netflow_generator.cc.o.d"
+  "CMakeFiles/disc_stream.dir/recording.cc.o"
+  "CMakeFiles/disc_stream.dir/recording.cc.o.d"
+  "CMakeFiles/disc_stream.dir/sliding_window.cc.o"
+  "CMakeFiles/disc_stream.dir/sliding_window.cc.o.d"
+  "CMakeFiles/disc_stream.dir/stream_clusterer.cc.o"
+  "CMakeFiles/disc_stream.dir/stream_clusterer.cc.o.d"
+  "CMakeFiles/disc_stream.dir/stream_source.cc.o"
+  "CMakeFiles/disc_stream.dir/stream_source.cc.o.d"
+  "libdisc_stream.a"
+  "libdisc_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

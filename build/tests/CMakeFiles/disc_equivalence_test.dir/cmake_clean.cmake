@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_equivalence_test.dir/disc_equivalence_test.cc.o"
+  "CMakeFiles/disc_equivalence_test.dir/disc_equivalence_test.cc.o.d"
+  "disc_equivalence_test"
+  "disc_equivalence_test.pdb"
+  "disc_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_extended_test.dir/disc_extended_test.cc.o"
+  "CMakeFiles/disc_extended_test.dir/disc_extended_test.cc.o.d"
+  "disc_extended_test"
+  "disc_extended_test.pdb"
+  "disc_extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

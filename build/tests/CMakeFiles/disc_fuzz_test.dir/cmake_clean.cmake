@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_fuzz_test.dir/disc_fuzz_test.cc.o"
+  "CMakeFiles/disc_fuzz_test.dir/disc_fuzz_test.cc.o.d"
+  "disc_fuzz_test"
+  "disc_fuzz_test.pdb"
+  "disc_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

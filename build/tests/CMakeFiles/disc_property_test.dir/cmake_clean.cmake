@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_property_test.dir/disc_property_test.cc.o"
+  "CMakeFiles/disc_property_test.dir/disc_property_test.cc.o.d"
+  "disc_property_test"
+  "disc_property_test.pdb"
+  "disc_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_disc_test.dir/graph_disc_test.cc.o"
+  "CMakeFiles/graph_disc_test.dir/graph_disc_test.cc.o.d"
+  "graph_disc_test"
+  "graph_disc_test.pdb"
+  "graph_disc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_disc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inc_dbscan_scenario_test.dir/inc_dbscan_scenario_test.cc.o"
+  "CMakeFiles/inc_dbscan_scenario_test.dir/inc_dbscan_scenario_test.cc.o.d"
+  "inc_dbscan_scenario_test"
+  "inc_dbscan_scenario_test.pdb"
+  "inc_dbscan_scenario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inc_dbscan_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_checkpoint_test.dir/knn_checkpoint_test.cc.o"
+  "CMakeFiles/knn_checkpoint_test.dir/knn_checkpoint_test.cc.o.d"
+  "knn_checkpoint_test"
+  "knn_checkpoint_test.pdb"
+  "knn_checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

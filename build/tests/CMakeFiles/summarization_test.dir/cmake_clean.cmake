@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summarization_test.dir/summarization_test.cc.o"
+  "CMakeFiles/summarization_test.dir/summarization_test.cc.o.d"
+  "summarization_test"
+  "summarization_test.pdb"
+  "summarization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summarization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

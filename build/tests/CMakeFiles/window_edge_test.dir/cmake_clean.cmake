@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_edge_test.dir/window_edge_test.cc.o"
+  "CMakeFiles/window_edge_test.dir/window_edge_test.cc.o.d"
+  "window_edge_test"
+  "window_edge_test.pdb"
+  "window_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/disc_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/rtree_test[1]_include.cmake")
+include("/root/repo/build/tests/grid_index_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/disc_property_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/summarization_test[1]_include.cmake")
+include("/root/repo/build/tests/exact_baselines_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/knn_checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/inc_dbscan_scenario_test[1]_include.cmake")
+include("/root/repo/build/tests/disc_extended_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_disc_test[1]_include.cmake")
+include("/root/repo/build/tests/disc_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/runner_test[1]_include.cmake")
+include("/root/repo/build/tests/dbscan_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/window_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/quality_test[1]_include.cmake")
+include("/root/repo/build/tests/recording_test[1]_include.cmake")
+include("/root/repo/build/tests/events_test[1]_include.cmake")
