@@ -4,21 +4,24 @@
 // figure — an engineering companion to Figs. 4/7 that shows *why* the curves
 // bend: COLLECT dominates at tiny strides (cost ∝ stride), while the CLUSTER
 // phases grow with the amount of cluster evolution per slide.
+//
+// Timing comes from SlideReport::phases, the clusterer-agnostic per-phase
+// breakdown the pipeline surfaces — no downcasting to Disc for the table.
 
 #include <cstdio>
 
 #include "bench/datasets.h"
 #include "core/disc.h"
+#include "core/pipeline.h"
 #include "eval/runner.h"
 #include "eval/table.h"
-#include "stream/sliding_window.h"
 
 namespace disc {
 namespace {
 
 void Run(double scale, int slides) {
   Table table({"dataset", "stride%", "collect_ms", "ex_ms", "neo_ms",
-               "recheck_ms", "total_ms", "reconciliations"});
+               "recheck_ms", "total_ms", "relabeled", "reconciliations"});
   for (const bench::DatasetSpec& spec : bench::StandardDatasets(scale)) {
     for (double ratio : {0.01, 0.05, 0.25}) {
       const std::size_t stride = std::max<std::size_t>(
@@ -28,30 +31,35 @@ void Run(double scale, int slides) {
       config.eps = spec.eps;
       config.tau = spec.tau;
       Disc method(spec.dims, config);
-      CountBasedWindow window(spec.window, stride);
+      StreamingPipeline pipeline(source.get(), &method, spec.window, stride);
+
+      // Fill the window, then measure steady-state slides.
+      const std::size_t fill = (spec.window + stride - 1) / stride + 1;
+      pipeline.Run(fill);
 
       double collect = 0, ex = 0, neo = 0, recheck = 0;
+      std::uint64_t relabeled = 0;
       std::uint64_t reconciliations = 0;
       int measured = 0;
-      const std::size_t fill = (spec.window + stride - 1) / stride;
-      for (std::size_t s = 0; s < fill + 1 + static_cast<std::size_t>(slides);
-           ++s) {
-        WindowDelta d = window.Advance(source->NextPoints(stride));
-        method.Update(d.incoming, d.outgoing);
-        if (s < fill + 1) continue;
-        const DiscMetrics& m = method.last_metrics();
-        collect += m.collect_ms;
-        ex += m.ex_phase_ms;
-        neo += m.neo_phase_ms;
-        recheck += m.recheck_ms;
-        reconciliations += m.survivor_reconciliations;
-        ++measured;
-      }
+      pipeline.Run(static_cast<std::size_t>(slides),
+                   [&](const SlideReport& report) {
+                     collect += report.phases.collect_ms;
+                     ex += report.phases.ex_phase_ms;
+                     neo += report.phases.neo_phase_ms;
+                     recheck += report.phases.recheck_ms;
+                     relabeled += report.relabeled;
+                     // The one Disc-only counter in the table.
+                     reconciliations +=
+                         method.last_metrics().survivor_reconciliations;
+                     ++measured;
+                     return true;
+                   });
       const double n = static_cast<double>(measured);
       table.AddRow({spec.name, Table::Num(ratio * 100.0, 0),
                     Table::Num(collect / n, 2), Table::Num(ex / n, 2),
                     Table::Num(neo / n, 2), Table::Num(recheck / n, 2),
                     Table::Num((collect + ex + neo + recheck) / n, 2),
+                    std::to_string(relabeled),
                     std::to_string(reconciliations)});
     }
   }

@@ -48,7 +48,7 @@ int main() {
               tracker.num_alive(), tracker.num_ever());
 
   // 4. Deltas: what did the last slide change?
-  const disc::Disc::LabelDelta& delta = clusterer.last_delta();
+  const disc::UpdateDelta& delta = clusterer.last_delta();
   std::printf("last slide: +%zu points, -%zu points, %zu relabeled, "
               "%llu range searches\n",
               delta.entered.size(), delta.exited.size(),

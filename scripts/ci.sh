@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI entry point: full test suite under the Release preset, then the
+# parallelism-sensitive tests under TSan to catch data races in the COLLECT
+# fan-out. Usage: scripts/ci.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== Release: configure + build + ctest ==="
+cmake --preset release
+cmake --build --preset release -j "${jobs}"
+ctest --preset release -j "${jobs}" "$@"
+
+echo "=== TSan: configure + build + threaded tests ==="
+cmake --preset tsan
+cmake --build --preset tsan -j "${jobs}" --target parallel_test
+ctest --preset tsan -R "ParallelFor|ThreadDeterminism" "$@"
+
+echo "CI passed."

@@ -111,16 +111,28 @@ DbscanClusterer::DbscanClusterer(std::uint32_t dims, double eps,
                                  std::uint32_t tau, int rtree_max_entries)
     : eps_(eps), tau_(tau), tree_(dims, rtree_max_entries) {}
 
-void DbscanClusterer::Update(const std::vector<Point>& incoming,
-                             const std::vector<Point>& outgoing) {
+const UpdateDelta& DbscanClusterer::Update(const std::vector<Point>& incoming,
+                                           const std::vector<Point>& outgoing) {
+  delta_.Clear();
   for (const Point& p : outgoing) {
-    if (window_.erase(p.id) > 0) tree_.Delete(p);
+    if (window_.erase(p.id) > 0) {
+      tree_.Delete(p);
+      delta_.exited.push_back(p.id);
+    }
   }
   for (const Point& p : incoming) {
     auto [it, inserted] = window_.emplace(p.id, p);
-    if (inserted) tree_.Insert(p);
+    if (inserted) {
+      tree_.Insert(p);
+      delta_.entered.push_back(p.id);
+    }
   }
+  // Re-clustering assigns fresh cluster ids every slide, so the relabel set
+  // is recovered by diffing the labelings up to a bijective renaming.
+  const ClusteringSnapshot previous = std::move(snapshot_);
   Recluster();
+  DiffLabelings(previous, snapshot_, &delta_);
+  return delta_;
 }
 
 void DbscanClusterer::Recluster() {

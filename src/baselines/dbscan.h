@@ -31,8 +31,8 @@ class DbscanClusterer : public StreamClusterer {
   DbscanClusterer(std::uint32_t dims, double eps, std::uint32_t tau,
                   int rtree_max_entries = 16);
 
-  void Update(const std::vector<Point>& incoming,
-              const std::vector<Point>& outgoing) override;
+  const UpdateDelta& Update(const std::vector<Point>& incoming,
+                            const std::vector<Point>& outgoing) override;
   ClusteringSnapshot Snapshot() const override { return snapshot_; }
   std::string name() const override { return "DBSCAN"; }
 

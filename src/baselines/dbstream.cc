@@ -1,6 +1,7 @@
 #include "baselines/dbstream.h"
 
 #include <algorithm>
+#include <unordered_set>
 #include <cmath>
 
 namespace disc {
@@ -83,15 +84,29 @@ void DbStream::Cleanup() {
   }
 }
 
-void DbStream::Update(const std::vector<Point>& incoming,
-                      const std::vector<Point>& outgoing) {
+const UpdateDelta& DbStream::Update(const std::vector<Point>& incoming,
+                                    const std::vector<Point>& outgoing) {
   // Summarization methods support no deletion (Sec. VI-E); expired points
   // leave the evaluation bookkeeping but the summaries only decay.
-  for (const Point& p : outgoing) window_.erase(p.id);
+  delta_.Clear();
+  for (const Point& p : outgoing) {
+    if (window_.erase(p.id) > 0) delta_.exited.push_back(p.id);
+  }
+  std::unordered_set<PointId> fresh;
   for (const Point& p : incoming) {
-    window_.emplace(p.id, p);
+    if (window_.emplace(p.id, p).second) {
+      delta_.entered.push_back(p.id);
+      fresh.insert(p.id);
+    }
     Ingest(p);
   }
+  // Conservative relabel report (see UpdateDelta's contract): weight decay
+  // and center drift can silently move any survivor's nearest-micro-cluster
+  // assignment, so every surviving point is listed.
+  for (const auto& [id, p] : window_) {
+    if (fresh.count(id) == 0) delta_.relabeled.push_back(id);
+  }
+  return delta_;
 }
 
 std::size_t DbStream::num_micro_clusters() const {

@@ -36,8 +36,8 @@ class DbStream : public StreamClusterer {
 
   DbStream(std::uint32_t dims, const Options& options);
 
-  void Update(const std::vector<Point>& incoming,
-              const std::vector<Point>& outgoing) override;
+  const UpdateDelta& Update(const std::vector<Point>& incoming,
+                            const std::vector<Point>& outgoing) override;
   ClusteringSnapshot Snapshot() const override;
   std::string name() const override { return "DBSTREAM"; }
 

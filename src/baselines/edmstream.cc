@@ -1,6 +1,7 @@
 #include "baselines/edmstream.h"
 
 #include <cmath>
+#include <unordered_set>
 #include <limits>
 
 namespace disc {
@@ -42,16 +43,28 @@ void EdmStream::Ingest(const Point& p) {
   assignment_[p.id] = static_cast<std::uint64_t>(best_cell);
 }
 
-void EdmStream::Update(const std::vector<Point>& incoming,
-                       const std::vector<Point>& outgoing) {
+const UpdateDelta& EdmStream::Update(const std::vector<Point>& incoming,
+                                     const std::vector<Point>& outgoing) {
+  delta_.Clear();
   for (const Point& p : outgoing) {
-    window_.erase(p.id);
+    if (window_.erase(p.id) > 0) delta_.exited.push_back(p.id);
     assignment_.erase(p.id);
   }
+  std::unordered_set<PointId> fresh;
   for (const Point& p : incoming) {
-    window_.emplace(p.id, p);
+    if (window_.emplace(p.id, p).second) {
+      delta_.entered.push_back(p.id);
+      fresh.insert(p.id);
+    }
     Ingest(p);
   }
+  // Conservative relabel report (see UpdateDelta's contract): density decay
+  // reshapes the DP-tree on every snapshot, so every surviving point is
+  // listed.
+  for (const auto& [id, p] : window_) {
+    if (fresh.count(id) == 0) delta_.relabeled.push_back(id);
+  }
+  return delta_;
 }
 
 ClusteringSnapshot EdmStream::Snapshot() const {

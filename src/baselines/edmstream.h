@@ -32,8 +32,8 @@ class EdmStream : public StreamClusterer {
 
   EdmStream(std::uint32_t dims, const Options& options);
 
-  void Update(const std::vector<Point>& incoming,
-              const std::vector<Point>& outgoing) override;
+  const UpdateDelta& Update(const std::vector<Point>& incoming,
+                            const std::vector<Point>& outgoing) override;
   ClusteringSnapshot Snapshot() const override;
   std::string name() const override { return "EDMStream"; }
 

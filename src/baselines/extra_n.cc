@@ -17,8 +17,9 @@ ExtraN::ExtraN(std::uint32_t dims, double eps, std::uint32_t tau,
   assert(window_size % stride == 0 && "EXTRA-N requires aligned sub-windows");
 }
 
-void ExtraN::Update(const std::vector<Point>& incoming,
-                    const std::vector<Point>& outgoing) {
+const UpdateDelta& ExtraN::Update(const std::vector<Point>& incoming,
+                                  const std::vector<Point>& outgoing) {
+  delta_.Clear();
   ++current_slide_;
   const std::uint64_t before = tree_.stats().range_searches;
 
@@ -29,12 +30,14 @@ void ExtraN::Update(const std::vector<Point>& incoming,
     if (it == records_.end()) continue;
     tree_.Delete(it->second.pt);
     records_.erase(it);
+    delta_.exited.push_back(p.id);
   }
 
   for (const Point& p : incoming) {
     auto [it, inserted] = records_.emplace(p.id, Record{});
     assert(inserted);
     if (!inserted) continue;
+    delta_.entered.push_back(p.id);
     Record& rec = it->second;
     rec.pt = p;
     rec.arrival_slide = current_slide_;
@@ -57,7 +60,12 @@ void ExtraN::Update(const std::vector<Point>& incoming,
     });
   }
   last_searches_ = tree_.stats().range_searches - before;
+  // Extraction assigns fresh cluster ids each slide; recover the relabel set
+  // by diffing the labelings up to a bijective renaming.
+  const ClusteringSnapshot previous = std::move(snapshot_);
   Recluster();
+  DiffLabelings(previous, snapshot_, &delta_);
+  return delta_;
 }
 
 void ExtraN::Recluster() {

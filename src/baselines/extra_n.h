@@ -31,8 +31,8 @@ class ExtraN : public StreamClusterer {
          std::size_t window_size, std::size_t stride,
          int rtree_max_entries = 16);
 
-  void Update(const std::vector<Point>& incoming,
-              const std::vector<Point>& outgoing) override;
+  const UpdateDelta& Update(const std::vector<Point>& incoming,
+                            const std::vector<Point>& outgoing) override;
   ClusteringSnapshot Snapshot() const override { return snapshot_; }
   std::string name() const override { return "EXTRA-N"; }
 

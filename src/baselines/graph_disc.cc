@@ -21,6 +21,17 @@ void GraphDisc::AddRecheck(PointId id, Record* rec) {
   recheck_.push_back(id);
 }
 
+void GraphDisc::SetLabel(PointId id, Record* rec, Category category,
+                         ClusterId cid) {
+  if (rec->category == category && rec->cid == cid) return;
+  rec->category = category;
+  rec->cid = cid;
+  if (rec->delta_serial != update_serial_) {
+    rec->delta_serial = update_serial_;
+    delta_.relabeled.push_back(id);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // COLLECT over the materialized graph
 // ---------------------------------------------------------------------------
@@ -62,6 +73,7 @@ void GraphDisc::Collect(const std::vector<Point>& incoming,
     tree_.Delete(rec.pt);
     rec.deleted = true;
     touch(p.id, &rec);
+    delta_.exited.push_back(p.id);
   }
 
   for (const Point& p : incoming) {
@@ -74,6 +86,8 @@ void GraphDisc::Collect(const std::vector<Point>& incoming,
     if (!inserted) continue;
     Record& rec = it->second;
     rec.pt = p;
+    rec.delta_serial = update_serial_;  // Listed in `entered`, not `relabeled`.
+    delta_.entered.push_back(p.id);
     tree_.Insert(p);
     tree_.RangeSearch(p, config_.eps, [&](PointId qid, const Point&) {
       if (qid == p.id) return;
@@ -224,15 +238,13 @@ void GraphDisc::MsBfs(const std::vector<PointId>& m_minus) {
         const ClusterId fresh = registry_.NewCluster();
         for (PointId cp : th.cores) {
           Record& rc = GetRecord(cp);
-          rc.cid = fresh;
-          rc.category = Category::kCore;
+          SetLabel(cp, &rc, Category::kCore, fresh);
           rc.relabel_serial = update_serial_;
         }
         for (PointId bp : th.borders) {
           Record& rb = GetRecord(bp);
           if (rb.deleted || IsCoreNow(rb)) continue;
-          rb.cid = fresh;
-          rb.category = Category::kBorder;
+          SetLabel(bp, &rb, Category::kBorder, fresh);
           rb.relabel_serial = update_serial_;
         }
         --active_count;
@@ -326,15 +338,13 @@ void GraphDisc::ProcessNeoGroup(PointId seed) {
   }
   for (PointId mp : group) {
     Record& rm = GetRecord(mp);
-    rm.cid = g;
-    rm.category = Category::kCore;
+    SetLabel(mp, &rm, Category::kCore, g);
     rm.relabel_serial = update_serial_;
   }
   for (PointId bp : borders) {
     Record& rb = GetRecord(bp);
     if (rb.deleted || IsCoreNow(rb)) continue;
-    rb.cid = g;
-    rb.category = Category::kBorder;
+    SetLabel(bp, &rb, Category::kBorder, g);
     rb.relabel_serial = update_serial_;
   }
 }
@@ -361,11 +371,9 @@ void GraphDisc::RecheckNonCores() {
       }
     }
     if (found) {
-      rec.category = Category::kBorder;
-      rec.cid = found_cid;
+      SetLabel(id, &rec, Category::kBorder, found_cid);
     } else {
-      rec.category = Category::kNoise;
-      rec.cid = kNoiseCluster;
+      SetLabel(id, &rec, Category::kNoise, kNoiseCluster);
     }
   }
 }
@@ -374,9 +382,10 @@ void GraphDisc::RecheckNonCores() {
 // Orchestration
 // ---------------------------------------------------------------------------
 
-void GraphDisc::Update(const std::vector<Point>& incoming,
-                       const std::vector<Point>& outgoing) {
+const UpdateDelta& GraphDisc::Update(const std::vector<Point>& incoming,
+                                     const std::vector<Point>& outgoing) {
   ++update_serial_;
+  delta_.Clear();
   recheck_.clear();
   touched_.clear();
   const std::uint64_t before = tree_.stats().range_searches;
@@ -399,6 +408,7 @@ void GraphDisc::Update(const std::vector<Point>& incoming,
     rec.core_prev = NEps(rec) >= config_.tau;
   }
   last_searches_ = tree_.stats().range_searches - before;
+  return delta_;
 }
 
 ClusteringSnapshot GraphDisc::Snapshot() const {

@@ -29,8 +29,8 @@ class GraphDisc : public StreamClusterer {
  public:
   GraphDisc(std::uint32_t dims, const DiscConfig& config);
 
-  void Update(const std::vector<Point>& incoming,
-              const std::vector<Point>& outgoing) override;
+  const UpdateDelta& Update(const std::vector<Point>& incoming,
+                            const std::vector<Point>& outgoing) override;
   ClusteringSnapshot Snapshot() const override;
   std::string name() const override { return "DISC-graph"; }
 
@@ -59,6 +59,7 @@ class GraphDisc : public StreamClusterer {
     std::uint64_t group_serial = 0;
     std::uint64_t relabel_serial = 0;
     std::uint64_t recheck_serial = 0;
+    std::uint64_t delta_serial = 0;  // Already listed in this update's delta.
   };
 
   std::size_t NEps(const Record& r) const { return r.neighbors.size() + 1; }
@@ -85,6 +86,9 @@ class GraphDisc : public StreamClusterer {
   void ProcessNeoGroup(PointId seed);
   void RecheckNonCores();
   void AddRecheck(PointId id, Record* rec);
+  // Single choke point for label writes; feeds delta_.relabeled exactly like
+  // Disc::SetLabel so the two variants report identical deltas.
+  void SetLabel(PointId id, Record* rec, Category category, ClusterId cid);
   Record& GetRecord(PointId id);
 
   DiscConfig config_;

@@ -31,8 +31,21 @@ void IncDbscan::AddRecheck(PointId id, Record* rec) {
   recheck_.push_back(id);
 }
 
-void IncDbscan::Update(const std::vector<Point>& incoming,
-                       const std::vector<Point>& outgoing) {
+void IncDbscan::SetLabel(PointId id, Record* rec, Category category,
+                         ClusterId cid) {
+  if (rec->category == category && rec->cid == cid) return;
+  rec->category = category;
+  rec->cid = cid;
+  if (rec->delta_serial != batch_serial_) {
+    rec->delta_serial = batch_serial_;
+    delta_.relabeled.push_back(id);
+  }
+}
+
+const UpdateDelta& IncDbscan::Update(const std::vector<Point>& incoming,
+                                     const std::vector<Point>& outgoing) {
+  ++batch_serial_;
+  delta_.Clear();
   const std::uint64_t before = tree_.stats().range_searches;
   // One point at a time: that is the defining property of IncDBSCAN. The
   // clustering (including border labels) is valid after every single
@@ -51,6 +64,13 @@ void IncDbscan::Update(const std::vector<Point>& incoming,
     RecheckNonCores();
   }
   last_searches_ = tree_.stats().range_searches - before;
+  // Points relabeled by an early operation and deleted by a later one are
+  // gone from the window; `relabeled` reports survivors only.
+  delta_.relabeled.erase(
+      std::remove_if(delta_.relabeled.begin(), delta_.relabeled.end(),
+                     [&](PointId id) { return records_.count(id) == 0; }),
+      delta_.relabeled.end());
+  return delta_;
 }
 
 // ---------------------------------------------------------------------------
@@ -68,6 +88,8 @@ void IncDbscan::InsertOne(const Point& p) {
   Record& rec = it->second;
   rec.pt = p;
   rec.n_eps = 1;
+  rec.delta_serial = batch_serial_;  // Listed in `entered`, not `relabeled`.
+  delta_.entered.push_back(p.id);
   tree_.Insert(p);
 
   std::vector<PointId> new_cores;  // Points whose status flips to core.
@@ -156,14 +178,12 @@ void IncDbscan::InsertOne(const Point& p) {
     }
     for (PointId m : members) {
       Record& rm = GetRecord(m);
-      rm.category = Category::kCore;
-      rm.cid = g;
+      SetLabel(m, &rm, Category::kCore, g);
     }
     for (PointId b : borders) {
       Record& rb = GetRecord(b);
       if (IsCore(rb)) continue;
-      rb.category = Category::kBorder;
-      rb.cid = g;
+      SetLabel(b, &rb, Category::kBorder, g);
     }
   }
   if (!IsCore(rec)) AddRecheck(p.id, &rec);
@@ -181,6 +201,7 @@ void IncDbscan::DeleteOne(const Point& p) {
   const bool was_core = IsCore(rec);
   tree_.Delete(rec.pt);
   records_.erase(it);
+  delta_.exited.push_back(p.id);
 
   std::vector<PointId> lost;  // Still-present cores that lose core status.
   tree_.RangeSearch(rec.pt, config_.eps, [&](PointId qid, const Point&) {
@@ -313,14 +334,12 @@ int IncDbscan::MsBfs(const std::vector<PointId>& seeds) {
         const ClusterId fresh = registry_.NewCluster();
         for (PointId cp : th.cores) {
           Record& rc = GetRecord(cp);
-          rc.cid = fresh;
-          rc.category = Category::kCore;
+          SetLabel(cp, &rc, Category::kCore, fresh);
         }
         for (PointId bp : th.borders) {
           Record& rb = GetRecord(bp);
           if (IsCore(rb)) continue;
-          rb.cid = fresh;
-          rb.category = Category::kBorder;
+          SetLabel(bp, &rb, Category::kBorder, fresh);
         }
         ++drained;
         --active_count;
@@ -419,14 +438,12 @@ int IncDbscan::SequentialBfs(const std::vector<PointId>& seeds) {
       const ClusterId fresh = registry_.NewCluster();
       for (PointId cp : cores) {
         Record& rc = GetRecord(cp);
-        rc.cid = fresh;
-        rc.category = Category::kCore;
+        SetLabel(cp, &rc, Category::kCore, fresh);
       }
       for (PointId bp : borders) {
         Record& rb = GetRecord(bp);
         if (IsCore(rb)) continue;
-        rb.cid = fresh;
-        rb.category = Category::kBorder;
+        SetLabel(bp, &rb, Category::kBorder, fresh);
       }
     }
     first = false;
@@ -448,8 +465,7 @@ void IncDbscan::RecheckNonCores() {
     if (rec.witness_serial == op_serial_) {
       auto wit = records_.find(rec.witness);
       if (wit != records_.end() && IsCore(wit->second)) {
-        rec.category = Category::kBorder;
-        rec.cid = wit->second.cid;
+        SetLabel(id, &rec, Category::kBorder, wit->second.cid);
         continue;
       }
     }
@@ -466,11 +482,9 @@ void IncDbscan::RecheckNonCores() {
       }
     });
     if (found) {
-      rec.category = Category::kBorder;
-      rec.cid = found_cid;
+      SetLabel(id, &rec, Category::kBorder, found_cid);
     } else {
-      rec.category = Category::kNoise;
-      rec.cid = kNoiseCluster;
+      SetLabel(id, &rec, Category::kNoise, kNoiseCluster);
     }
   }
 }

@@ -33,8 +33,8 @@ class IncDbscan : public StreamClusterer {
  public:
   IncDbscan(std::uint32_t dims, const DiscConfig& config);
 
-  void Update(const std::vector<Point>& incoming,
-              const std::vector<Point>& outgoing) override;
+  const UpdateDelta& Update(const std::vector<Point>& incoming,
+                            const std::vector<Point>& outgoing) override;
   ClusteringSnapshot Snapshot() const override;
   std::string name() const override { return "IncDBSCAN"; }
 
@@ -55,6 +55,7 @@ class IncDbscan : public StreamClusterer {
     std::uint64_t recheck_serial = 0;
     std::uint64_t witness_serial = 0;
     PointId witness = 0;
+    std::uint64_t delta_serial = 0;  // Already listed in this batch's delta.
   };
 
   bool IsCore(const Record& r) const { return r.n_eps >= config_.tau; }
@@ -71,6 +72,10 @@ class IncDbscan : public StreamClusterer {
   void AddRecheck(PointId id, Record* rec);
   void RecheckNonCores();
 
+  // Single choke point for label writes; feeds delta_.relabeled, deduplicated
+  // per Update batch (op_serial_ ticks per operation, so a separate serial).
+  void SetLabel(PointId id, Record* rec, Category category, ClusterId cid);
+
   void SearchMarking(const Point& center, std::uint64_t tick,
                      const RTree::MarkingVisitor& visit);
 
@@ -81,7 +86,8 @@ class IncDbscan : public StreamClusterer {
   std::unordered_map<PointId, Record> records_;
   ClusterRegistry registry_;
 
-  std::uint64_t op_serial_ = 0;   // Increments per Update.
+  std::uint64_t op_serial_ = 0;      // Increments per operation.
+  std::uint64_t batch_serial_ = 0;   // Increments per Update batch.
   std::uint64_t search_serial_ = 0;  // Increments per traversal.
   std::vector<PointId> recheck_;
   std::uint64_t last_searches_ = 0;

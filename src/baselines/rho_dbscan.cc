@@ -58,17 +58,26 @@ std::string RhoDbscan::name() const {
   return os.str();
 }
 
-void RhoDbscan::Update(const std::vector<Point>& incoming,
-                       const std::vector<Point>& outgoing) {
+const UpdateDelta& RhoDbscan::Update(const std::vector<Point>& incoming,
+                                     const std::vector<Point>& outgoing) {
+  delta_.Clear();
   for (const Point& p : outgoing) {
     grid_.Delete(p);
     MaintainAbcp(p);
+    delta_.exited.push_back(p.id);
   }
   for (const Point& p : incoming) {
     grid_.Insert(p);
     MaintainAbcp(p);
+    delta_.entered.push_back(p.id);
   }
   Recluster();
+  // Connected components are renumbered from scratch every slide; diff the
+  // labelings up to a bijective renaming to recover the relabel set.
+  ClusteringSnapshot current = Snapshot();
+  DiffLabelings(prev_snapshot_, current, &delta_);
+  prev_snapshot_ = std::move(current);
+  return delta_;
 }
 
 void RhoDbscan::Recluster() {

@@ -45,8 +45,8 @@ class RhoDbscan : public StreamClusterer {
 
   RhoDbscan(std::uint32_t dims, const Options& options);
 
-  void Update(const std::vector<Point>& incoming,
-              const std::vector<Point>& outgoing) override;
+  const UpdateDelta& Update(const std::vector<Point>& incoming,
+                            const std::vector<Point>& outgoing) override;
   ClusteringSnapshot Snapshot() const override;
   std::string name() const override;
 
@@ -69,6 +69,7 @@ class RhoDbscan : public StreamClusterer {
   std::size_t abcp_budget_;     // ceil(1/rho)^(d-1), capped.
   double abcp_sink_ = 0.0;      // Keeps the emulated work observable.
   std::unordered_map<CellCoord, CellState, CellCoordHash> state_;
+  ClusteringSnapshot prev_snapshot_;  // For relabel diffing across slides.
 };
 
 }  // namespace disc

@@ -1,0 +1,91 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace disc {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::DrainBatch(std::size_t lane) {
+  try {
+    for (;;) {
+      const std::size_t begin = batch_next_.fetch_add(batch_chunk_);
+      if (begin >= batch_n_) return;
+      const std::size_t end = std::min(batch_n_, begin + batch_chunk_);
+      for (std::size_t i = begin; i < end; ++i) (*batch_fn_)(lane, i);
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!batch_error_) batch_error_ = std::current_exception();
+    // Park the shared cursor at the end so every lane stops claiming work.
+    batch_next_.store(batch_n_);
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_n_ = n;
+    // Small chunks balance skewed per-index costs (a probe in a dense region
+    // costs far more than one in a sparse region); 8 chunks per lane keeps
+    // the fetch_add traffic negligible.
+    batch_chunk_ = std::max<std::size_t>(1, n / (lanes() * 8));
+    batch_fn_ = &fn;
+    batch_next_.store(0);
+    batch_error_ = nullptr;
+    workers_active_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  DrainBatch(lanes() - 1);  // The calling thread is the last lane.
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return workers_active_ == 0; });
+  batch_fn_ = nullptr;
+  if (batch_error_) {
+    std::exception_ptr error = batch_error_;
+    batch_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::WorkerLoop(std::size_t lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    DrainBatch(lane);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --workers_active_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace disc

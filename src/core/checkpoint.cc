@@ -99,7 +99,7 @@ bool Disc::LoadCheckpoint(std::istream& in) {
   tree_.BulkLoad(std::move(points));
   events_.clear();
   metrics_.Reset();
-  delta_ = LabelDelta{};
+  delta_ = UpdateDelta{};
   recheck_.clear();
   touched_.clear();
   update_serial_ = 0;

@@ -33,6 +33,13 @@ struct DiscConfig {
   // Fanout and node-split heuristic of the R-tree index.
   int rtree_max_entries = 16;
   SplitPolicy rtree_split_policy = SplitPolicy::kQuadratic;
+
+  // Lanes for the COLLECT probe fan-out. 1 = fully sequential (no pool is
+  // even created); 0 = one lane per hardware thread. The produced
+  // clustering, deltas, and events are bit-identical for every value: the
+  // parallel phases are read-only and their results are merged in a
+  // thread-count-independent order (see docs/ALGORITHM.md).
+  std::uint32_t num_threads = 1;
 };
 
 }  // namespace disc

@@ -2,16 +2,31 @@
 
 #include <algorithm>
 #include <cassert>
+#include <thread>
 
 #include "common/timer.h"
 
 namespace disc {
+
+namespace {
+
+std::uint32_t ResolveThreads(std::uint32_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
 
 Disc::Disc(std::uint32_t dims, const DiscConfig& config)
     : config_(config),
       tree_(dims, config.rtree_max_entries, config.rtree_split_policy) {
   assert(config.eps > 0.0);
   assert(config.tau >= 1);
+  config_.num_threads = ResolveThreads(config_.num_threads);
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads - 1);
+  }
 }
 
 Disc::Record& Disc::GetRecord(PointId id) {
@@ -51,6 +66,25 @@ void Disc::SetLabel(PointId id, Record* rec, Category category,
 // COLLECT (Algorithm 1)
 // ---------------------------------------------------------------------------
 
+void Disc::FanOutProbes(const std::vector<const Point*>& centers,
+                        std::vector<std::vector<PointId>>* hits) {
+  hits->assign(centers.size(), {});
+  const std::size_t lanes = pool_ ? pool_->lanes() : 1;
+  std::vector<RTreeStats> lane_stats(lanes);
+  Timer timer;
+  ParallelFor(pool_.get(), centers.size(),
+              [&](std::size_t lane, std::size_t i) {
+                if (centers[i] == nullptr) return;
+                std::vector<PointId>& out = (*hits)[i];
+                tree_.RangeSearch(
+                    *centers[i], config_.eps,
+                    [&out](PointId qid, const Point&) { out.push_back(qid); },
+                    &lane_stats[lane]);
+              });
+  metrics_.collect_parallel_ms += timer.ElapsedMillis();
+  for (const RTreeStats& s : lane_stats) tree_.stats().MergeFrom(s);
+}
+
 void Disc::Collect(const std::vector<Point>& incoming,
                    const std::vector<Point>& outgoing,
                    std::vector<PointId>* ex_cores,
@@ -65,7 +99,14 @@ void Disc::Collect(const std::vector<Point>& incoming,
   };
 
   // --- Points exiting the window (Alg. 1, lines 2-7). ---
-  for (const Point& p : outgoing) {
+  //
+  // Tombstone every exit and prune the index first, so the per-exit probes
+  // all run against one fixed tree and can fan out across lanes. Exits are
+  // invisible to each other's probes either way (the sequential algorithm
+  // only zeroed their densities), so the merged outcome is unchanged.
+  std::vector<Record*> out_recs(outgoing.size(), nullptr);
+  for (std::size_t i = 0; i < outgoing.size(); ++i) {
+    const Point& p = outgoing[i];
     auto it = records_.find(p.id);
     assert(it != records_.end());
     if (it == records_.end()) continue;  // Tolerate misuse in release builds.
@@ -76,24 +117,47 @@ void Disc::Collect(const std::vector<Point>& incoming,
     } else {
       tree_.Delete(rec.pt);
     }
-    tree_.RangeSearch(rec.pt, config_.eps, [&](PointId qid, const Point&) {
-      if (qid == p.id) return;
+    rec.deleted = true;
+    out_recs[i] = &rec;
+  }
+
+  std::vector<const Point*> centers(outgoing.size(), nullptr);
+  for (std::size_t i = 0; i < outgoing.size(); ++i) {
+    if (out_recs[i] != nullptr) centers[i] = &out_recs[i]->pt;
+  }
+  std::vector<std::vector<PointId>> hits;
+  FanOutProbes(centers, &hits);
+
+  // Merge in batch order: decrement each surviving neighbor once per exit.
+  for (std::size_t i = 0; i < outgoing.size(); ++i) {
+    Record* rec = out_recs[i];
+    if (rec == nullptr) continue;
+    const PointId pid = outgoing[i].id;
+    for (PointId qid : hits[i]) {
+      if (qid == pid) continue;
       auto qit = records_.find(qid);
-      if (qit == records_.end()) return;
+      if (qit == records_.end()) continue;
       Record& q = qit->second;
-      if (q.deleted) return;
+      if (q.deleted) continue;
       assert(q.n_eps > 0);
       --q.n_eps;
       touch(qid, &q);
-    });
-    rec.deleted = true;
-    rec.n_eps = 0;
-    touch(p.id, &rec);
-    delta_.exited.push_back(p.id);
+    }
+    rec->n_eps = 0;
+    touch(pid, rec);
+    delta_.exited.push_back(pid);
   }
 
   // --- Points entering the window (Alg. 1, lines 8-12). ---
-  for (const Point& p : incoming) {
+  //
+  // Same staging: materialize every record and index entry sequentially,
+  // probe the now-stable tree in parallel, then merge in batch order. Each
+  // probe's candidate list covers the FULL incoming batch, so the merge
+  // counts an incoming pair once by keeping only the earlier-ranked side —
+  // reproducing exactly the increments the sequential interleaving applied.
+  std::vector<Record*> in_recs(incoming.size(), nullptr);
+  for (std::size_t j = 0; j < incoming.size(); ++j) {
+    const Point& p = incoming[j];
     if (!IsValidPoint(p) || p.dims != tree_.dims()) {
       assert(false && "invalid incoming point");
       continue;  // Reject non-finite or mis-dimensioned points.
@@ -105,14 +169,32 @@ void Disc::Collect(const std::vector<Point>& incoming,
     rec.pt = p;
     rec.n_eps = 1;  // The neighborhood includes the point itself.
     rec.delta_serial = update_serial_;  // Listed in `entered`, not `relabeled`.
+    rec.enter_rank = static_cast<std::uint32_t>(j);
     delta_.entered.push_back(p.id);
     tree_.Insert(p);
-    tree_.RangeSearch(p, config_.eps, [&](PointId qid, const Point&) {
-      if (qid == p.id) return;
+    in_recs[j] = &rec;
+  }
+
+  centers.assign(incoming.size(), nullptr);
+  for (std::size_t j = 0; j < incoming.size(); ++j) {
+    if (in_recs[j] != nullptr) centers[j] = &in_recs[j]->pt;
+  }
+  FanOutProbes(centers, &hits);
+
+  for (std::size_t j = 0; j < incoming.size(); ++j) {
+    Record* recp = in_recs[j];
+    if (recp == nullptr) continue;
+    Record& rec = *recp;
+    const PointId pid = incoming[j].id;
+    for (PointId qid : hits[j]) {
+      if (qid == pid) continue;
       auto qit = records_.find(qid);
-      if (qit == records_.end()) return;
+      if (qit == records_.end()) continue;
       Record& q = qit->second;
-      if (q.deleted) return;
+      if (q.deleted) continue;
+      // A later-ranked entrant: the pair is counted when its own candidate
+      // list, which contains this point, is merged.
+      if (q.delta_serial == update_serial_ && q.enter_rank > j) continue;
       ++q.n_eps;
       ++rec.n_eps;
       touch(qid, &q);
@@ -122,11 +204,11 @@ void Disc::Collect(const std::vector<Point>& incoming,
         rec.witness = qid;
         rec.witness_serial = update_serial_;
       }
-    });
-    touch(p.id, &rec);
+    }
+    touch(pid, &rec);
     // The new point's category is settled by the recheck pass unless the
     // CLUSTER step labels it first.
-    AddRecheck(p.id, &rec);
+    AddRecheck(pid, &rec);
   }
 
   // --- Ex-core / neo-core identification (Alg. 1, line 13). ---
@@ -144,16 +226,15 @@ void Disc::Collect(const std::vector<Point>& incoming,
 // Update orchestration
 // ---------------------------------------------------------------------------
 
-void Disc::Update(const std::vector<Point>& incoming,
-                  const std::vector<Point>& outgoing) {
+const UpdateDelta& Disc::Update(const std::vector<Point>& incoming,
+                                const std::vector<Point>& outgoing) {
   ++update_serial_;
   events_.clear();
   metrics_.Reset();
+  metrics_.threads_used = config_.num_threads;
   recheck_.clear();
   touched_.clear();
-  delta_.entered.clear();
-  delta_.exited.clear();
-  delta_.relabeled.clear();
+  delta_.Clear();
 
   const std::uint64_t searches_at_start = tree_.stats().range_searches;
 
@@ -196,6 +277,18 @@ void Disc::Update(const std::vector<Point>& incoming,
   metrics_.range_searches = tree_.stats().range_searches - searches_at_start;
   metrics_.cluster_searches =
       metrics_.range_searches - metrics_.collect_searches;
+  return delta_;
+}
+
+PhaseTimings Disc::LastPhaseTimings() const {
+  PhaseTimings t;
+  t.collect_ms = metrics_.collect_ms;
+  t.ex_phase_ms = metrics_.ex_phase_ms;
+  t.neo_phase_ms = metrics_.neo_phase_ms;
+  t.recheck_ms = metrics_.recheck_ms;
+  t.collect_parallel_ms = metrics_.collect_parallel_ms;
+  t.threads_used = metrics_.threads_used;
+  return t;
 }
 
 std::vector<Point> Disc::WindowContents() const {

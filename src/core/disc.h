@@ -4,11 +4,13 @@
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/cluster_registry.h"
 #include "core/config.h"
 #include "core/events.h"
@@ -45,28 +47,20 @@ class Disc : public StreamClusterer {
  public:
   Disc(std::uint32_t dims, const DiscConfig& config);
 
-  // StreamClusterer:
-  void Update(const std::vector<Point>& incoming,
-              const std::vector<Point>& outgoing) override;
+  // StreamClusterer. The returned delta is precise: `relabeled` lists
+  // exactly the surviving points whose stored category or cluster handle
+  // changed. Cluster-id renaming that happens purely through merges (the
+  // union-find representative of an untouched point's handle changing) is
+  // deliberately not listed — the kMerge event carries that information.
+  const UpdateDelta& Update(const std::vector<Point>& incoming,
+                            const std::vector<Point>& outgoing) override;
   ClusteringSnapshot Snapshot() const override;
   std::string name() const override { return "DISC"; }
+  PhaseTimings LastPhaseTimings() const override;
 
   // Convenience single-point operations (Update with singleton batches).
   void Insert(const Point& p) { Update({p}, {}); }
   void Remove(const Point& p) { Update({}, {p}); }
-
-  // What the most recent Update changed, for consumers that process label
-  // deltas instead of full snapshots. `relabeled` lists surviving points
-  // whose stored category or cluster handle changed. Cluster-id renaming
-  // that happens purely through merges (the union-find representative of an
-  // untouched point's handle changing) is deliberately not listed — the
-  // kMerge event carries that information.
-  struct LabelDelta {
-    std::vector<PointId> entered;
-    std::vector<PointId> exited;
-    std::vector<PointId> relabeled;
-  };
-  const LabelDelta& last_delta() const { return delta_; }
 
   // Checkpointing: serializes the full clusterer state (window points,
   // densities, labels, cluster registry) so a stream processor can restart
@@ -116,6 +110,9 @@ class Disc : public StreamClusterer {
     std::uint64_t group_serial = 0;    // Already consumed by an ex/neo group.
     std::uint64_t recheck_serial = 0;  // Queued for the border recheck pass.
     std::uint64_t delta_serial = 0;    // Already listed in delta_.relabeled.
+    std::uint32_t enter_rank = 0;      // Position in this update's incoming
+                                       // batch (valid while delta_serial ==
+                                       // update_serial_ during COLLECT).
   };
 
   // Assigns a label and records the point in delta_.relabeled when the label
@@ -134,10 +131,25 @@ class Disc : public StreamClusterer {
 
   // COLLECT step. Fills the ex-core/neo-core id lists and the list of
   // ex-cores that exited the window (C_out, still present in the R-tree).
+  //
+  // Staged for parallelism: index mutations and record bookkeeping run
+  // sequentially in batch order, while the per-point eps-range probes — the
+  // step's dominant cost — fan out across the thread pool as read-only
+  // searches whose candidate lists are then merged sequentially in batch
+  // order. The merge applies exactly the per-point effects the sequential
+  // algorithm would, so the result is independent of the lane count.
   void Collect(const std::vector<Point>& incoming,
                const std::vector<Point>& outgoing,
                std::vector<PointId>* ex_cores, std::vector<PointId>* neo_cores,
                std::vector<Point>* c_out);
+
+  // Fans one read-only eps-range probe per non-null center out across the
+  // pool (sequentially when the pool is absent). (*hits)[i] receives the
+  // ids within eps of *centers[i] in index-traversal order — deterministic
+  // because the tree is not mutated while the probes run. Probe counters
+  // accumulate per lane and are merged into the tree's statistics.
+  void FanOutProbes(const std::vector<const Point*>& centers,
+                    std::vector<std::vector<PointId>>* hits);
 
   // Ex-core phase of CLUSTER: one retro-reachability closure + split check
   // per unprocessed ex-core group, exactly as Algorithm 2 reads — plus a
@@ -194,10 +206,12 @@ class Disc : public StreamClusterer {
   RTree tree_;
   std::unordered_map<PointId, Record> records_;
   ClusterRegistry registry_;
+  // COLLECT's probe fan-out pool; null when config_.num_threads resolves
+  // to 1 (the sequential path then runs without any synchronization).
+  std::unique_ptr<ThreadPool> pool_;
 
   std::vector<ClusterEvent> events_;
   DiscMetrics metrics_;
-  LabelDelta delta_;
 
   std::uint64_t update_serial_ = 0;  // Increments once per Update.
   std::uint64_t search_serial_ = 0;  // Increments once per graph traversal.

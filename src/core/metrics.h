@@ -26,6 +26,10 @@ struct DiscMetrics {
   double ex_phase_ms = 0.0;  // Ex-core closures + split checks.
   double neo_phase_ms = 0.0; // Neo-core closures + merge decisions.
   double recheck_ms = 0.0;   // Sec.-V border/noise relabeling.
+  // Time inside COLLECT's parallel probe fan-out (contained in collect_ms)
+  // and the number of lanes the fan-out ran on (1 = sequential path).
+  double collect_parallel_ms = 0.0;
+  std::uint64_t threads_used = 1;
 
   void Reset() { *this = DiscMetrics{}; }
 };

@@ -27,13 +27,18 @@ std::size_t StreamingPipeline::Run(std::size_t max_slides,
   for (; executed < max_slides; ++executed) {
     WindowDelta delta = window_.Advance(source_->NextPoints(stride_));
     Timer timer;
-    clusterer_->Update(delta.incoming, delta.outgoing);
+    const UpdateDelta& update_delta =
+        clusterer_->Update(delta.incoming, delta.outgoing);
     SlideReport report;
     report.slide_index = slide_index_++;
     report.window_size = window_.contents().size();
     report.incoming = delta.incoming.size();
     report.outgoing = delta.outgoing.size();
+    report.entered = update_delta.entered.size();
+    report.exited = update_delta.exited.size();
+    report.relabeled = update_delta.relabeled.size();
     report.update_ms = timer.ElapsedMillis();
+    report.phases = clusterer_->LastPhaseTimings();
     report.window_full = window_.full();
     if (observe && !observe(report)) {
       ++executed;

@@ -11,13 +11,23 @@
 
 namespace disc {
 
-// Everything an observer needs to know about one completed slide.
+// Everything an observer needs to know about one completed slide. Delta
+// sizes and the per-phase breakdown come straight from the clusterer, so
+// observers building timing tables never need to downcast to a concrete
+// method or diff snapshots.
 struct SlideReport {
   std::size_t slide_index = 0;
   std::size_t window_size = 0;
   std::size_t incoming = 0;
   std::size_t outgoing = 0;
+  // Sizes of the UpdateDelta this slide's Update returned.
+  std::size_t entered = 0;
+  std::size_t exited = 0;
+  std::size_t relabeled = 0;
   double update_ms = 0.0;
+  // Per-phase wall-clock of the update (all-zero for methods that do not
+  // instrument their phases; update_ms is always populated).
+  PhaseTimings phases;
   bool window_full = false;
 };
 

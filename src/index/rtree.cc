@@ -548,24 +548,29 @@ bool RTree::Delete(const Point& p) {
 // ---------------------------------------------------------------------------
 
 void RTree::RangeRecurse(const Node* node, const Point& center, double eps2,
-                         const Visitor& visit) const {
-  ++stats_.nodes_visited;
+                         const Visitor& visit, RTreeStats* stats) const {
+  ++stats->nodes_visited;
   for (const Entry& e : node->entries) {
-    ++stats_.entries_checked;
+    ++stats->entries_checked;
     if (node->leaf) {
       if (SquaredDistanceToEntryPoint(e.rect, center) <= eps2) {
         visit(e.id, EntryPoint(e.rect, e.id, dims_));
       }
     } else if (MinSquaredDistance(e.rect, center) <= eps2) {
-      RangeRecurse(e.child, center, eps2, visit);
+      RangeRecurse(e.child, center, eps2, visit, stats);
     }
   }
 }
 
 void RTree::RangeSearch(const Point& center, double eps,
                         const Visitor& visit) const {
-  ++stats_.range_searches;
-  RangeRecurse(root_, center, eps * eps, visit);
+  RangeSearch(center, eps, visit, &stats_);
+}
+
+void RTree::RangeSearch(const Point& center, double eps, const Visitor& visit,
+                        RTreeStats* stats) const {
+  ++stats->range_searches;
+  RangeRecurse(root_, center, eps * eps, visit, stats);
 }
 
 std::vector<RTree::Neighbor> RTree::NearestNeighbors(const Point& center,

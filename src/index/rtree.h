@@ -24,6 +24,14 @@ struct RTreeStats {
   std::uint64_t entries_checked = 0;
 
   void Reset() { *this = RTreeStats{}; }
+
+  // Folds another accumulator in — used to merge per-thread counters from
+  // concurrent read-only searches back into the tree's shared statistics.
+  void MergeFrom(const RTreeStats& other) {
+    range_searches += other.range_searches;
+    nodes_visited += other.nodes_visited;
+    entries_checked += other.entries_checked;
+  }
 };
 
 // Node-splitting heuristic used on overflow.
@@ -76,6 +84,15 @@ class RTree {
 
   // Visits every indexed point within Euclidean distance eps of center.
   void RangeSearch(const Point& center, double eps, const Visitor& visit) const;
+
+  // Re-entrant variant for concurrent readers: probe counters accumulate
+  // into *stats instead of the tree's shared counters. As long as the tree
+  // is not mutated (and no epoch-probed search runs — it writes entry
+  // epochs), any number of threads may call this at once, each with its own
+  // accumulator; merge the accumulators into stats() afterwards if the
+  // global counts should reflect the probes.
+  void RangeSearch(const Point& center, double eps, const Visitor& visit,
+                   RTreeStats* stats) const;
 
   // A point together with its distance to a query center.
   struct Neighbor {
@@ -130,7 +147,7 @@ class RTree {
   bool DeleteRecurse(Node* node, const Point& p, std::vector<Point>* orphans);
 
   void RangeRecurse(const Node* node, const Point& center, double eps2,
-                    const Visitor& visit) const;
+                    const Visitor& visit, RTreeStats* stats) const;
   void EpochRecurse(Node* node, const Point& center, double eps2,
                     std::uint64_t tick, const MarkingVisitor& visit);
 

@@ -1,5 +1,6 @@
 #include "stream/stream_clusterer.h"
 
+#include <unordered_map>
 #include <unordered_set>
 
 namespace disc {
@@ -10,6 +11,42 @@ std::size_t ClusteringSnapshot::NumClusters() const {
     if (cids[i] != kNoiseCluster) distinct.insert(cids[i]);
   }
   return distinct.size();
+}
+
+void DiffLabelings(const ClusteringSnapshot& prev,
+                   const ClusteringSnapshot& curr, UpdateDelta* delta) {
+  struct Label {
+    Category category;
+    ClusterId cid;
+  };
+  std::unordered_map<PointId, Label> before;
+  before.reserve(prev.size());
+  for (std::size_t i = 0; i < prev.size(); ++i) {
+    before.emplace(prev.ids[i], Label{prev.categories[i], prev.cids[i]});
+  }
+
+  // Greedy bijection between old and new cluster ids, claimed by the first
+  // surviving point seen with each id pair. Both directions must agree:
+  // splits break the forward map for the minority side, merges break the
+  // backward map for the absorbed side.
+  std::unordered_map<ClusterId, ClusterId> forward;
+  std::unordered_map<ClusterId, ClusterId> backward;
+  for (std::size_t i = 0; i < curr.size(); ++i) {
+    const auto it = before.find(curr.ids[i]);
+    if (it == before.end()) continue;  // Entered; not a relabel.
+    const Label& old = it->second;
+    if (old.category != curr.categories[i]) {
+      delta->relabeled.push_back(curr.ids[i]);
+      continue;
+    }
+    if (old.cid == kNoiseCluster && curr.cids[i] == kNoiseCluster) continue;
+    const auto [fit, f_new] = forward.emplace(old.cid, curr.cids[i]);
+    const auto [bit, b_new] = backward.emplace(curr.cids[i], old.cid);
+    if ((!f_new && fit->second != curr.cids[i]) ||
+        (!b_new && bit->second != old.cid)) {
+      delta->relabeled.push_back(curr.ids[i]);
+    }
+  }
 }
 
 }  // namespace disc

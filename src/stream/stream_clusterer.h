@@ -29,6 +29,50 @@ struct ClusteringSnapshot {
   std::size_t NumClusters() const;
 };
 
+// What one Update call changed — the unit consumers process instead of
+// diffing full snapshots.
+//
+//  * `entered`  — points that joined the window this update.
+//  * `exited`   — points that left the window this update.
+//  * `relabeled`— surviving points whose stored category or cluster handle
+//                 changed. Entered points are never repeated here.
+//
+// Precision contract: exact incremental methods (DISC, IncDBSCAN,
+// DISC-graph) fill `relabeled` precisely. Methods that recompute their
+// labeling from scratch each slide (DBSCAN, EXTRA-N, rho-DBSCAN) report it
+// up to a bijective renaming of cluster ids (see DiffLabelings below). The
+// summarization baselines (DBSTREAM, EDMStream) cannot attribute label
+// changes at all and conservatively list every surviving point. In every
+// case `relabeled` is a superset of the points whose label truly changed —
+// implementations may over-report, never under-report. Cluster-id renaming
+// that reaches untouched points only through merges is carried by the
+// method's event stream (see core/events.h), not by `relabeled`.
+struct UpdateDelta {
+  std::vector<PointId> entered;
+  std::vector<PointId> exited;
+  std::vector<PointId> relabeled;
+
+  void Clear() {
+    entered.clear();
+    exited.clear();
+    relabeled.clear();
+  }
+};
+
+// Per-phase wall-clock of the most recent Update, in milliseconds. Methods
+// without a phase structure report zeros and the update's total stands in
+// for the breakdown.
+struct PhaseTimings {
+  double collect_ms = 0.0;   // Density maintenance (DISC's COLLECT).
+  double ex_phase_ms = 0.0;  // Ex-core closures + split checks.
+  double neo_phase_ms = 0.0; // Neo-core closures + merge decisions.
+  double recheck_ms = 0.0;   // Border/noise relabeling.
+  // Portion of collect_ms spent inside the parallel probe fan-out, and the
+  // number of lanes it ran on (1 = sequential).
+  double collect_parallel_ms = 0.0;
+  std::uint64_t threads_used = 1;
+};
+
 // Interface every windowed clustering method in this repository implements —
 // DISC itself and all baselines. The stream engine calls Update once per
 // window slide with the batch of points entering and exiting the window.
@@ -41,15 +85,40 @@ class StreamClusterer {
 
   // Advances the clusterer by one slide. `incoming` holds the points entering
   // the window and `outgoing` the points leaving it, in arbitrary order.
-  virtual void Update(const std::vector<Point>& incoming,
-                      const std::vector<Point>& outgoing) = 0;
+  // Returns the delta this slide produced; the reference stays valid until
+  // the next Update call on the same object.
+  virtual const UpdateDelta& Update(const std::vector<Point>& incoming,
+                                    const std::vector<Point>& outgoing) = 0;
+
+  // The delta returned by the most recent Update (empty before the first).
+  const UpdateDelta& last_delta() const { return delta_; }
+
+  // Wall-clock breakdown of the most recent Update, for observability
+  // surfaces (SlideReport). Defaults to all-zero for methods that do not
+  // instrument their phases.
+  virtual PhaseTimings LastPhaseTimings() const { return PhaseTimings{}; }
 
   // Returns the labeling of every point currently in the window.
   virtual ClusteringSnapshot Snapshot() const = 0;
 
   // Human-readable method name for tables ("DISC", "IncDBSCAN", ...).
   virtual std::string name() const = 0;
+
+ protected:
+  // Implementations fill this during Update and return it.
+  UpdateDelta delta_;
 };
+
+// Fills delta->relabeled for methods that recompute their labeling from
+// scratch: a surviving point counts as relabeled when its category changed
+// or when its old-to-new cluster correspondence falls outside the greedy
+// bijection built over the common points (first-seen pairs claim the
+// mapping; later conflicts are flagged). Precise up to cluster renaming:
+// every point whose label genuinely changed is listed; points caught on the
+// wrong side of an ambiguous split/merge may be over-reported. `prev` and
+// `curr` are the labelings before and after the update.
+void DiffLabelings(const ClusteringSnapshot& prev,
+                   const ClusteringSnapshot& curr, UpdateDelta* delta);
 
 }  // namespace disc
 
