@@ -27,7 +27,8 @@ void Run(double scale, int slides) {
   Table table({"window", "method", "ARI_vs_DBSCAN", "purity", "NMI", "latency_us/pt"});
   for (double factor : {0.25, 0.5, 1.0, 2.0}) {
     bench::DatasetSpec spec = bench::DtgSpec(scale);
-    spec.window = static_cast<std::size_t>(spec.window * factor);
+    spec.window =
+        static_cast<std::size_t>(static_cast<double>(spec.window) * factor);
     const std::size_t stride = std::max<std::size_t>(1, spec.window / 20);
     auto source = spec.make(1234);
     StreamData data =

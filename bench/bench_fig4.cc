@@ -35,7 +35,8 @@ void Run(double scale, int slides) {
     double dbscan_ms = 0.0;
     {
       const std::size_t stride =
-          std::max<std::size_t>(1, static_cast<std::size_t>(spec.window * 0.05));
+          std::max<std::size_t>(
+              1, static_cast<std::size_t>(static_cast<double>(spec.window) * 0.05));
       auto source = spec.make(1234);
       StreamData data = MakeStreamData(*source, spec.window, stride, 1, slides);
       DbscanClusterer dbscan(spec.dims, spec.eps, spec.tau);
@@ -44,7 +45,7 @@ void Run(double scale, int slides) {
 
     for (double ratio : kStrideRatios) {
       const std::size_t stride = std::max<std::size_t>(
-          1, static_cast<std::size_t>(spec.window * ratio));
+          1, static_cast<std::size_t>(static_cast<double>(spec.window) * ratio));
       auto source = spec.make(1234);
       StreamData data = MakeStreamData(*source, spec.window, stride, 1, slides);
 

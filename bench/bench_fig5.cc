@@ -30,7 +30,7 @@ void Run(double scale, int slides) {
     const std::size_t stride = std::max<std::size_t>(1, spec.window / 20);
     for (double factor : kWindowFactors) {
       const std::size_t window =
-          static_cast<std::size_t>(spec.window * factor);
+          static_cast<std::size_t>(static_cast<double>(spec.window) * factor);
       auto source = spec.make(1234);
       StreamData data = MakeStreamData(*source, window, stride, 1, slides);
 

@@ -70,7 +70,8 @@ void Run(double scale, int slides) {
   const bench::DatasetSpec spec = bench::DtgSpec(scale);
   for (double ratio : {0.001, 0.005, 0.01, 0.05, 0.10, 0.25}) {
     const std::size_t stride =
-        std::max<std::size_t>(1, static_cast<std::size_t>(spec.window * ratio));
+        std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(spec.window) * ratio));
     const Counts c = Measure(spec, stride, slides, /*with_dbscan=*/true);
     b.AddRow({Table::Num(ratio * 100.0, 1), Table::Num(c.dbscan, 0),
               Table::Num(c.disc, 0), Table::Num(c.inc, 0),

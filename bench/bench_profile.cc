@@ -25,7 +25,7 @@ void Run(double scale, int slides) {
   for (const bench::DatasetSpec& spec : bench::StandardDatasets(scale)) {
     for (double ratio : {0.01, 0.05, 0.25}) {
       const std::size_t stride = std::max<std::size_t>(
-          1, static_cast<std::size_t>(spec.window * ratio));
+          1, static_cast<std::size_t>(static_cast<double>(spec.window) * ratio));
       auto source = spec.make(1234);
       DiscConfig config;
       config.eps = spec.eps;

@@ -51,8 +51,12 @@ void Run(double scale) {
                   Table::Num(suggested.eps, 3),
                   std::to_string(spec.window), Table::Num(avg_n, 1),
                   std::to_string(result.snapshot.NumClusters()),
-                  Table::Num(100.0 * cores / window.size(), 1),
-                  Table::Num(100.0 * noise / window.size(), 1)});
+                  Table::Num(100.0 * static_cast<double>(cores) /
+                                 static_cast<double>(window.size()),
+                             1),
+                  Table::Num(100.0 * static_cast<double>(noise) /
+                                 static_cast<double>(window.size()),
+                             1)});
   }
   std::printf("== Table II: threshold values and window sizes ==\n%s\n",
               table.ToText().c_str());

@@ -99,7 +99,7 @@ inline DatasetSpec MazeSpec(double scale = 1.0,
   spec.dims = 2;
   spec.eps = 0.1;
   spec.tau = 5;
-  spec.window = static_cast<std::size_t>(window * scale);
+  spec.window = static_cast<std::size_t>(static_cast<double>(window) * scale);
   spec.make = [](std::uint64_t seed) -> std::unique_ptr<StreamSource> {
     MazeGenerator::Options o;
     o.seed = seed;

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Non-mutating format gate: fails if any first-party C++ file deviates from
+# .clang-format. Skips (exit 0, with a notice) when clang-format is not
+# installed — the tool is optional in minimal containers; CI images with
+# LLVM enforce it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found on PATH; skipping format gate"
+  exit 0
+fi
+
+# Tracked C++ sources only; fixtures are deliberately unformatted inputs.
+mapfile -t files < <(git ls-files \
+  'src/**/*.cc' 'src/**/*.h' 'tests/*.cc' 'bench/*.cc' 'bench/*.h' \
+  'examples/*.cpp')
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "check_format: no files to check"
+  exit 0
+fi
+
+clang-format --dry-run -Werror "${files[@]}"
+echo "check_format: ${#files[@]} files clean"

@@ -1,20 +1,51 @@
 #!/usr/bin/env bash
-# CI entry point: full test suite under the Release preset, then the
-# parallelism-sensitive tests under TSan to catch data races in the COLLECT
-# fan-out. Usage: scripts/ci.sh [extra ctest args...]
+# CI entry point: the full static-analysis + test matrix (docs/ANALYSIS.md).
+#
+#   1. disc_lint invariant checks over src/ + lint fixture self-tests
+#   2. format gate (skips when clang-format is not installed)
+#   3. Release: build + full ctest suite
+#   4. ASan+UBSan: build + full ctest suite (UBSan findings are fatal via
+#      -fno-sanitize-recover, see the asan preset)
+#   5. TSan: build + full ctest suite
+#   6. clang-tidy over src/ (skips when clang-tidy is not installed)
+#
+# Usage: scripts/ci.sh [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 
-echo "=== Release: configure + build + ctest ==="
+echo "=== disc_lint: project invariants ==="
+python3 tools/lint/disc_lint.py src/
+python3 tools/lint/check_fixtures.py
+
+echo "=== format gate ==="
+scripts/check_format.sh
+
+echo "=== Release: configure + build + full ctest ==="
 cmake --preset release
 cmake --build --preset release -j "${jobs}"
 ctest --preset release -j "${jobs}" "$@"
 
-echo "=== TSan: configure + build + threaded tests ==="
+echo "=== ASan+UBSan: configure + build + full ctest ==="
+cmake --preset asan
+cmake --build --preset asan -j "${jobs}"
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --preset asan -j "${jobs}" "$@"
+
+echo "=== TSan: configure + build + full ctest ==="
 cmake --preset tsan
-cmake --build --preset tsan -j "${jobs}" --target parallel_test
-ctest --preset tsan -R "ParallelFor|ThreadDeterminism" "$@"
+cmake --build --preset tsan -j "${jobs}"
+TSAN_OPTIONS=halt_on_error=1 ctest --preset tsan -j "${jobs}" "$@"
+
+echo "=== clang-tidy over src/ ==="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # compile_commands.json comes from the release preset configured above.
+  mapfile -t tidy_files < <(git ls-files 'src/**/*.cc')
+  clang-tidy -p build-release "${tidy_files[@]}"
+  echo "clang-tidy: ${#tidy_files[@]} files clean"
+else
+  echo "clang-tidy not found on PATH; skipping tidy gate"
+fi
 
 echo "CI passed."

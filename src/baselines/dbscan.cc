@@ -1,5 +1,6 @@
 #include "baselines/dbscan.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace disc {
@@ -139,6 +140,10 @@ void DbscanClusterer::Recluster() {
   std::vector<Point> points;
   points.reserve(window_.size());
   for (const auto& [id, p] : window_) points.push_back(p);
+  // DBSCAN's cluster-id assignment and border ties follow point order;
+  // sort so hash-table iteration order cannot leak into the labeling.
+  std::sort(points.begin(), points.end(),
+            [](const Point& a, const Point& b) { return a.id < b.id; });
   const std::uint64_t before = tree_.stats().range_searches;
   snapshot_ = DbscanOverTree(tree_, points, eps_, tau_);
   last_searches_ = tree_.stats().range_searches - before;

@@ -106,6 +106,8 @@ const UpdateDelta& DbStream::Update(const std::vector<Point>& incoming,
   for (const auto& [id, p] : window_) {
     if (fresh.count(id) == 0) delta_.relabeled.push_back(id);
   }
+  // The fill above walks a hash table; report the ids in a stable order.
+  std::sort(delta_.relabeled.begin(), delta_.relabeled.end());
   return delta_;
 }
 
@@ -170,6 +172,8 @@ ClusteringSnapshot DbStream::Snapshot() const {
       snap.cids.push_back(label);
     }
   }
+  // Hash-ordered fill above; emit id-sorted (see ClusteringSnapshot).
+  snap.SortById();
   return snap;
 }
 

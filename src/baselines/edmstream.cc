@@ -1,5 +1,6 @@
 #include "baselines/edmstream.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_set>
 #include <limits>
@@ -64,6 +65,8 @@ const UpdateDelta& EdmStream::Update(const std::vector<Point>& incoming,
   for (const auto& [id, p] : window_) {
     if (fresh.count(id) == 0) delta_.relabeled.push_back(id);
   }
+  // The fill above walks a hash table; report the ids in a stable order.
+  std::sort(delta_.relabeled.begin(), delta_.relabeled.end());
   return delta_;
 }
 
@@ -131,6 +134,8 @@ ClusteringSnapshot EdmStream::Snapshot() const {
       snap.cids.push_back(label);
     }
   }
+  // Hash-ordered fill above; emit id-sorted (see ClusteringSnapshot).
+  snap.SortById();
   return snap;
 }
 

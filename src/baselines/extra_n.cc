@@ -82,9 +82,19 @@ void ExtraN::Recluster() {
     return r.view_counts[view] >= tau_;
   };
 
+  // Seed the expansions in ascending id order: cluster-id assignment and
+  // border ties follow seed order, so iterating the hash table here would
+  // leak its ordering into the labeling (and through DiffLabelings into the
+  // reported delta).
+  std::vector<PointId> sorted_ids;
+  sorted_ids.reserve(records_.size());
+  for (const auto& [id, rec] : records_) sorted_ids.push_back(id);
+  std::sort(sorted_ids.begin(), sorted_ids.end());
+
   ClusterId next_cid = 0;
   std::deque<PointId> queue;
-  for (auto& [id, rec] : records_) {
+  for (PointId id : sorted_ids) {
+    Record& rec = records_.at(id);
     if (!is_core(rec)) continue;
     if (cat.count(id) > 0) continue;
     const ClusterId c = next_cid++;
@@ -117,7 +127,7 @@ void ExtraN::Recluster() {
   snapshot_.ids.reserve(records_.size());
   snapshot_.categories.reserve(records_.size());
   snapshot_.cids.reserve(records_.size());
-  for (const auto& [id, rec] : records_) {
+  for (PointId id : sorted_ids) {
     snapshot_.ids.push_back(id);
     auto it = cat.find(id);
     if (it == cat.end()) {

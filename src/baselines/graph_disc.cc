@@ -424,6 +424,8 @@ ClusteringSnapshot GraphDisc::Snapshot() const {
                             : static_cast<const ClusterRegistry&>(registry_)
                                   .Find(rec.cid));
   }
+  // Hash-ordered fill above; emit id-sorted (see ClusteringSnapshot).
+  snap.SortById();
   return snap;
 }
 

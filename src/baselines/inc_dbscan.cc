@@ -502,6 +502,8 @@ ClusteringSnapshot IncDbscan::Snapshot() const {
                             : static_cast<const ClusterRegistry&>(registry_)
                                   .Find(rec.cid));
   }
+  // Hash-ordered fill above; emit id-sorted (see ClusteringSnapshot).
+  snap.SortById();
   return snap;
 }
 

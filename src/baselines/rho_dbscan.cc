@@ -199,6 +199,9 @@ ClusteringSnapshot RhoDbscan::Snapshot() const {
       snap.cids.push_back(label);
     }
   });
+  // ForEachCell walks a hash-ordered cell table (a leak the lexical lint
+  // cannot see through the callback); emit id-sorted regardless.
+  snap.SortById();
   return snap;
 }
 

@@ -13,7 +13,9 @@ class StatsAccumulator {
 
   std::int64_t count() const { return count_; }
   double sum() const { return sum_; }
-  double mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
   double min() const { return count_ > 0 ? min_ : 0.0; }
   double max() const { return count_ > 0 ? max_ : 0.0; }
 

@@ -59,7 +59,10 @@ void ThreadPool::ParallelFor(
   start_cv_.notify_all();
   DrainBatch(lanes() - 1);  // The calling thread is the last lane.
   std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return workers_active_ == 0; });
+  // Explicit wait loop (not the predicate overload): thread-safety analysis
+  // checks a predicate lambda as a free function and would flag the
+  // workers_active_ read as unguarded.
+  while (workers_active_ != 0) done_cv_.wait(lock);
   batch_fn_ = nullptr;
   if (batch_error_) {
     std::exception_ptr error = batch_error_;
@@ -74,8 +77,7 @@ void ThreadPool::WorkerLoop(std::size_t lane) {
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock,
-                     [&] { return shutdown_ || generation_ != seen; });
+      while (!shutdown_ && generation_ == seen) start_cv_.wait(lock);
       if (shutdown_) return;
       seen = generation_;
     }

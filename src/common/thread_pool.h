@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace disc {
 
 // A fixed-size pool of worker threads for data-parallel index-space loops.
@@ -47,29 +49,37 @@ class ThreadPool {
   // Runs fn(lane, i) for every i in [0, n). Blocks until every index has
   // been executed (or abandoned after an exception).
   void ParallelFor(std::size_t n,
-                   const std::function<void(std::size_t, std::size_t)>& fn);
+                   const std::function<void(std::size_t, std::size_t)>& fn)
+      EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop(std::size_t lane);
+  void WorkerLoop(std::size_t lane) EXCLUDES(mutex_);
   // Claims chunks of the current batch until the range is exhausted.
-  void DrainBatch(std::size_t lane);
+  void DrainBatch(std::size_t lane) EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
 
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  std::uint64_t generation_ = 0;  // Bumped once per ParallelFor batch.
-  bool shutdown_ = false;
+  // Bumped once per ParallelFor batch.
+  std::uint64_t generation_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
 
-  // State of the in-flight batch. Written under mutex_ before the generation
-  // bump publishes it; workers read it only after observing the bump.
+  // Descriptor of the in-flight batch. NOT GUARDED_BY(mutex_): the fields
+  // are written under mutex_ before the generation_ bump publishes them,
+  // and workers read them lock-free only after observing the bump (the
+  // mutex release/acquire pair around the bump is the fence). Lock-based
+  // analysis cannot express that protocol; changing the publication order
+  // here is a data race even though no annotation fires.
   std::size_t batch_n_ = 0;
   std::size_t batch_chunk_ = 1;
   const std::function<void(std::size_t, std::size_t)>* batch_fn_ = nullptr;
   std::atomic<std::size_t> batch_next_{0};
-  std::size_t workers_active_ = 0;
-  std::exception_ptr batch_error_;
+  // Workers still draining the current batch; ParallelFor returns at zero.
+  std::size_t workers_active_ GUARDED_BY(mutex_) = 0;
+  // First exception thrown by a batch body, rethrown by ParallelFor.
+  std::exception_ptr batch_error_ GUARDED_BY(mutex_);
 };
 
 // Convenience wrapper: tolerates a null pool (plain sequential loop), which

@@ -3,8 +3,10 @@
 // core status, category, and cluster handle, plus the cluster registry. The
 // spatial index and all per-update scratch fields are rebuilt/reset.
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
+#include <vector>
 
 #include "core/disc.h"
 
@@ -33,7 +35,14 @@ bool Disc::SaveCheckpoint(std::ostream& out) const {
   WritePod(out, config_.eps);
   WritePod(out, config_.tau);
   WritePod(out, static_cast<std::uint64_t>(records_.size()));
-  for (const auto& [id, rec] : records_) {
+  // Serialize in ascending id order so identical clusterer states produce
+  // byte-identical checkpoints regardless of hash-table layout.
+  std::vector<PointId> sorted_ids;
+  sorted_ids.reserve(records_.size());
+  for (const auto& [id, rec] : records_) sorted_ids.push_back(id);
+  std::sort(sorted_ids.begin(), sorted_ids.end());
+  for (PointId id : sorted_ids) {
+    const Record& rec = records_.at(id);
     WritePod(out, id);
     out.write(reinterpret_cast<const char*>(rec.pt.x.data()),
               sizeof(double) * kMaxDims);
@@ -80,6 +89,9 @@ bool Disc::LoadCheckpoint(std::istream& in) {
     rec.pt.dims = dims;
     if (!IsValidPoint(rec.pt)) return false;
     rec.core_prev = core_prev != 0;
+    // Restoring persisted labels, not making a clustering decision — the
+    // SetLabel choke point (and its delta accounting) does not apply here:
+    // disc-lint: allow(label-choke-point) checkpoint restore.
     rec.category = static_cast<Category>(category);
     points.push_back(rec.pt);
     if (!records_.emplace(id, rec).second) return false;  // Duplicate id.

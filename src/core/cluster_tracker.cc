@@ -1,5 +1,7 @@
 #include "core/cluster_tracker.h"
 
+#include <algorithm>
+
 namespace disc {
 
 ClusterLife& ClusterTracker::GetOrCreate(ClusterId id, std::size_t slide) {
@@ -94,6 +96,10 @@ std::vector<const ClusterLife*> ClusterTracker::AllClusters() const {
   std::vector<const ClusterLife*> out;
   out.reserve(lives_.size());
   for (const auto& [id, life] : lives_) out.push_back(&life);
+  std::sort(out.begin(), out.end(),
+            [](const ClusterLife* a, const ClusterLife* b) {
+              return a->id < b->id;
+            });
   return out;
 }
 

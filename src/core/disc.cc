@@ -314,6 +314,8 @@ ClusteringSnapshot Disc::Snapshot() const {
                             : static_cast<const ClusterRegistry&>(registry_)
                                   .Find(rec.cid));
   }
+  // Hash-ordered fill above; emit id-sorted (see ClusteringSnapshot).
+  snap.SortById();
   return snap;
 }
 

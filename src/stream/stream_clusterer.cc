@@ -1,5 +1,7 @@
 #include "stream/stream_clusterer.h"
 
+#include <algorithm>
+#include <numeric>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -11,6 +13,23 @@ std::size_t ClusteringSnapshot::NumClusters() const {
     if (cids[i] != kNoiseCluster) distinct.insert(cids[i]);
   }
   return distinct.size();
+}
+
+void ClusteringSnapshot::SortById() {
+  std::vector<std::size_t> order(ids.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return ids[a] < ids[b]; });
+  ClusteringSnapshot sorted;
+  sorted.ids.reserve(ids.size());
+  sorted.categories.reserve(ids.size());
+  sorted.cids.reserve(ids.size());
+  for (std::size_t i : order) {
+    sorted.ids.push_back(ids[i]);
+    sorted.categories.push_back(categories[i]);
+    sorted.cids.push_back(cids[i]);
+  }
+  *this = std::move(sorted);
 }
 
 void DiffLabelings(const ClusteringSnapshot& prev,

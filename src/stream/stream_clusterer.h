@@ -27,6 +27,14 @@ struct ClusteringSnapshot {
   std::size_t size() const { return ids.size(); }
   // Number of distinct non-noise cluster ids.
   std::size_t NumClusters() const;
+
+  // Reorders the three parallel arrays by ascending point id. Snapshot
+  // producers that fill from hash-ordered state MUST call this before
+  // returning: consumers like DiffLabelings build their old/new cluster
+  // bijection greedily in array order, so an unsorted snapshot leaks the
+  // container's iteration order into the reported delta (enforced by the
+  // unordered-emit lint rule, docs/ANALYSIS.md).
+  void SortById();
 };
 
 // What one Update call changed — the unit consumers process instead of

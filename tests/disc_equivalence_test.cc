@@ -181,8 +181,8 @@ std::vector<ParamCase> MakeCases() {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, DiscEquivalenceTest,
                          ::testing::ValuesIn(MakeCases()),
-                         [](const ::testing::TestParamInfo<ParamCase>& info) {
-                           return info.param.name;
+                         [](const ::testing::TestParamInfo<ParamCase>& param_info) {
+                           return param_info.param.name;
                          });
 
 }  // namespace

@@ -124,9 +124,11 @@ TEST(EventSemanticsTest, SplitFreshCidsAreDistinctAndNew) {
       return p;
     };
     std::vector<Point> all;
-    for (PointId i = 0; i < 5; ++i) all.push_back(p2(i, 1.0 + 0.1 * i, 1.0));
     for (PointId i = 0; i < 5; ++i) {
-      all.push_back(p2(100 + i, 2.0 + 0.1 * i, 1.0));
+      all.push_back(p2(i, 1.0 + 0.1 * static_cast<double>(i), 1.0));
+    }
+    for (PointId i = 0; i < 5; ++i) {
+      all.push_back(p2(100 + i, 2.0 + 0.1 * static_cast<double>(i), 1.0));
     }
     std::vector<Point> bridge = {p2(200, 1.5, 1.0), p2(201, 1.6, 1.0),
                                  p2(202, 1.7, 1.0), p2(203, 1.8, 1.0),

@@ -162,8 +162,8 @@ std::vector<SweepCase> MakeCases() {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, ExactBaselineSweepTest,
                          ::testing::ValuesIn(MakeCases()),
-                         [](const ::testing::TestParamInfo<SweepCase>& info) {
-                           return info.param.name;
+                         [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+                           return param_info.param.name;
                          });
 
 // EXTRA-N structural details.

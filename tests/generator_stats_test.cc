@@ -115,8 +115,8 @@ TEST(IrisStatsTest, EventsConcentrateAlongFaults) {
       mx += p.x[0];
       my += p.x[1];
     }
-    mx /= pts.size();
-    my /= pts.size();
+    mx /= static_cast<double>(pts.size());
+    my /= static_cast<double>(pts.size());
     double sxx = 0, syy = 0, sxy = 0;
     for (const Point& p : pts) {
       sxx += (p.x[0] - mx) * (p.x[0] - mx);

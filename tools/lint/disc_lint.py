@@ -1,0 +1,406 @@
+#!/usr/bin/env python3
+"""disc_lint: machine-enforced DISC project invariants.
+
+DISC's headline guarantee is exactness: the labeling after every slide is
+identical to a from-scratch DBSCAN on the window (PAPER.md Thm. 1), and the
+parallel COLLECT stage must keep results bit-identical for every lane count.
+Those invariants are easy to break silently — one unordered-container
+iteration feeding emitted output, one label write that bypasses the delta
+accounting, one epoch tick taken inside the parallel stage — and no test
+fails on a single-core box. This linter encodes them lexically so CI fails
+instead of a reviewer having to notice.
+
+Rules (see docs/ANALYSIS.md for the invariant each protects):
+
+  label-choke-point   Cluster-label fields (.category / .cid on a point
+                      record) may be written only inside a SetLabel
+                      definition. Applies to src/core/ and to any file that
+                      defines SetLabel; cluster_registry.* is exempt (it
+                      stores handles, not labels).
+
+  epoch-confinement   R-tree epoch ticks are mutable state on the probe
+                      path: tick_counter_ may be touched only inside
+                      rtree.*, and NewTick / EpochRangeSearch /
+                      SearchMarking must never appear in the parallel
+                      COLLECT stage (Collect / FanOutProbes bodies, or any
+                      ParallelFor call argument).
+
+  unordered-emit      A range-for over a std::unordered_map/set whose body
+                      emits (push_back / emplace_back / WritePod /
+                      .write / stream <<) leaks hash-table iteration order
+                      into output. Materialize and sort first; the rule is
+                      satisfied when std::sort / std::stable_sort /
+                      SortById runs later in the same function.
+
+  distance-hot-path   Exact Distance() on the probe hot paths (src/index/,
+                      src/core/): compare squared radii with
+                      SquaredDistance() instead.
+
+Suppression: append `// disc-lint: allow(<rule>)` to the offending line or
+place it on the line directly above. `allow(all)` silences every rule for
+that line. Always add a reason after the directive.
+
+Usage: disc_lint.py [--list-rules] <file-or-dir>...
+Exit status: 0 clean, 1 violations found, 2 usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CXX_EXTENSIONS = (".cc", ".h", ".cpp", ".hpp")
+
+RULES = {
+    "label-choke-point": (
+        "cluster-label field written outside the SetLabel choke point "
+        "(delta accounting is bypassed)"
+    ),
+    "epoch-confinement": (
+        "epoch tick mutation outside the R-tree epoch-probe path"
+    ),
+    "unordered-emit": (
+        "unordered-container iteration feeds emitted output without sorted "
+        "materialization"
+    ),
+    "distance-hot-path": (
+        "exact Distance() on a probe hot path; compare squared radii with "
+        "SquaredDistance()"
+    ),
+}
+
+ALLOW_RE = re.compile(r"disc-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line  # 1-based
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def blank_comments_and_strings(text):
+    """Returns text with comments and string/char literals replaced by
+    spaces, preserving offsets and line structure."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            for k in range(i, j):
+                out[k] = " "
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            for k in range(i, j + 2):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j + 2
+        elif c == "'" and i > 0 and (text[i - 1].isalnum() or
+                                     text[i - 1] == "_"):
+            i += 1  # C++14 digit separator (0x1234'5678), not a char literal.
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j = j + 2 if text[j] == "\\" else j + 1
+            for k in range(i, min(j + 1, n)):
+                if out[k] != "\n":
+                    out[k] = " "
+            i = j + 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def match_brace(text, open_pos):
+    """Position of the '}' matching the '{' at open_pos, or len(text)."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text)
+
+
+def match_paren(text, open_pos):
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text)
+
+
+def function_body_spans(code, name):
+    """Spans (start, end) of the bodies of definitions of `name`.
+
+    A definition is `name (args...)` followed — possibly after qualifiers
+    like const/override/noexcept/attribute macros — by '{'. Calls are
+    followed by ';', ',' or ')' instead.
+    """
+    spans = []
+    for m in re.finditer(r"\b%s\s*\(" % re.escape(name), code):
+        close = match_paren(code, m.end() - 1)
+        i = close + 1
+        # Skip trailing qualifiers and annotation macros up to '{' or stop.
+        while i < len(code):
+            if code[i].isspace():
+                i += 1
+            elif code[i] == "(":
+                i = match_paren(code, i) + 1
+            elif code[i].isalnum() or code[i] == "_":
+                j = i
+                while j < len(code) and (code[j].isalnum() or code[j] == "_"):
+                    j += 1
+                i = j
+            else:
+                break
+        if i < len(code) and code[i] == "{":
+            spans.append((i, match_brace(code, i)))
+    return spans
+
+
+class FileCheck:
+    def __init__(self, path, text):
+        self.path = path
+        self.text = text
+        self.code = blank_comments_and_strings(text)
+        self.raw_lines = text.split("\n")
+        self.violations = []
+
+    def allowed(self, line, rule):
+        for idx in (line - 1, line - 2):
+            if 0 <= idx < len(self.raw_lines):
+                m = ALLOW_RE.search(self.raw_lines[idx])
+                if m:
+                    rules = [r.strip() for r in m.group(1).split(",")]
+                    if rule in rules or "all" in rules:
+                        return True
+        return False
+
+    def report(self, pos, rule):
+        line = line_of(self.code, pos)
+        if not self.allowed(line, rule):
+            self.violations.append(
+                Violation(self.path, line, rule, RULES[rule]))
+
+
+# ---------------------------------------------------------------------------
+# Rule: label-choke-point
+# ---------------------------------------------------------------------------
+
+LABEL_WRITE_RE = re.compile(
+    r"\b\w+(?:\.|->)(?:category|cid)\s*=(?!=)")
+
+
+def check_label_choke_point(fc):
+    base = os.path.basename(fc.path)
+    if base.startswith("cluster_registry."):
+        return
+    in_core = f"{os.sep}core{os.sep}" in fc.path or "/core/" in fc.path
+    defines_choke = bool(function_body_spans(fc.code, "SetLabel"))
+    if not in_core and not defines_choke:
+        # From-scratch baselines rebuild whole labelings; the choke-point
+        # invariant protects incremental delta accounting only.
+        return
+    exempt = function_body_spans(fc.code, "SetLabel")
+    for m in LABEL_WRITE_RE.finditer(fc.code):
+        if any(s <= m.start() < e for s, e in exempt):
+            continue
+        fc.report(m.start(), "label-choke-point")
+
+
+# ---------------------------------------------------------------------------
+# Rule: epoch-confinement
+# ---------------------------------------------------------------------------
+
+TICK_MUTATION_RE = re.compile(
+    r"(?:\+\+|--)\s*tick_counter_|tick_counter_\s*(?:\+\+|--|=(?!=)|\+=|-=)")
+EPOCH_CALL_RE = re.compile(
+    r"\b(?:NewTick|EpochRangeSearch|SearchMarking)\s*\(")
+
+
+def check_epoch_confinement(fc):
+    base = os.path.basename(fc.path)
+    if not base.startswith("rtree."):
+        for m in TICK_MUTATION_RE.finditer(fc.code):
+            fc.report(m.start(), "epoch-confinement")
+
+    # The parallel COLLECT stage: bodies of Collect / FanOutProbes, plus the
+    # full argument span of every ParallelFor call (the loop body lambda).
+    collect_spans = []
+    for name in ("Collect", "FanOutProbes"):
+        collect_spans.extend(function_body_spans(fc.code, name))
+    for m in re.finditer(r"\bParallelFor\s*\(", fc.code):
+        collect_spans.append((m.end() - 1, match_paren(fc.code, m.end() - 1)))
+    for m in EPOCH_CALL_RE.finditer(fc.code):
+        if any(s <= m.start() < e for s, e in collect_spans):
+            fc.report(m.start(), "epoch-confinement")
+
+
+# ---------------------------------------------------------------------------
+# Rule: unordered-emit
+# ---------------------------------------------------------------------------
+
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set)\s*<[^;{}()]*?>\s+(\w+)\s*(?:;|=|\{)")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+EMIT_SINK_RE = re.compile(
+    r"\.push_back\s*\(|\.emplace_back\s*\(|\bWritePod\s*\(|\.write\s*\(|"
+    r"\b\w*(?:out|os|stream)\w*\s*<<")
+SORT_ESCAPE_RE = re.compile(
+    r"\bstd::sort\s*\(|\bstd::stable_sort\s*\(|\bSortById\s*\(")
+
+
+def collect_unordered_names(codes):
+    names = set()
+    for code in codes:
+        for m in UNORDERED_DECL_RE.finditer(code):
+            names.add(m.group(1))
+    return names
+
+
+def enclosing_function_end(code, pos):
+    """Approximates the end of the enclosing function: the next '}' that
+    starts a line (project style closes namespace-level braces at column
+    0)."""
+    m = re.search(r"\n\}", code[pos:])
+    return pos + m.start() + 2 if m else len(code)
+
+
+def check_unordered_emit(fc, unordered_names):
+    for m in RANGE_FOR_RE.finditer(fc.code):
+        open_paren = m.end() - 1
+        close_paren = match_paren(fc.code, open_paren)
+        header = fc.code[open_paren + 1:close_paren]
+        if ":" not in header:
+            continue  # Classic three-clause for.
+        container = header.rsplit(":", 1)[1].strip()
+        tail = re.findall(r"\w+", container)
+        if not tail or tail[-1] not in unordered_names:
+            continue
+        # Loop body: braced block or single statement.
+        i = close_paren + 1
+        while i < len(fc.code) and fc.code[i].isspace():
+            i += 1
+        if i < len(fc.code) and fc.code[i] == "{":
+            body_start, body_end = i, match_brace(fc.code, i)
+        else:
+            body_start = i
+            semi = fc.code.find(";", i)
+            body_end = len(fc.code) if semi == -1 else semi
+        body = fc.code[body_start:body_end]
+        if not EMIT_SINK_RE.search(body):
+            continue
+        rest = fc.code[body_end:enclosing_function_end(fc.code, body_end)]
+        if SORT_ESCAPE_RE.search(rest):
+            continue  # Sorted materialization before the function returns.
+        fc.report(m.start(), "unordered-emit")
+
+
+# ---------------------------------------------------------------------------
+# Rule: distance-hot-path
+# ---------------------------------------------------------------------------
+
+DISTANCE_CALL_RE = re.compile(r"(?<!\w)Distance\s*\(")
+HOT_PATH_DIRS = (f"{os.sep}index{os.sep}", f"{os.sep}core{os.sep}",
+                 "/index/", "/core/")
+
+
+def check_distance_hot_path(fc):
+    if not any(d in fc.path for d in HOT_PATH_DIRS):
+        return
+    for m in DISTANCE_CALL_RE.finditer(fc.code):
+        # Declarations/definitions of a Distance function itself are not
+        # calls; a call site is preceded by an operator or '(' etc., while a
+        # declaration is preceded by a type name. Lexically we accept both
+        # and rely on the hot-path scope: no such helper is declared there.
+        fc.report(m.start(), "distance-hot-path")
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def gather_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, dirs, names in os.walk(p):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if not d.startswith("build") and d != "fixtures")
+                for name in sorted(names):
+                    if name.endswith(CXX_EXTENSIONS):
+                        files.append(os.path.join(root, name))
+        elif os.path.isfile(p):
+            files.append(p)
+        else:
+            print(f"disc_lint: no such file or directory: {p}",
+                  file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="disc_lint.py",
+        description="DISC project invariant linter (see module docstring).")
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, message in RULES.items():
+            print(f"{rule}: {message}")
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    files = gather_files(args.paths)
+    checks = []
+    for path in files:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            checks.append(FileCheck(path, f.read()))
+
+    unordered_names = collect_unordered_names(fc.code for fc in checks)
+
+    violations = []
+    for fc in checks:
+        check_label_choke_point(fc)
+        check_epoch_confinement(fc)
+        check_unordered_emit(fc, unordered_names)
+        check_distance_hot_path(fc)
+        violations.extend(fc.violations)
+
+    for v in sorted(violations, key=lambda v: (v.path, v.line)):
+        print(v)
+    if violations:
+        print(f"disc_lint: {len(violations)} violation(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,12 @@
+// Clean twin for the distance-hot-path rule: squared radii compare without
+// the sqrt.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double SquaredDistance(const Point& a, const Point& b);
+
+bool WithinEps(const Point& a, const Point& b, double eps) {
+  return SquaredDistance(a, b) <= eps * eps;
+}

@@ -1,0 +1,13 @@
+// Golden violation for the distance-hot-path rule. Lives under a core/
+// directory because the rule is scoped to the probe hot paths (src/index/,
+// src/core/).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double Distance(const Point& a, const Point& b);
+
+bool WithinEps(const Point& a, const Point& b, double eps) {
+  return Distance(a, b) <= eps;  // VIOLATION: exact distance on a probe.
+}

@@ -1,0 +1,24 @@
+// Clean twin for the epoch-confinement rule: ticks are taken on the
+// sequential CLUSTER path only, never inside Collect/FanOutProbes or a
+// ParallelFor body.
+#include <cstdint>
+#include <vector>
+
+struct Tree {
+  std::uint64_t NewTick();
+  void EpochRangeSearch(int center, double eps, std::uint64_t tick);
+};
+
+struct Clusterer {
+  Tree tree_;
+
+  void ProcessExGroup(int seed) {
+    const std::uint64_t tick = tree_.NewTick();  // CLUSTER path: allowed.
+    tree_.EpochRangeSearch(seed, 1.0, tick);
+  }
+
+  void Collect(const std::vector<int>& incoming) {
+    std::vector<int> hits;
+    for (int center : incoming) hits.push_back(center);  // No epoch probes.
+  }
+};

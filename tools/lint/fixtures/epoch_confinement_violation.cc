@@ -1,0 +1,31 @@
+// Golden violation for the epoch-confinement rule: a tick mutation outside
+// rtree.*, a NewTick taken inside the COLLECT stage, and an epoch-probed
+// search issued from a ParallelFor body.
+#include <cstdint>
+#include <vector>
+
+struct Tree {
+  std::uint64_t tick_counter_ = 0;
+  std::uint64_t NewTick();
+  void EpochRangeSearch(int center, double eps, std::uint64_t tick);
+};
+
+struct Clusterer {
+  Tree tree_;
+
+  void BumpTick() {
+    ++tree_.tick_counter_;  // VIOLATION: tick mutated outside rtree.*.
+  }
+
+  void Collect(const std::vector<int>& incoming) {
+    const std::uint64_t tick = tree_.NewTick();  // VIOLATION: COLLECT stage.
+    for (int center : incoming) {
+      ParallelFor(nullptr, 4, [&](std::size_t, std::size_t) {
+        tree_.EpochRangeSearch(center, 1.0, tick);  // VIOLATION: in lanes.
+      });
+    }
+  }
+
+  template <typename Fn>
+  static void ParallelFor(void* pool, std::size_t n, const Fn& fn);
+};

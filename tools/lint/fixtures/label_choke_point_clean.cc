@@ -1,0 +1,24 @@
+// Clean twin for the label-choke-point rule: every label write is either
+// inside the SetLabel definition or carries an explicit suppression.
+#include <cstdint>
+
+struct Record {
+  int category = 0;
+  std::int64_t cid = -1;
+};
+
+struct Clusterer {
+  void SetLabel(Record* rec, int category, std::int64_t cid) {
+    rec->category = category;
+    rec->cid = cid;
+  }
+
+  void Promote(Record& rec) { SetLabel(&rec, 1, 7); }
+
+  void Restore(Record& rec) {
+    // Checkpoint-style state restore, not a clustering decision:
+    // disc-lint: allow(label-choke-point) restoring persisted labels.
+    rec.category = 2;
+    rec.cid = 9;  // disc-lint: allow(label-choke-point) same restore path.
+  }
+};

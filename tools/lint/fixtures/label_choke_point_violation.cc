@@ -1,0 +1,21 @@
+// Golden violation for the label-choke-point rule: this file defines a
+// SetLabel choke point, so the direct .category/.cid writes in Promote must
+// be flagged.
+#include <cstdint>
+
+struct Record {
+  int category = 0;
+  std::int64_t cid = -1;
+};
+
+struct Clusterer {
+  void SetLabel(Record* rec, int category, std::int64_t cid) {
+    rec->category = category;
+    rec->cid = cid;
+  }
+
+  void Promote(Record& rec) {
+    rec.category = 1;  // VIOLATION: bypasses SetLabel.
+    rec.cid = 7;       // VIOLATION: bypasses SetLabel.
+  }
+};

@@ -1,0 +1,31 @@
+// Clean twin for the unordered-emit rule: the emitted vector is sorted
+// before the function returns, so iteration order cannot leak.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct Snapshot {
+  std::vector<std::uint64_t> ids;
+};
+
+struct Clusterer {
+  std::unordered_map<std::uint64_t, int> records_;
+
+  Snapshot Emit() const {
+    Snapshot snap;
+    for (const auto& [id, rec] : records_) {
+      snap.ids.push_back(id);
+    }
+    std::sort(snap.ids.begin(), snap.ids.end());
+    return snap;
+  }
+
+  int Total() const {
+    int total = 0;
+    // Order-independent accumulation over an unordered container is fine:
+    // the rule only fires when the loop body emits.
+    for (const auto& [id, rec] : records_) total += rec;
+    return total;
+  }
+};

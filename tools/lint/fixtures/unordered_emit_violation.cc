@@ -1,0 +1,21 @@
+// Golden violation for the unordered-emit rule: hash-table iteration order
+// leaks straight into an emitted vector with no sorted materialization.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct Snapshot {
+  std::vector<std::uint64_t> ids;
+};
+
+struct Clusterer {
+  std::unordered_map<std::uint64_t, int> records_;
+
+  Snapshot Emit() const {
+    Snapshot snap;
+    for (const auto& [id, rec] : records_) {  // VIOLATION: unsorted emit.
+      snap.ids.push_back(id);
+    }
+    return snap;
+  }
+};
