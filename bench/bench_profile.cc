@@ -7,22 +7,40 @@
 //
 // Timing comes from SlideReport::phases, the clusterer-agnostic per-phase
 // breakdown the pipeline surfaces — no downcasting to Disc for the table.
+//
+// Extra flags (on top of eval/runner's --scale/--slides):
+//   --dataset=NAME     profile only that dataset analogue
+//   --telemetry=PATH   after the run, export the aggregated metrics
+//                      registry as Prometheus text exposition
+// bench/results/telemetry_baseline.prom is a committed snapshot produced
+// this way; see docs/OBSERVABILITY.md.
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "bench/datasets.h"
 #include "core/disc.h"
 #include "core/pipeline.h"
 #include "eval/runner.h"
 #include "eval/table.h"
+#include "obs/metrics_registry.h"
+#include "obs/sinks.h"
 
 namespace disc {
 namespace {
 
-void Run(double scale, int slides) {
+bool Run(double scale, int slides, const std::string& dataset_filter,
+         const std::string& telemetry_path) {
+  // One registry across all datasets/strides: the exported counters are
+  // whole-run totals and the histograms whole-run latency distributions.
+  obs::MetricsRegistry registry;
+  bool matched_any = false;
   Table table({"dataset", "stride%", "collect_ms", "ex_ms", "neo_ms",
                "recheck_ms", "total_ms", "relabeled", "reconciliations"});
   for (const bench::DatasetSpec& spec : bench::StandardDatasets(scale)) {
+    if (!dataset_filter.empty() && spec.name != dataset_filter) continue;
+    matched_any = true;
     for (double ratio : {0.01, 0.05, 0.25}) {
       const std::size_t stride = std::max<std::size_t>(
           1, static_cast<std::size_t>(static_cast<double>(spec.window) * ratio));
@@ -32,6 +50,9 @@ void Run(double scale, int slides) {
       config.tau = spec.tau;
       Disc method(spec.dims, config);
       StreamingPipeline pipeline(source.get(), &method, spec.window, stride);
+      obs::MetricsObserver::Options obs_options;
+      obs_options.disc_metrics = &method.last_metrics();
+      obs::MetricsObserver metrics(&registry, obs_options);
 
       // Fill the window, then measure steady-state slides.
       const std::size_t fill = (spec.window + stride - 1) / stride + 1;
@@ -52,7 +73,7 @@ void Run(double scale, int slides) {
                      reconciliations +=
                          method.last_metrics().survivor_reconciliations;
                      ++measured;
-                     return true;
+                     return metrics(report);
                    });
       const double n = static_cast<double>(measured);
       table.AddRow({spec.name, Table::Num(ratio * 100.0, 0),
@@ -63,8 +84,28 @@ void Run(double scale, int slides) {
                     std::to_string(reconciliations)});
     }
   }
+  if (!matched_any) {
+    std::fprintf(stderr, "bench_profile: no dataset named '%s'; known:",
+                 dataset_filter.c_str());
+    for (const bench::DatasetSpec& spec : bench::StandardDatasets(scale)) {
+      std::fprintf(stderr, " %s", spec.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return false;
+  }
   std::printf("== DISC per-phase cost profile ==\n%s\n", table.ToText().c_str());
   std::printf("CSV:\n%s", table.ToCsv().c_str());
+  if (!telemetry_path.empty()) {
+    std::ofstream out(telemetry_path);
+    out << "# DISC bench_profile telemetry (Prometheus text exposition).\n"
+        << "# disc_probe_*/disc_points_* counters are workload-deterministic;"
+           "\n"
+        << "# *_ms histogram summaries are wall-clock and machine-dependent.\n";
+    registry.WritePrometheus(out);
+    std::printf("wrote telemetry (%zu metrics) to %s\n", registry.size(),
+                telemetry_path.c_str());
+  }
+  return true;
 }
 
 }  // namespace
@@ -72,6 +113,18 @@ void Run(double scale, int slides) {
 
 int main(int argc, char** argv) {
   const disc::bench::BenchArgs args = disc::bench::ParseArgs(argc, argv);
-  disc::Run(args.scale, args.slides);
-  return 0;
+  // bench::ParseArgs ignores flags it does not know; scan for ours here.
+  std::string dataset_filter;
+  std::string telemetry_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--dataset=", 0) == 0) {
+      dataset_filter = arg.substr(10);
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      telemetry_path = arg.substr(12);
+    }
+  }
+  return disc::Run(args.scale, args.slides, dataset_filter, telemetry_path)
+             ? 0
+             : 1;
 }

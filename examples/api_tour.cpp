@@ -12,6 +12,9 @@
 #include "eval/ari.h"
 #include "eval/kdistance.h"
 #include "eval/partition.h"
+#include "obs/metrics_registry.h"
+#include "obs/sinks.h"
+#include "obs/trace.h"
 #include "stream/blobs_generator.h"
 
 int main() {
@@ -80,5 +83,31 @@ int main() {
   const std::vector<disc::ClusterId> ours = disc::LabelsFor(snap, ids);
   std::printf("snapshot holds %zu labeled points across %zu clusters\n",
               ours.size(), snap.NumClusters());
+
+  // 7. Observability (docs/OBSERVABILITY.md): a MetricsObserver folds every
+  // SlideReport into a registry of counters/gauges/latency histograms, and
+  // an installed TraceRecorder turns the same slides into Chrome trace
+  // spans (disc.update -> disc.collect/ex_phase/neo_phase/recheck).
+  disc::obs::MetricsRegistry registry;
+  disc::obs::MetricsObserver::Options obs_options;
+  obs_options.disc_metrics = &restored.last_metrics();
+  disc::obs::MetricsObserver metrics(&registry, obs_options);
+  disc::obs::TraceRecorder recorder;
+  recorder.Install();
+  resumed.Run(6, metrics.AsObserver());
+  recorder.Uninstall();
+  std::printf(
+      "telemetry: %zu metrics, %llu range searches "
+      "(%llu index nodes, %llu epoch-pruned), update p95=%.3fms, "
+      "%zu trace events\n",
+      registry.size(),
+      static_cast<unsigned long long>(
+          registry.counter("disc_probe_range_searches_total").value()),
+      static_cast<unsigned long long>(
+          registry.counter("disc_probe_nodes_visited_total").value()),
+      static_cast<unsigned long long>(
+          registry.counter("disc_probe_epoch_pruned_total").value()),
+      registry.histogram("disc_update_ms").Quantile(0.95),
+      recorder.event_count());
   return 0;
 }

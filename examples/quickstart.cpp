@@ -4,14 +4,24 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
+//
+// Optional observability artifacts (docs/OBSERVABILITY.md):
+//   ./build/examples/quickstart [TRACE.json [METRICS.jsonl]]
+// writes a Chrome trace (open in chrome://tracing or ui.perfetto.dev) and a
+// per-slide JSONL metrics stream. scripts/ci.sh runs this with both paths
+// and validates the artifacts with tools/trace_check.py.
 
 #include <cstdio>
+#include <fstream>
 
 #include "core/disc.h"
+#include "core/pipeline.h"
+#include "obs/metrics_registry.h"
+#include "obs/sinks.h"
+#include "obs/trace.h"
 #include "stream/blobs_generator.h"
-#include "stream/sliding_window.h"
 
-int main() {
+int main(int argc, char** argv) {
   // A stream of points drawn from five Gaussian blobs plus 10% noise.
   disc::BlobsGenerator::Options gen_options;
   gen_options.dims = 2;
@@ -27,13 +37,30 @@ int main() {
   config.tau = 5;
   disc::Disc clusterer(/*dims=*/2, config);
 
+  // Tracing is dormant until a recorder is installed; with a path on the
+  // command line every Update phase (and each index probe, at kDetail)
+  // becomes a span in the written trace.
+  disc::obs::TraceRecorder::Options trace_options;
+  trace_options.level = disc::obs::TraceLevel::kDetail;
+  disc::obs::TraceRecorder recorder(trace_options);
+  if (argc > 1) recorder.Install();
+
+  std::ofstream jsonl;
+  if (argc > 2) jsonl.open(argv[2]);
+
+  // Fold every SlideReport into a metrics registry (counters, gauges,
+  // latency histograms) and — when requested — the JSONL stream. This is
+  // the one-line wiring every pipeline gets telemetry with.
+  disc::obs::MetricsRegistry registry;
+  disc::obs::MetricsObserver::Options obs_options;
+  obs_options.disc_metrics = &clusterer.last_metrics();
+  if (jsonl.is_open()) obs_options.jsonl = &jsonl;
+  disc::obs::MetricsObserver metrics(&registry, obs_options);
+
   // A window of 2000 points advancing 200 points at a time.
-  disc::CountBasedWindow window(/*window_size=*/2000, /*stride=*/200);
-
-  for (int slide = 0; slide < 20; ++slide) {
-    disc::WindowDelta delta = window.Advance(stream.NextPoints(200));
-    clusterer.Update(delta.incoming, delta.outgoing);
-
+  disc::StreamingPipeline pipeline(&stream, &clusterer, /*window_size=*/2000,
+                                   /*stride=*/200);
+  pipeline.Run(20, [&](const disc::SlideReport& report) {
     const disc::ClusteringSnapshot snapshot = clusterer.Snapshot();
     std::size_t cores = 0, borders = 0, noise = 0;
     for (disc::Category c : snapshot.categories) {
@@ -44,11 +71,28 @@ int main() {
       }
     }
     std::printf(
-        "slide %2d: %4zu points, %2zu clusters (%4zu cores, %3zu borders, "
+        "slide %2zu: %4zu points, %2zu clusters (%4zu cores, %3zu borders, "
         "%3zu noise), %4llu range searches\n",
-        slide, snapshot.size(), snapshot.NumClusters(), cores, borders, noise,
-        static_cast<unsigned long long>(
-            clusterer.last_metrics().range_searches));
+        report.slide_index, snapshot.size(), snapshot.NumClusters(), cores,
+        borders, noise,
+        static_cast<unsigned long long>(report.probes.range_searches));
+    return metrics(report);
+  });
+
+  // The registry aggregates the run: p50/p95/p99 slide latency and totals.
+  std::printf("\nrun summary: %llu slides, update p50=%.3fms p99=%.3fms\n",
+              static_cast<unsigned long long>(
+                  registry.counter("disc_slides_total").value()),
+              registry.histogram("disc_update_ms").Quantile(0.5),
+              registry.histogram("disc_update_ms").Quantile(0.99));
+
+  if (argc > 1) {
+    recorder.Uninstall();
+    std::ofstream trace(argv[1]);
+    recorder.WriteChromeJson(trace);
+    std::printf("wrote trace (%zu events) to %s\n", recorder.event_count(),
+                argv[1]);
+    if (argc > 2) std::printf("wrote per-slide metrics to %s\n", argv[2]);
   }
   return 0;
 }

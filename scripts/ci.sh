@@ -4,10 +4,12 @@
 #   1. disc_lint invariant checks over src/ + lint fixture self-tests
 #   2. format gate (skips when clang-format is not installed)
 #   3. Release: build + full ctest suite
-#   4. ASan+UBSan: build + full ctest suite (UBSan findings are fatal via
+#   4. Observability smoke: run an example with tracing + JSONL metrics and
+#      validate both artifacts with tools/trace_check.py
+#   5. ASan+UBSan: build + full ctest suite (UBSan findings are fatal via
 #      -fno-sanitize-recover, see the asan preset)
-#   5. TSan: build + full ctest suite
-#   6. clang-tidy over src/ (skips when clang-tidy is not installed)
+#   6. TSan: build + full ctest suite
+#   7. clang-tidy over src/ (skips when clang-tidy is not installed)
 #
 # Usage: scripts/ci.sh [extra ctest args...]
 set -euo pipefail
@@ -26,6 +28,19 @@ echo "=== Release: configure + build + full ctest ==="
 cmake --preset release
 cmake --build --preset release -j "${jobs}"
 ctest --preset release -j "${jobs}" "$@"
+
+echo "=== observability smoke: trace + JSONL artifacts ==="
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "${obs_dir}"' EXIT
+./build-release/examples/quickstart \
+  "${obs_dir}/trace.json" "${obs_dir}/metrics.jsonl" > /dev/null
+python3 tools/trace_check.py \
+  --trace "${obs_dir}/trace.json" \
+  --require-span pipeline.slide --require-span disc.update \
+  --require-span disc.collect --require-span disc.ex_phase \
+  --require-span disc.neo_phase --require-span disc.recheck \
+  --require-span rtree.epoch_search \
+  --jsonl "${obs_dir}/metrics.jsonl" --min-slides 20
 
 echo "=== ASan+UBSan: configure + build + full ctest ==="
 cmake --preset asan

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <deque>
 
+#include "common/timer.h"
+
 namespace disc {
 
 ExtraN::ExtraN(std::uint32_t dims, double eps, std::uint32_t tau,
@@ -21,7 +23,9 @@ const UpdateDelta& ExtraN::Update(const std::vector<Point>& incoming,
                                   const std::vector<Point>& outgoing) {
   delta_.Clear();
   ++current_slide_;
-  const std::uint64_t before = tree_.stats().range_searches;
+  const RTreeStats before = tree_.stats();
+  last_timings_ = PhaseTimings{};
+  Timer phase_timer;
 
   // Expiry is free: no index probes, just bookkeeping. This is the whole
   // point of the predicted views.
@@ -59,12 +63,25 @@ const UpdateDelta& ExtraN::Update(const std::vector<Point>& incoming,
       rec.neighbors.push_back(qid);
     });
   }
-  last_searches_ = tree_.stats().range_searches - before;
+  last_timings_.collect_ms = phase_timer.ElapsedMillis();
+  const RTreeStats& after = tree_.stats();
+  last_searches_ = after.range_searches - before.range_searches;
+  last_probes_.range_searches = last_searches_;
+  last_probes_.nodes_visited = after.nodes_visited - before.nodes_visited;
+  last_probes_.entries_checked =
+      after.entries_checked - before.entries_checked;
+  last_probes_.leaf_entries_tested =
+      after.leaf_entries_tested - before.leaf_entries_tested;
+  last_probes_.epoch_pruned = after.epoch_pruned - before.epoch_pruned;
   // Extraction assigns fresh cluster ids each slide; recover the relabel set
   // by diffing the labelings up to a bijective renaming.
   const ClusteringSnapshot previous = std::move(snapshot_);
+  phase_timer.Reset();
   Recluster();
+  last_timings_.neo_phase_ms = phase_timer.ElapsedMillis();
+  phase_timer.Reset();
   DiffLabelings(previous, snapshot_, &delta_);
+  last_timings_.recheck_ms = phase_timer.ElapsedMillis();
   return delta_;
 }
 

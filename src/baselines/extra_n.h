@@ -35,6 +35,11 @@ class ExtraN : public StreamClusterer {
                             const std::vector<Point>& outgoing) override;
   ClusteringSnapshot Snapshot() const override { return snapshot_; }
   std::string name() const override { return "EXTRA-N"; }
+  // Predicted-view maintenance maps to collect_ms, the per-slide extraction
+  // to neo_phase_ms, and the labeling diff to recheck_ms; there is no
+  // ex-core analogue (expiry is pure bookkeeping — EXTRA-N's selling point).
+  PhaseTimings LastPhaseTimings() const override { return last_timings_; }
+  ProbeCounters LastProbeCounters() const override { return last_probes_; }
 
   std::size_t num_views() const { return num_views_; }
 
@@ -65,6 +70,8 @@ class ExtraN : public StreamClusterer {
   std::uint64_t current_slide_ = 0;
   ClusteringSnapshot snapshot_;
   std::uint64_t last_searches_ = 0;
+  PhaseTimings last_timings_;
+  ProbeCounters last_probes_;
 };
 
 }  // namespace disc

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <deque>
 
+#include "common/timer.h"
+
 namespace disc {
 
 GraphDisc::GraphDisc(std::uint32_t dims, const DiscConfig& config)
@@ -388,14 +390,23 @@ const UpdateDelta& GraphDisc::Update(const std::vector<Point>& incoming,
   delta_.Clear();
   recheck_.clear();
   touched_.clear();
-  const std::uint64_t before = tree_.stats().range_searches;
+  const RTreeStats before = tree_.stats();
+  last_timings_ = PhaseTimings{};
 
   std::vector<PointId> ex_cores;
   std::vector<PointId> neo_cores;
+  Timer phase_timer;
   Collect(incoming, outgoing, &ex_cores, &neo_cores);
+  last_timings_.collect_ms = phase_timer.ElapsedMillis();
+  phase_timer.Reset();
   ProcessExCores(ex_cores);
+  last_timings_.ex_phase_ms = phase_timer.ElapsedMillis();
+  phase_timer.Reset();
   ProcessNeoCores(neo_cores);
+  last_timings_.neo_phase_ms = phase_timer.ElapsedMillis();
+  phase_timer.Reset();
   RecheckNonCores();
+  last_timings_.recheck_ms = phase_timer.ElapsedMillis();
 
   for (PointId id : touched_) {
     auto it = records_.find(id);
@@ -407,7 +418,15 @@ const UpdateDelta& GraphDisc::Update(const std::vector<Point>& incoming,
     }
     rec.core_prev = NEps(rec) >= config_.tau;
   }
-  last_searches_ = tree_.stats().range_searches - before;
+  const RTreeStats& after = tree_.stats();
+  last_searches_ = after.range_searches - before.range_searches;
+  last_probes_.range_searches = last_searches_;
+  last_probes_.nodes_visited = after.nodes_visited - before.nodes_visited;
+  last_probes_.entries_checked =
+      after.entries_checked - before.entries_checked;
+  last_probes_.leaf_entries_tested =
+      after.leaf_entries_tested - before.leaf_entries_tested;
+  last_probes_.epoch_pruned = after.epoch_pruned - before.epoch_pruned;
   return delta_;
 }
 

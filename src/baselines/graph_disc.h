@@ -33,6 +33,9 @@ class GraphDisc : public StreamClusterer {
                             const std::vector<Point>& outgoing) override;
   ClusteringSnapshot Snapshot() const override;
   std::string name() const override { return "DISC-graph"; }
+  // Same four-phase structure as Disc, so the breakdown maps one-to-one.
+  PhaseTimings LastPhaseTimings() const override { return last_timings_; }
+  ProbeCounters LastProbeCounters() const override { return last_probes_; }
 
   const DiscConfig& config() const { return config_; }
   std::size_t window_size() const { return records_.size(); }
@@ -102,6 +105,8 @@ class GraphDisc : public StreamClusterer {
   std::vector<PointId> touched_;
   std::uint64_t last_searches_ = 0;
   std::size_t total_directed_edges_ = 0;
+  PhaseTimings last_timings_;
+  ProbeCounters last_probes_;
 };
 
 }  // namespace disc

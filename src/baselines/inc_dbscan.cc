@@ -4,6 +4,8 @@
 #include <cassert>
 #include <deque>
 
+#include "common/timer.h"
+
 namespace disc {
 
 IncDbscan::IncDbscan(std::uint32_t dims, const DiscConfig& config)
@@ -46,24 +48,43 @@ const UpdateDelta& IncDbscan::Update(const std::vector<Point>& incoming,
                                      const std::vector<Point>& outgoing) {
   ++batch_serial_;
   delta_.Clear();
-  const std::uint64_t before = tree_.stats().range_searches;
+  const RTreeStats before = tree_.stats();
+  last_timings_ = PhaseTimings{};
   // One point at a time: that is the defining property of IncDBSCAN. The
   // clustering (including border labels) is valid after every single
   // operation — per-op relabeling is the redundant work DISC's stride-level
-  // consolidation eliminates.
+  // consolidation eliminates. Deletions accumulate into ex_phase_ms and
+  // insertions into neo_phase_ms (the per-op analogue of DISC's phases).
+  Timer op_timer;
   for (const Point& p : outgoing) {
     ++op_serial_;
     recheck_.clear();
+    op_timer.Reset();
     DeleteOne(p);
+    last_timings_.ex_phase_ms += op_timer.ElapsedMillis();
+    op_timer.Reset();
     RecheckNonCores();
+    last_timings_.recheck_ms += op_timer.ElapsedMillis();
   }
   for (const Point& p : incoming) {
     ++op_serial_;
     recheck_.clear();
+    op_timer.Reset();
     InsertOne(p);
+    last_timings_.neo_phase_ms += op_timer.ElapsedMillis();
+    op_timer.Reset();
     RecheckNonCores();
+    last_timings_.recheck_ms += op_timer.ElapsedMillis();
   }
-  last_searches_ = tree_.stats().range_searches - before;
+  const RTreeStats& after = tree_.stats();
+  last_searches_ = after.range_searches - before.range_searches;
+  last_probes_.range_searches = last_searches_;
+  last_probes_.nodes_visited = after.nodes_visited - before.nodes_visited;
+  last_probes_.entries_checked =
+      after.entries_checked - before.entries_checked;
+  last_probes_.leaf_entries_tested =
+      after.leaf_entries_tested - before.leaf_entries_tested;
+  last_probes_.epoch_pruned = after.epoch_pruned - before.epoch_pruned;
   // Points relabeled by an early operation and deleted by a later one are
   // gone from the window; `relabeled` reports survivors only.
   delta_.relabeled.erase(

@@ -37,6 +37,11 @@ class IncDbscan : public StreamClusterer {
                             const std::vector<Point>& outgoing) override;
   ClusteringSnapshot Snapshot() const override;
   std::string name() const override { return "IncDBSCAN"; }
+  // Per-op deletions map to ex_phase_ms, insertions to neo_phase_ms, and the
+  // per-op border relabeling to recheck_ms — the closest analogue of DISC's
+  // phases, making per-phase comparisons in SlideReport meaningful.
+  PhaseTimings LastPhaseTimings() const override { return last_timings_; }
+  ProbeCounters LastProbeCounters() const override { return last_probes_; }
 
   const DiscConfig& config() const { return config_; }
   std::size_t window_size() const { return records_.size(); }
@@ -91,6 +96,8 @@ class IncDbscan : public StreamClusterer {
   std::uint64_t search_serial_ = 0;  // Increments per traversal.
   std::vector<PointId> recheck_;
   std::uint64_t last_searches_ = 0;
+  PhaseTimings last_timings_;
+  ProbeCounters last_probes_;
 };
 
 }  // namespace disc

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace disc {
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -21,12 +23,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::DrainBatch(std::size_t lane) {
+  obs::TraceSpan span("pool.drain", obs::TraceLevel::kDetail);
+  span.AddArg("lane", lane);
+  std::size_t items = 0;
   try {
     for (;;) {
       const std::size_t begin = batch_next_.fetch_add(batch_chunk_);
-      if (begin >= batch_n_) return;
+      if (begin >= batch_n_) {
+        span.AddArg("items", items);
+        return;
+      }
       const std::size_t end = std::min(batch_n_, begin + batch_chunk_);
       for (std::size_t i = begin; i < end; ++i) (*batch_fn_)(lane, i);
+      items += end - begin;
     }
   } catch (...) {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -73,6 +82,9 @@ void ThreadPool::ParallelFor(
 }
 
 void ThreadPool::WorkerLoop(std::size_t lane) {
+  // Trace tid 0 belongs to the thread that owns the clusterer; workers are
+  // lane + 1 so trace files name lanes deterministically across runs.
+  obs::SetThreadTraceTid(static_cast<std::uint32_t>(lane) + 1);
   std::uint64_t seen = 0;
   for (;;) {
     {

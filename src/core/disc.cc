@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/timer.h"
+#include "obs/trace.h"
 
 namespace disc {
 
@@ -236,30 +237,52 @@ const UpdateDelta& Disc::Update(const std::vector<Point>& incoming,
   touched_.clear();
   delta_.Clear();
 
-  const std::uint64_t searches_at_start = tree_.stats().range_searches;
+  const RTreeStats stats_at_start = tree_.stats();
+
+  obs::TraceSpan update_span("disc.update");
+  update_span.AddArg("incoming", incoming.size());
+  update_span.AddArg("outgoing", outgoing.size());
 
   std::vector<PointId> ex_cores;
   std::vector<PointId> neo_cores;
   std::vector<Point> c_out;
   Timer phase_timer;
-  Collect(incoming, outgoing, &ex_cores, &neo_cores, &c_out);
-  metrics_.collect_ms = phase_timer.ElapsedMillis();
+  {
+    obs::TraceSpan span("disc.collect");
+    Collect(incoming, outgoing, &ex_cores, &neo_cores, &c_out);
+    metrics_.collect_ms = phase_timer.ElapsedMillis();
+    span.AddArg("ex_cores", ex_cores.size());
+    span.AddArg("neo_cores", neo_cores.size());
+  }
 
   metrics_.num_ex_cores = ex_cores.size();
   metrics_.num_neo_cores = neo_cores.size();
-  metrics_.collect_searches = tree_.stats().range_searches - searches_at_start;
+  metrics_.collect_searches =
+      tree_.stats().range_searches - stats_at_start.range_searches;
 
   // CLUSTER (Algorithm 2): splits first, then remove C_out, then mergers.
   phase_timer.Reset();
-  ProcessExCores(ex_cores);
-  for (const Point& p : c_out) tree_.Delete(p);
-  metrics_.ex_phase_ms = phase_timer.ElapsedMillis();
+  {
+    obs::TraceSpan span("disc.ex_phase");
+    ProcessExCores(ex_cores);
+    for (const Point& p : c_out) tree_.Delete(p);
+    metrics_.ex_phase_ms = phase_timer.ElapsedMillis();
+    span.AddArg("ex_groups", metrics_.num_ex_groups);
+  }
   phase_timer.Reset();
-  ProcessNeoCores(neo_cores);
-  metrics_.neo_phase_ms = phase_timer.ElapsedMillis();
+  {
+    obs::TraceSpan span("disc.neo_phase");
+    ProcessNeoCores(neo_cores);
+    metrics_.neo_phase_ms = phase_timer.ElapsedMillis();
+    span.AddArg("neo_groups", metrics_.num_neo_groups);
+  }
   phase_timer.Reset();
-  RecheckNonCores();
-  metrics_.recheck_ms = phase_timer.ElapsedMillis();
+  {
+    obs::TraceSpan span("disc.recheck");
+    RecheckNonCores();
+    metrics_.recheck_ms = phase_timer.ElapsedMillis();
+    span.AddArg("rechecked", recheck_.size());
+  }
 
   // Finalize: refresh core_prev for every point whose density changed and
   // drop the tombstones of exited points.
@@ -274,10 +297,29 @@ const UpdateDelta& Disc::Update(const std::vector<Point>& incoming,
     rec.core_prev = rec.n_eps >= config_.tau;
   }
 
-  metrics_.range_searches = tree_.stats().range_searches - searches_at_start;
+  const RTreeStats& ts = tree_.stats();
+  metrics_.range_searches = ts.range_searches - stats_at_start.range_searches;
   metrics_.cluster_searches =
       metrics_.range_searches - metrics_.collect_searches;
+  metrics_.nodes_visited = ts.nodes_visited - stats_at_start.nodes_visited;
+  metrics_.entries_checked =
+      ts.entries_checked - stats_at_start.entries_checked;
+  metrics_.leaf_entries_tested =
+      ts.leaf_entries_tested - stats_at_start.leaf_entries_tested;
+  metrics_.epoch_pruned = ts.epoch_pruned - stats_at_start.epoch_pruned;
+  update_span.AddArg("range_searches", metrics_.range_searches);
+  update_span.AddArg("relabeled", delta_.relabeled.size());
   return delta_;
+}
+
+ProbeCounters Disc::LastProbeCounters() const {
+  ProbeCounters c;
+  c.range_searches = metrics_.range_searches;
+  c.nodes_visited = metrics_.nodes_visited;
+  c.entries_checked = metrics_.entries_checked;
+  c.leaf_entries_tested = metrics_.leaf_entries_tested;
+  c.epoch_pruned = metrics_.epoch_pruned;
+  return c;
 }
 
 PhaseTimings Disc::LastPhaseTimings() const {

@@ -57,6 +57,7 @@ class Disc : public StreamClusterer {
   ClusteringSnapshot Snapshot() const override;
   std::string name() const override { return "DISC"; }
   PhaseTimings LastPhaseTimings() const override;
+  ProbeCounters LastProbeCounters() const override;
 
   // Convenience single-point operations (Update with singleton batches).
   void Insert(const Point& p) { Update({p}, {}); }

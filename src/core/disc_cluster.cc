@@ -7,6 +7,7 @@
 #include <deque>
 
 #include "core/disc.h"
+#include "obs/trace.h"
 
 namespace disc {
 
@@ -160,6 +161,9 @@ struct MsThread {
 }  // namespace
 
 int Disc::MsBfs(const std::vector<PointId>& m_minus, PointId* survivor_rep) {
+  obs::TraceSpan span("disc.msbfs", obs::TraceLevel::kDetail);
+  span.AddArg("starters", m_minus.size());
+  const std::uint64_t expansions_before = metrics_.msbfs_expansions;
   const std::uint64_t serial = ++search_serial_;
   const std::uint64_t tick = tree_.NewTick();
   const std::size_t k = m_minus.size();
@@ -298,6 +302,8 @@ int Disc::MsBfs(const std::vector<PointId>& m_minus, PointId* survivor_rep) {
     }
     break;
   }
+  span.AddArg("expansions", metrics_.msbfs_expansions - expansions_before);
+  span.AddArg("components", static_cast<std::uint64_t>(drained) + 1);
   return drained + 1;
 }
 

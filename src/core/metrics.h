@@ -21,6 +21,14 @@ struct DiscMetrics {
   // under more than one ex-core group.
   std::uint64_t survivor_reconciliations = 0;
 
+  // Index-probe drill-down, aggregated from RTreeStats over the update:
+  // how much tree the probes actually walked, and how much Algorithm 4's
+  // epoch check pruned away (the count-level view of the Fig. 8 ablation).
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t entries_checked = 0;
+  std::uint64_t leaf_entries_tested = 0;
+  std::uint64_t epoch_pruned = 0;
+
   // Wall-clock breakdown of the update (milliseconds).
   double collect_ms = 0.0;   // COLLECT: density maintenance.
   double ex_phase_ms = 0.0;  // Ex-core closures + split checks.

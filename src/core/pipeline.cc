@@ -1,5 +1,7 @@
 #include "core/pipeline.h"
 
+#include "obs/trace.h"
+
 namespace disc {
 
 StreamingPipeline::StreamingPipeline(StreamSource* source,
@@ -25,6 +27,8 @@ std::size_t StreamingPipeline::Run(std::size_t max_slides,
                                    const Observer& observe) {
   std::size_t executed = 0;
   for (; executed < max_slides; ++executed) {
+    obs::TraceSpan slide_span("pipeline.slide");
+    slide_span.AddArg("slide", slide_index_);
     WindowDelta delta = window_.Advance(source_->NextPoints(stride_));
     Timer timer;
     const UpdateDelta& update_delta =
@@ -39,7 +43,10 @@ std::size_t StreamingPipeline::Run(std::size_t max_slides,
     report.relabeled = update_delta.relabeled.size();
     report.update_ms = timer.ElapsedMillis();
     report.phases = clusterer_->LastPhaseTimings();
+    report.probes = clusterer_->LastProbeCounters();
     report.window_full = window_.full();
+    slide_span.AddArg("window", report.window_size);
+    slide_span.AddArg("relabeled", report.relabeled);
     if (observe && !observe(report)) {
       ++executed;
       break;

@@ -28,6 +28,10 @@ struct SlideReport {
   // Per-phase wall-clock of the update (all-zero for methods that do not
   // instrument their phases; update_ms is always populated).
   PhaseTimings phases;
+  // Index-probe counters of the update (all-zero for methods without an
+  // instrumented index). Unlike the timings, these are deterministic: same
+  // workload ⇒ same counts, regardless of thread count.
+  ProbeCounters probes;
   bool window_full = false;
 };
 

@@ -6,6 +6,8 @@
 #include <limits>
 #include <queue>
 
+#include "obs/trace.h"
+
 namespace disc {
 
 namespace {
@@ -553,6 +555,7 @@ void RTree::RangeRecurse(const Node* node, const Point& center, double eps2,
   for (const Entry& e : node->entries) {
     ++stats->entries_checked;
     if (node->leaf) {
+      ++stats->leaf_entries_tested;
       if (SquaredDistanceToEntryPoint(e.rect, center) <= eps2) {
         visit(e.id, EntryPoint(e.rect, e.id, dims_));
       }
@@ -569,8 +572,15 @@ void RTree::RangeSearch(const Point& center, double eps,
 
 void RTree::RangeSearch(const Point& center, double eps, const Visitor& visit,
                         RTreeStats* stats) const {
+  obs::TraceSpan span("rtree.range_search", obs::TraceLevel::kDetail);
+  const RTreeStats before = *stats;
   ++stats->range_searches;
   RangeRecurse(root_, center, eps * eps, visit, stats);
+  if (span.active()) {
+    span.AddArg("nodes", stats->nodes_visited - before.nodes_visited);
+    span.AddArg("leaf_tests",
+                stats->leaf_entries_tested - before.leaf_entries_tested);
+  }
 }
 
 std::vector<RTree::Neighbor> RTree::NearestNeighbors(const Point& center,
@@ -606,6 +616,7 @@ std::vector<RTree::Neighbor> RTree::NearestNeighbors(const Point& center,
     for (const Entry& e : item.node->entries) {
       ++stats_.entries_checked;
       if (item.node->leaf) {
+        ++stats_.leaf_entries_tested;
         const double d2 = SquaredDistanceToEntryPoint(e.rect, center);
         if (best.size() < k) {
           best.push(Neighbor{e.id, d2});
@@ -635,8 +646,14 @@ void RTree::EpochRecurse(Node* node, const Point& center, double eps2,
   ++stats_.nodes_visited;
   for (Entry& e : node->entries) {
     ++stats_.entries_checked;
-    if (e.epoch >= tick) continue;  // Fully visited under this tick.
+    if (e.epoch >= tick) {
+      // Algorithm 4's payoff: the entry (a point, or a whole subtree) was
+      // already consumed under this tick and is skipped outright.
+      ++stats_.epoch_pruned;
+      continue;
+    }
     if (node->leaf) {
+      ++stats_.leaf_entries_tested;
       if (SquaredDistanceToEntryPoint(e.rect, center) <= eps2) {
         if (visit(e.id, EntryPoint(e.rect, e.id, dims_))) {
           e.epoch = tick;
@@ -659,8 +676,16 @@ void RTree::EpochRecurse(Node* node, const Point& center, double eps2,
 
 void RTree::EpochRangeSearch(const Point& center, double eps,
                              std::uint64_t tick, const MarkingVisitor& visit) {
+  obs::TraceSpan span("rtree.epoch_search", obs::TraceLevel::kDetail);
+  const RTreeStats before = stats_;
   ++stats_.range_searches;
   EpochRecurse(root_, center, eps * eps, tick, visit);
+  if (span.active()) {
+    span.AddArg("nodes", stats_.nodes_visited - before.nodes_visited);
+    span.AddArg("leaf_tests",
+                stats_.leaf_entries_tested - before.leaf_entries_tested);
+    span.AddArg("epoch_pruned", stats_.epoch_pruned - before.epoch_pruned);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -17,11 +17,20 @@ struct Rect {
 };
 
 // Statistics about index probes, used to reproduce the paper's range-search
-// counts (Fig. 7) and to quantify the benefit of epoch-based probing.
+// counts (Fig. 7) and to quantify the benefit of epoch-based probing: the
+// drill-down counters explain the Fig. 8 ablation from counts instead of
+// wall-clock (leaf entries actually distance-tested, and entries whose
+// subtree an epoch check pruned away).
 struct RTreeStats {
   std::uint64_t range_searches = 0;
   std::uint64_t nodes_visited = 0;
   std::uint64_t entries_checked = 0;
+  // Leaf entries whose point was distance-tested against the query.
+  std::uint64_t leaf_entries_tested = 0;
+  // Entries (leaf points or whole subtrees) skipped because their epoch was
+  // already at the current tick — Algorithm 4's pruning, the quantity the
+  // use_epoch_probing toggle trades probes for.
+  std::uint64_t epoch_pruned = 0;
 
   void Reset() { *this = RTreeStats{}; }
 
@@ -31,6 +40,8 @@ struct RTreeStats {
     range_searches += other.range_searches;
     nodes_visited += other.nodes_visited;
     entries_checked += other.entries_checked;
+    leaf_entries_tested += other.leaf_entries_tested;
+    epoch_pruned += other.epoch_pruned;
   }
 };
 

@@ -1,0 +1,180 @@
+#include "obs/metrics_registry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace disc {
+namespace obs {
+
+namespace {
+
+// Shortest-exact double formatting via %.17g would leak noise digits into
+// exports; %.9g keeps nine significant digits, far beyond timer resolution,
+// and yields identical bytes for identical values.
+void WriteDouble(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  os << buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+double Histogram::GrowthFactor() {
+  return std::pow(10.0, 1.0 / kBucketsPerDecade);
+}
+
+int Histogram::BucketIndex(double value) {
+  if (!(value > kMinValue)) return 0;  // Underflow; catches NaN too.
+  const int i =
+      1 + static_cast<int>(std::floor(std::log10(value / kMinValue) *
+                                      kBucketsPerDecade));
+  return i >= kNumBuckets ? kNumBuckets - 1 : i;
+}
+
+double Histogram::BucketUpperBound(int index) {
+  if (index <= 0) return kMinValue;
+  return kMinValue *
+         std::pow(10.0, static_cast<double>(index) / kBucketsPerDecade);
+}
+
+void Histogram::Observe(double value) {
+  ++buckets_[BucketIndex(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      if (i == kNumBuckets - 1) return max_;  // Overflow bucket.
+      return BucketUpperBound(i);
+    }
+  }
+  return max_;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::WritePrometheus(std::ostream& os,
+                                      bool include_histograms) const {
+  for (const auto& [name, c] : counters_) {
+    os << "# TYPE " << name << " counter\n" << name << ' ' << c.value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "# TYPE " << name << " gauge\n" << name << ' ';
+    WriteDouble(os, g.value());
+    os << '\n';
+  }
+  if (!include_histograms) return;
+  for (const auto& [name, h] : histograms_) {
+    os << "# TYPE " << name << " summary\n";
+    for (const double q : {0.5, 0.95, 0.99}) {
+      os << name << "{quantile=\"" << (q == 0.5 ? "0.5" : q == 0.95 ? "0.95"
+                                                                    : "0.99")
+         << "\"} ";
+      WriteDouble(os, h.Quantile(q));
+      os << '\n';
+    }
+    os << name << "_sum ";
+    WriteDouble(os, h.sum());
+    os << '\n' << name << "_count " << h.count() << '\n';
+    os << name << "_min ";
+    WriteDouble(os, h.min());
+    os << '\n' << name << "_max ";
+    WriteDouble(os, h.max());
+    os << '\n';
+  }
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":" << c.value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":";
+    WriteDouble(os, g.value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":{\"count\":" << h.count() << ",\"sum\":";
+    WriteDouble(os, h.sum());
+    os << ",\"min\":";
+    WriteDouble(os, h.min());
+    os << ",\"max\":";
+    WriteDouble(os, h.max());
+    os << ",\"p50\":";
+    WriteDouble(os, h.Quantile(0.5));
+    os << ",\"p95\":";
+    WriteDouble(os, h.Quantile(0.95));
+    os << ",\"p99\":";
+    WriteDouble(os, h.Quantile(0.99));
+    os << '}';
+  }
+  os << "}}\n";
+}
+
+void MetricsRegistry::Reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace obs
+}  // namespace disc

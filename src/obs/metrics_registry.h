@@ -1,0 +1,123 @@
+#ifndef DISC_OBS_METRICS_REGISTRY_H_
+#define DISC_OBS_METRICS_REGISTRY_H_
+
+// Named-metric registry: counters, gauges, and log-bucketed latency
+// histograms with p50/p95/p99 readout, aggregating per-slide measurements
+// across a run (docs/OBSERVABILITY.md). Exports are deterministic: metrics
+// are stored and serialized in name order, and counter values depend only
+// on the workload (never on thread count or scheduling), so two identical
+// runs produce byte-identical counter exports.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace disc {
+namespace obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Last-value-wins instantaneous measurement.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Log-bucketed histogram for latency-like positive samples. Bucket bounds
+// grow geometrically by 10^(1/kBucketsPerDecade) (≈ +12.2% per bucket), so
+// a quantile readout is exact up to one bucket's relative width — across
+// the full 1e-6..1e9 range with a few KB of fixed storage and no
+// per-sample allocation.
+class Histogram {
+ public:
+  static constexpr int kBucketsPerDecade = 20;
+  static constexpr int kDecades = 15;       // Covers [kMinValue, 1e9).
+  static constexpr double kMinValue = 1e-6;
+  // Bucket 0 is the underflow bucket (samples <= kMinValue, including
+  // zero/negative); the last bucket is the overflow bucket.
+  static constexpr int kNumBuckets = kBucketsPerDecade * kDecades + 2;
+
+  // Upper bound of one quantile-readout bucket relative to its lower bound;
+  // Quantile() overestimates the exact sample quantile by at most this
+  // factor. Exposed so tests can oracle-check without duplicating the
+  // constant.
+  static double GrowthFactor();
+
+  void Observe(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  // Upper bound of the bucket holding the q-quantile sample (q in [0, 1]),
+  // i.e. the smallest bucket bound b with #(samples <= b) >= ceil(q *
+  // count). Returns 0 for an empty histogram. For an underflow-bucket hit
+  // the bound is kMinValue; for overflow it is max().
+  double Quantile(double q) const;
+
+  std::uint64_t bucket_count(int index) const { return buckets_[index]; }
+  static double BucketUpperBound(int index);
+
+ private:
+  static int BucketIndex(double value);
+
+  std::uint64_t buckets_[kNumBuckets] = {};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Owns metrics by name. Lookups create on first use and return stable
+// references (std::map nodes never move). Not thread-safe: one registry
+// per observing thread, like the rest of the per-run observability state.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // Prometheus text exposition: counters as `# TYPE <name> counter`,
+  // gauges as gauges, histograms as summaries with quantile="0.5/0.95/
+  // 0.99" samples plus _sum/_count/_min/_max. Metric names must already be
+  // Prometheus-compatible ([a-zA-Z_][a-zA-Z0-9_]*); the registry does not
+  // mangle. `include_histograms=false` restricts the dump to counters and
+  // gauges — the run-invariant subset, for byte-level diffing.
+  void WritePrometheus(std::ostream& os, bool include_histograms = true) const;
+
+  // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}},
+  // name-sorted, histograms summarized as count/sum/min/max/p50/p95/p99.
+  void WriteJson(std::ostream& os) const;
+
+  void Reset();
+
+ private:
+  // std::less<> enables string_view lookups without a temporary string.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace disc
+
+#endif  // DISC_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,114 @@
+#include "obs/sinks.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace disc {
+namespace obs {
+
+namespace {
+
+void WriteMs(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  os << buf;
+}
+
+}  // namespace
+
+void WriteSlideJsonl(std::ostream& os, const SlideReport& report,
+                     const DiscMetrics* disc_metrics, bool include_timings) {
+  os << "{\"slide\":" << report.slide_index
+     << ",\"window\":" << report.window_size
+     << ",\"entered\":" << report.entered << ",\"exited\":" << report.exited
+     << ",\"relabeled\":" << report.relabeled << ",\"counters\":{"
+     << "\"range_searches\":" << report.probes.range_searches
+     << ",\"nodes_visited\":" << report.probes.nodes_visited
+     << ",\"entries_checked\":" << report.probes.entries_checked
+     << ",\"leaf_entries_tested\":" << report.probes.leaf_entries_tested
+     << ",\"epoch_pruned\":" << report.probes.epoch_pruned << '}';
+  if (disc_metrics != nullptr) {
+    const DiscMetrics& m = *disc_metrics;
+    os << ",\"disc\":{\"ex_cores\":" << m.num_ex_cores
+       << ",\"neo_cores\":" << m.num_neo_cores
+       << ",\"ex_groups\":" << m.num_ex_groups
+       << ",\"neo_groups\":" << m.num_neo_groups
+       << ",\"msbfs_expansions\":" << m.msbfs_expansions
+       << ",\"collect_searches\":" << m.collect_searches
+       << ",\"cluster_searches\":" << m.cluster_searches
+       << ",\"survivor_reconciliations\":" << m.survivor_reconciliations
+       << '}';
+  }
+  if (include_timings) {
+    os << ",\"timings_ms\":{\"update\":";
+    WriteMs(os, report.update_ms);
+    os << ",\"collect\":";
+    WriteMs(os, report.phases.collect_ms);
+    os << ",\"ex_phase\":";
+    WriteMs(os, report.phases.ex_phase_ms);
+    os << ",\"neo_phase\":";
+    WriteMs(os, report.phases.neo_phase_ms);
+    os << ",\"recheck\":";
+    WriteMs(os, report.phases.recheck_ms);
+    os << ",\"collect_parallel\":";
+    WriteMs(os, report.phases.collect_parallel_ms);
+    os << ",\"threads\":" << report.phases.threads_used << '}';
+  }
+  os << "}\n";
+}
+
+MetricsObserver::MetricsObserver(MetricsRegistry* registry)
+    : MetricsObserver(registry, Options{}) {}
+
+MetricsObserver::MetricsObserver(MetricsRegistry* registry,
+                                 const Options& options)
+    : registry_(registry), options_(options) {}
+
+bool MetricsObserver::operator()(const SlideReport& report) {
+  MetricsRegistry& reg = *registry_;
+  reg.counter("disc_slides_total").Add();
+  reg.counter("disc_points_entered_total").Add(report.entered);
+  reg.counter("disc_points_exited_total").Add(report.exited);
+  reg.counter("disc_points_relabeled_total").Add(report.relabeled);
+  reg.counter("disc_probe_range_searches_total")
+      .Add(report.probes.range_searches);
+  reg.counter("disc_probe_nodes_visited_total")
+      .Add(report.probes.nodes_visited);
+  reg.counter("disc_probe_entries_checked_total")
+      .Add(report.probes.entries_checked);
+  reg.counter("disc_probe_leaf_entries_tested_total")
+      .Add(report.probes.leaf_entries_tested);
+  reg.counter("disc_probe_epoch_pruned_total").Add(report.probes.epoch_pruned);
+  reg.gauge("disc_window_size").Set(static_cast<double>(report.window_size));
+  reg.gauge("disc_threads_used")
+      .Set(static_cast<double>(report.phases.threads_used));
+  reg.histogram("disc_update_ms").Observe(report.update_ms);
+  reg.histogram("disc_collect_ms").Observe(report.phases.collect_ms);
+  reg.histogram("disc_ex_phase_ms").Observe(report.phases.ex_phase_ms);
+  reg.histogram("disc_neo_phase_ms").Observe(report.phases.neo_phase_ms);
+  reg.histogram("disc_recheck_ms").Observe(report.phases.recheck_ms);
+  if (options_.disc_metrics != nullptr) {
+    const DiscMetrics& m = *options_.disc_metrics;
+    reg.counter("disc_ex_cores_total").Add(m.num_ex_cores);
+    reg.counter("disc_neo_cores_total").Add(m.num_neo_cores);
+    reg.counter("disc_ex_groups_total").Add(m.num_ex_groups);
+    reg.counter("disc_neo_groups_total").Add(m.num_neo_groups);
+    reg.counter("disc_msbfs_expansions_total").Add(m.msbfs_expansions);
+    reg.counter("disc_collect_searches_total").Add(m.collect_searches);
+    reg.counter("disc_cluster_searches_total").Add(m.cluster_searches);
+    reg.counter("disc_survivor_reconciliations_total")
+        .Add(m.survivor_reconciliations);
+  }
+  if (options_.jsonl != nullptr) {
+    WriteSlideJsonl(*options_.jsonl, report, options_.disc_metrics,
+                    options_.jsonl_timings);
+  }
+  return true;
+}
+
+StreamingPipeline::Observer MetricsObserver::AsObserver() {
+  return [this](const SlideReport& report) { return (*this)(report); };
+}
+
+}  // namespace obs
+}  // namespace disc

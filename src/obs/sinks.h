@@ -1,0 +1,80 @@
+#ifndef DISC_OBS_SINKS_H_
+#define DISC_OBS_SINKS_H_
+
+// Export sinks for the observability layer (docs/OBSERVABILITY.md):
+//
+//  * WriteSlideJsonl   — one self-contained JSON object per slide, for
+//                        offline analysis and run-to-run diffing.
+//  * MetricsObserver   — StreamingPipeline::Observer adapter that folds
+//                        every SlideReport into a MetricsRegistry (and
+//                        optionally the JSONL stream), so pipelines gain
+//                        full telemetry with one extra line of wiring.
+//
+// The registry itself exports via MetricsRegistry::WritePrometheus /
+// WriteJson; trace files via TraceRecorder::WriteChromeJson.
+//
+// This header depends on core/ and stream/ types by value only (plain
+// structs); the obs library links against neither.
+
+#include <iosfwd>
+
+#include "core/metrics.h"
+#include "core/pipeline.h"
+#include "obs/metrics_registry.h"
+
+namespace disc {
+namespace obs {
+
+// Writes one JSON object (one line, fixed key order) describing a completed
+// slide. `disc_metrics` adds DISC's drill-down counters when non-null.
+// `include_timings=false` drops every wall-clock field (and threads_used),
+// leaving only workload-deterministic content: the resulting byte stream is
+// identical for any thread count and across runs — the determinism guard
+// obs_test enforces.
+void WriteSlideJsonl(std::ostream& os, const SlideReport& report,
+                     const DiscMetrics* disc_metrics = nullptr,
+                     bool include_timings = true);
+
+// Folds SlideReports into a MetricsRegistry:
+//
+//   counters   disc_slides_total, disc_points_{entered,exited,relabeled}_
+//              total, disc_probe_* (from SlideReport::probes), and — when
+//              Options::disc_metrics is set — disc_{ex,neo}_cores_total,
+//              disc_{ex,neo}_groups_total, disc_msbfs_expansions_total,
+//              disc_{collect,cluster}_searches_total,
+//              disc_survivor_reconciliations_total.
+//   gauges     disc_window_size, disc_threads_used.
+//   histograms disc_update_ms plus disc_{collect,ex_phase,neo_phase,
+//              recheck}_ms (slide-latency distributions, p50/p95/p99).
+//
+// Point Options::disc_metrics at Disc::last_metrics() (the reference is
+// stable for the clusterer's lifetime) to get the drill-down counters;
+// leave it null for baselines. Options::jsonl additionally streams each
+// report through WriteSlideJsonl.
+class MetricsObserver {
+ public:
+  struct Options {
+    const DiscMetrics* disc_metrics = nullptr;
+    std::ostream* jsonl = nullptr;
+    bool jsonl_timings = true;
+  };
+
+  explicit MetricsObserver(MetricsRegistry* registry);  // Default options.
+  MetricsObserver(MetricsRegistry* registry, const Options& options);
+
+  // Observer signature; returns true (never stops the pipeline).
+  bool operator()(const SlideReport& report);
+
+  // Wraps `this` for StreamingPipeline::Run; the observer must outlive the
+  // returned function.
+  StreamingPipeline::Observer AsObserver();
+
+ private:
+  MetricsRegistry* registry_;
+  Options options_;
+};
+
+}  // namespace obs
+}  // namespace disc
+
+#endif  // DISC_OBS_SINKS_H_

@@ -1,0 +1,160 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+#include <set>
+
+namespace disc {
+namespace obs {
+
+namespace {
+
+thread_local std::uint32_t t_trace_tid = 0;
+
+// Minimal JSON string escaping. Span names are project-controlled string
+// literals, but the writer stays robust anyway so a stray quote cannot
+// produce an unloadable trace.
+void WriteJsonString(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void WriteEvent(std::ostream& os, const TraceEvent& e) {
+  os << "{\"name\":";
+  WriteJsonString(os, e.name);
+  os << ",\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << e.tid
+     << ",\"ts\":" << e.ts_us;
+  if (e.num_args > 0) {
+    os << ",\"args\":{";
+    for (std::uint8_t i = 0; i < e.num_args; ++i) {
+      if (i > 0) os << ',';
+      WriteJsonString(os, e.args[i].key);
+      os << ':' << e.args[i].value;
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::uint32_t ThreadTraceTid() { return t_trace_tid; }
+
+void SetThreadTraceTid(std::uint32_t tid) { t_trace_tid = tid; }
+
+std::atomic<TraceRecorder*> TraceRecorder::active_recorder_{nullptr};
+
+TraceRecorder::TraceRecorder() : TraceRecorder(Options{}) {}
+
+TraceRecorder::TraceRecorder(const Options& options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() {
+  if (active() == this) Uninstall();
+}
+
+void TraceRecorder::Install() {
+  active_recorder_.store(this, std::memory_order_release);
+}
+
+void TraceRecorder::Uninstall() {
+  active_recorder_.store(nullptr, std::memory_order_release);
+}
+
+std::int64_t TraceRecorder::Now() {
+  if (options_.logical_time) {
+    return logical_clock_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceRecorder::Append(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(event);
+}
+
+std::size_t TraceRecorder::event_count() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+void TraceRecorder::WriteChromeJson(std::ostream& os) {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events = events_;
+  }
+  // Deterministic serialization order: by (tid, ts, capture order). Per
+  // thread, capture order already has non-decreasing timestamps, so the
+  // stable sort only interleaves threads — B/E nesting within a tid is
+  // preserved.
+  std::vector<std::size_t> order(events.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (events[a].tid != events[b].tid) {
+                       return events[a].tid < events[b].tid;
+                     }
+                     return events[a].ts_us < events[b].ts_us;
+                   });
+
+  std::set<std::uint32_t> tids;
+  for (const TraceEvent& e : events) tids.insert(e.tid);
+
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  // Thread-name metadata first: tid 0 is the external thread driving
+  // Update, tid N>0 is thread-pool lane N-1.
+  for (std::uint32_t tid : tids) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"";
+    if (tid == 0) {
+      os << "main";
+    } else {
+      os << "lane-" << (tid - 1);
+    }
+    os << "\"}}";
+  }
+  for (std::size_t idx : order) {
+    if (!first) os << ",\n";
+    first = false;
+    WriteEvent(os, events[idx]);
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace obs
+}  // namespace disc

@@ -1,0 +1,205 @@
+#ifndef DISC_OBS_TRACE_H_
+#define DISC_OBS_TRACE_H_
+
+// RAII trace spans emitting the Chrome trace-event JSON format, openable in
+// chrome://tracing or https://ui.perfetto.dev (docs/OBSERVABILITY.md).
+//
+// Usage: construct a TraceRecorder, Install() it, run the workload, then
+// WriteChromeJson(). Instrumented code creates scoped spans:
+//
+//   {
+//     obs::TraceSpan span("disc.collect");
+//     ... work ...
+//     span.AddArg("probes", n);   // annotations ride on the span's E event
+//   }
+//
+// Cost model:
+//  * No recorder installed (the default): a span is one relaxed atomic load
+//    and a branch — no allocation, no lock, no clock read.
+//  * DISC_TRACING_ENABLED=0 (CMake -DDISC_TRACING=OFF): TraceSpan is an
+//    empty type with inline no-op members; the optimizer deletes every span
+//    from the instruction stream.
+//  * Recorder installed: two buffered event appends per captured span.
+//
+// Determinism: trace thread-ids are stable lane numbers (0 = the external
+// thread, lane+1 for ThreadPool workers), not OS tids, and events are
+// serialized sorted by (tid, ts, capture order), so traces from identical
+// runs diff cleanly. With Options::logical_time the timestamps themselves
+// become reproducible counter values (used by tests and golden traces).
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+#ifndef DISC_TRACING_ENABLED
+#define DISC_TRACING_ENABLED 1
+#endif
+
+namespace disc {
+namespace obs {
+
+// Verbosity of a span. kPhase spans mark algorithm phases and thread-pool
+// batches (a handful per slide); kDetail spans mark individual index probes
+// and reachability closures (possibly thousands per slide). A recorder
+// captures a span only when its level is at or below the recorder's.
+enum class TraceLevel : std::uint8_t { kPhase = 0, kDetail = 1 };
+
+// One key/value annotation attached to a span. Keys must be string literals
+// (or otherwise outlive the recorder): the recorder stores the pointer.
+struct TraceArg {
+  const char* key = nullptr;
+  std::uint64_t value = 0;
+};
+
+// One buffered begin/end event. `name` must outlive the recorder (string
+// literal in practice).
+struct TraceEvent {
+  const char* name = nullptr;
+  std::int64_t ts_us = 0;
+  std::uint32_t tid = 0;
+  char phase = 'B';  // 'B' or 'E'.
+  std::uint8_t num_args = 0;
+  std::array<TraceArg, 4> args{};
+};
+
+// Stable trace thread-id of the calling thread. Defaults to 0 (the
+// main/external thread); ThreadPool workers carry lane+1, assigned once at
+// spawn, so per-lane activity in a trace is attributable independent of OS
+// thread ids (and stable across runs).
+std::uint32_t ThreadTraceTid();
+void SetThreadTraceTid(std::uint32_t tid);
+
+// Collects events from every thread into one buffer and serializes them as
+// Chrome trace-event JSON. At most one recorder is installed process-wide
+// at a time; spans created while none is installed are no-ops.
+class TraceRecorder {
+ public:
+  struct Options {
+    TraceLevel level = TraceLevel::kPhase;
+    // Timestamps from a global logical counter (one tick per clock read)
+    // instead of the wall clock: the emitted bytes of a deterministic
+    // single-threaded workload become identical across runs. Durations stop
+    // meaning time; nesting and ordering are preserved.
+    bool logical_time = false;
+  };
+
+  TraceRecorder();  // Default options.
+  explicit TraceRecorder(const Options& options);
+  ~TraceRecorder();  // Uninstalls itself if still installed.
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Makes this recorder the process-wide span sink / removes it. Install
+  // while another recorder is installed replaces it (the replaced recorder
+  // keeps its buffer). Not safe to call concurrently with span creation on
+  // other threads; install before the workload starts.
+  void Install();
+  void Uninstall();
+
+  // The currently installed recorder, or nullptr. Lock-free.
+  static TraceRecorder* active() {
+    return active_recorder_.load(std::memory_order_acquire);
+  }
+
+  TraceLevel level() const { return options_.level; }
+
+  // Current timestamp in microseconds since construction (or the next
+  // logical tick). Used by TraceSpan.
+  std::int64_t Now();
+
+  // Appends one event to the buffer (thread-safe).
+  void Append(const TraceEvent& event);
+
+  std::size_t event_count();
+  void Clear();
+
+  // Serializes the buffer: a {"traceEvents":[...]} object, one event per
+  // line, thread-name metadata first, span events sorted by (tid, ts,
+  // capture order). Does not clear the buffer.
+  void WriteChromeJson(std::ostream& os);
+
+ private:
+  static std::atomic<TraceRecorder*> active_recorder_;
+
+  Options options_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::int64_t> logical_clock_{0};
+
+  std::mutex mutex_;
+  std::vector<TraceEvent> events_;  // Guarded by mutex_.
+};
+
+#if DISC_TRACING_ENABLED
+
+// Scoped span: records a 'B' event at construction and an 'E' event (with
+// any AddArg annotations) at destruction — when a recorder is installed and
+// accepts the span's level; otherwise every member is a no-op and nothing
+// is allocated.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, TraceLevel level = TraceLevel::kPhase)
+      : rec_(TraceRecorder::active()) {
+    if (rec_ == nullptr) return;
+    if (level > rec_->level()) {
+      rec_ = nullptr;
+      return;
+    }
+    begin_.name = name;
+    begin_.tid = ThreadTraceTid();
+    begin_.phase = 'B';
+    begin_.ts_us = rec_->Now();
+    rec_->Append(begin_);
+  }
+
+  ~TraceSpan() {
+    if (rec_ == nullptr) return;
+    TraceEvent end = begin_;
+    end.phase = 'E';
+    end.ts_us = rec_->Now();
+    end.num_args = num_args_;
+    end.args = args_;
+    rec_->Append(end);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Attaches a key/value annotation to the span's closing event (silently
+  // dropped beyond 4 args or when the span is inactive).
+  void AddArg(const char* key, std::uint64_t value) {
+    if (rec_ == nullptr || num_args_ >= args_.size()) return;
+    args_[num_args_] = TraceArg{key, value};
+    ++num_args_;
+  }
+
+  bool active() const { return rec_ != nullptr; }
+
+ private:
+  TraceRecorder* rec_;
+  TraceEvent begin_{};
+  std::uint8_t num_args_ = 0;
+  std::array<TraceArg, 4> args_{};
+};
+
+#else  // !DISC_TRACING_ENABLED
+
+// Tracing compiled out: an empty type whose members inline to nothing.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*, TraceLevel = TraceLevel::kPhase) {}
+  void AddArg(const char*, std::uint64_t) {}
+  bool active() const { return false; }
+};
+
+#endif  // DISC_TRACING_ENABLED
+
+}  // namespace obs
+}  // namespace disc
+
+#endif  // DISC_OBS_TRACE_H_

@@ -81,6 +81,20 @@ struct PhaseTimings {
   std::uint64_t threads_used = 1;
 };
 
+// Index-probe counters of the most recent Update — the "common currency"
+// the paper's Figs. 7–8 use to explain speedups (range-search volume) plus
+// the drill-down the epoch-probing ablation needs (docs/OBSERVABILITY.md).
+// All-zero for methods whose index work is not instrumented; counters are
+// workload-deterministic (identical for every thread count).
+struct ProbeCounters {
+  std::uint64_t range_searches = 0;      // Index probes issued.
+  std::uint64_t nodes_visited = 0;       // Tree nodes expanded.
+  std::uint64_t entries_checked = 0;     // Node entries examined.
+  std::uint64_t leaf_entries_tested = 0; // Leaf entries distance-tested.
+  std::uint64_t epoch_pruned = 0;        // Entries skipped by the epoch
+                                         // check (Alg. 4 subtree pruning).
+};
+
 // Interface every windowed clustering method in this repository implements —
 // DISC itself and all baselines. The stream engine calls Update once per
 // window slide with the batch of points entering and exiting the window.
@@ -105,6 +119,10 @@ class StreamClusterer {
   // surfaces (SlideReport). Defaults to all-zero for methods that do not
   // instrument their phases.
   virtual PhaseTimings LastPhaseTimings() const { return PhaseTimings{}; }
+
+  // Index-probe counters of the most recent Update (SlideReport::probes).
+  // Defaults to all-zero for methods without an instrumented index.
+  virtual ProbeCounters LastProbeCounters() const { return ProbeCounters{}; }
 
   // Returns the labeling of every point currently in the window.
   virtual ClusteringSnapshot Snapshot() const = 0;

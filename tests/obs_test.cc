@@ -1,0 +1,558 @@
+// Tests for the observability layer (src/obs/): histogram quantiles against
+// a brute-force oracle, Chrome-trace JSON schema and determinism, disabled-
+// mode no-op behavior, JSONL/Prometheus export determinism across thread
+// counts, the probe drill-down counters, and the baselines' phase timings.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/extra_n.h"
+#include "baselines/graph_disc.h"
+#include "baselines/inc_dbscan.h"
+#include "core/disc.h"
+#include "core/pipeline.h"
+#include "gtest/gtest.h"
+#include "index/rtree.h"
+#include "obs/metrics_registry.h"
+#include "obs/sinks.h"
+#include "obs/trace.h"
+#include "stream/blobs_generator.h"
+#include "stream/stream_source.h"
+
+namespace disc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, EmptyHistogramReadsZero) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, CountSumMinMaxAreExact) {
+  obs::Histogram h;
+  const double samples[] = {0.5, 3.0, 0.125, 42.0, 7.5};
+  double sum = 0.0;
+  for (double s : samples) {
+    h.Observe(s);
+    sum += s;
+  }
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), sum);
+  EXPECT_DOUBLE_EQ(h.min(), 0.125);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+}
+
+TEST(HistogramTest, QuantileMatchesSortedOracleWithinOneBucket) {
+  // Log-normal latencies spanning several decades — the shape the histogram
+  // is built for. The bucketed quantile must bracket the exact sample
+  // quantile from above by at most one bucket's relative width.
+  std::mt19937_64 rng(7);
+  std::lognormal_distribution<double> dist(0.0, 2.0);
+  obs::Histogram h;
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = dist(rng);
+    samples.push_back(v);
+    h.Observe(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const double growth = obs::Histogram::GrowthFactor();
+  for (double q : {0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    const double oracle = samples[rank == 0 ? 0 : rank - 1];
+    const double answer = h.Quantile(q);
+    EXPECT_GE(answer, oracle * (1.0 - 1e-9)) << "q=" << q;
+    EXPECT_LE(answer, oracle * growth * (1.0 + 1e-9)) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, UnderflowAndOverflowBucketsBehave) {
+  obs::Histogram h;
+  h.Observe(0.0);                 // Underflow (<= kMinValue).
+  h.Observe(-3.0);                // Negative: also underflow, not UB.
+  h.Observe(1e12);                // Beyond the covered range: overflow.
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.1), obs::Histogram::kMinValue);
+  // The overflow bucket reports the exact max rather than a bogus bound.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1e12);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, LookupCreatesOnceAndReturnsStableRefs) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("disc_slides_total");
+  c.Add(3);
+  EXPECT_EQ(reg.counter("disc_slides_total").value(), 3u);
+  EXPECT_EQ(&reg.counter("disc_slides_total"), &c);
+  reg.gauge("disc_window_size").Set(128.0);
+  reg.histogram("disc_update_ms").Observe(1.5);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistryTest, PrometheusExportIsNameSortedAndTyped) {
+  obs::MetricsRegistry reg;
+  reg.counter("zzz_total").Add(2);
+  reg.counter("aaa_total").Add(1);
+  reg.gauge("mid_gauge").Set(0.5);
+  std::ostringstream os;
+  reg.WritePrometheus(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# TYPE aaa_total counter\naaa_total 1\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE zzz_total counter\nzzz_total 2\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE mid_gauge gauge\nmid_gauge 0.5\n"),
+            std::string::npos);
+  EXPECT_LT(out.find("aaa_total"), out.find("zzz_total"));
+}
+
+TEST(MetricsRegistryTest, PrometheusHistogramSummaryHasQuantiles) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("disc_update_ms");
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i));
+  std::ostringstream os;
+  reg.WritePrometheus(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# TYPE disc_update_ms summary"), std::string::npos);
+  EXPECT_NE(out.find("disc_update_ms{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(out.find("disc_update_ms{quantile=\"0.95\"}"), std::string::npos);
+  EXPECT_NE(out.find("disc_update_ms{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(out.find("disc_update_ms_count 100"), std::string::npos);
+  // include_histograms=false drops the summary but keeps nothing else here.
+  std::ostringstream flat;
+  reg.WritePrometheus(flat, /*include_histograms=*/false);
+  EXPECT_EQ(flat.str().find("disc_update_ms"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonExportIsWellFormedEnough) {
+  obs::MetricsRegistry reg;
+  reg.counter("a_total").Add(1);
+  reg.gauge("g").Set(2.0);
+  reg.histogram("h_ms").Observe(3.0);
+  std::ostringstream os;
+  reg.WriteJson(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_NE(out.find("\"counters\":{\"a_total\":1}"), std::string::npos);
+  EXPECT_NE(out.find("\"gauges\":{\"g\":2}"), std::string::npos);
+  EXPECT_NE(out.find("\"h_ms\":{\"count\":1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace schema helpers
+// ---------------------------------------------------------------------------
+
+// Extracts the integer following `key` in a single-event JSON line, or -1.
+std::int64_t ExtractInt(const std::string& line, const std::string& key) {
+  const std::size_t pos = line.find(key);
+  if (pos == std::string::npos) return -1;
+  return std::strtoll(line.c_str() + pos + key.size(), nullptr, 10);
+}
+
+char ExtractPhase(const std::string& line) {
+  const std::size_t pos = line.find("\"ph\":\"");
+  if (pos == std::string::npos) return '?';
+  return line[pos + 6];
+}
+
+std::string ExtractName(const std::string& line) {
+  const std::size_t pos = line.find("\"name\":\"");
+  if (pos == std::string::npos) return "";
+  const std::size_t start = pos + 8;
+  return line.substr(start, line.find('"', start) - start);
+}
+
+struct TraceCheck {
+  std::vector<std::string> names;
+  std::size_t span_events = 0;
+  std::size_t meta_events = 0;
+};
+
+// Structural validation of a serialized trace: matched B/E per tid with
+// LIFO nesting, non-decreasing timestamps per tid, metadata first.
+TraceCheck ValidateTrace(const std::string& json) {
+  TraceCheck result;
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[\n", 0), 0u);
+  std::map<std::int64_t, std::vector<std::string>> open;  // tid -> B names.
+  std::map<std::int64_t, std::int64_t> last_ts;
+  std::istringstream lines(json);
+  std::string line;
+  std::getline(lines, line);  // Header.
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] != '{') continue;
+    const char ph = ExtractPhase(line);
+    const std::int64_t tid = ExtractInt(line, "\"tid\":");
+    EXPECT_GE(tid, 0) << line;
+    if (ph == 'M') {
+      ++result.meta_events;
+      EXPECT_EQ(result.span_events, 0u) << "metadata must precede spans";
+      continue;
+    }
+    EXPECT_TRUE(ph == 'B' || ph == 'E') << line;
+    if (ph != 'B' && ph != 'E') continue;
+    ++result.span_events;
+    const std::int64_t ts = ExtractInt(line, "\"ts\":");
+    EXPECT_GE(ts, 0) << line;
+    auto [it, fresh] = last_ts.emplace(tid, ts);
+    if (!fresh) {
+      EXPECT_LE(it->second, ts) << "timestamps regressed on tid " << tid;
+      it->second = ts;
+    }
+    const std::string name = ExtractName(line);
+    if (ph == 'B') {
+      open[tid].push_back(name);
+      result.names.push_back(name);
+    } else {
+      EXPECT_FALSE(open[tid].empty()) << "E without B: " << line;
+      if (open[tid].empty()) continue;
+      EXPECT_EQ(open[tid].back(), name) << "mis-nested span on tid " << tid;
+      open[tid].pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : open) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+  return result;
+}
+
+bool Contains(const std::vector<std::string>& names, const std::string& want) {
+  return std::find(names.begin(), names.end(), want) != names.end();
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+DiscConfig BlobConfig(std::uint32_t threads = 1) {
+  DiscConfig config;
+  config.eps = 0.4;
+  config.tau = 4;
+  config.num_threads = threads;
+  return config;
+}
+
+BlobsGenerator::Options DriftingBlobs() {
+  BlobsGenerator::Options opt;
+  opt.num_blobs = 4;
+  opt.stddev = 0.25;
+  opt.drift = 0.05;
+  opt.seed = 11;
+  return opt;
+}
+
+TEST(TraceTest, PhaseSpansCoverTheFourDiscPhases) {
+#if !DISC_TRACING_ENABLED
+  GTEST_SKIP() << "spans compiled out (DISC_TRACING=OFF)";
+#endif
+  obs::TraceRecorder::Options opt;
+  opt.level = obs::TraceLevel::kPhase;
+  obs::TraceRecorder recorder(opt);
+  recorder.Install();
+
+  BlobsGenerator source(DriftingBlobs());
+  Disc clusterer(2, BlobConfig());
+  StreamingPipeline pipeline(&source, &clusterer, 400, 100);
+  pipeline.Run(8);
+  recorder.Uninstall();
+
+  std::ostringstream os;
+  recorder.WriteChromeJson(os);
+  const TraceCheck check = ValidateTrace(os.str());
+  EXPECT_GT(check.span_events, 0u);
+  EXPECT_GE(check.meta_events, 1u);
+  for (const char* phase : {"pipeline.slide", "disc.update", "disc.collect",
+                            "disc.ex_phase", "disc.neo_phase", "disc.recheck"}) {
+    EXPECT_TRUE(Contains(check.names, phase)) << "missing span " << phase;
+  }
+  // kPhase level must not capture per-probe detail spans.
+  EXPECT_FALSE(Contains(check.names, "rtree.range_search"));
+  EXPECT_FALSE(Contains(check.names, "disc.msbfs"));
+}
+
+TEST(TraceTest, DetailLevelCapturesProbesAndLanes) {
+#if !DISC_TRACING_ENABLED
+  GTEST_SKIP() << "spans compiled out (DISC_TRACING=OFF)";
+#endif
+  obs::TraceRecorder::Options opt;
+  opt.level = obs::TraceLevel::kDetail;
+  obs::TraceRecorder recorder(opt);
+  recorder.Install();
+
+  BlobsGenerator source(DriftingBlobs());
+  Disc clusterer(2, BlobConfig(/*threads=*/4));
+  StreamingPipeline pipeline(&source, &clusterer, 400, 100);
+  pipeline.Run(8);
+  recorder.Uninstall();
+
+  std::ostringstream os;
+  recorder.WriteChromeJson(os);
+  const std::string json = os.str();
+  const TraceCheck check = ValidateTrace(json);
+  EXPECT_TRUE(Contains(check.names, "rtree.range_search"));
+  EXPECT_TRUE(Contains(check.names, "pool.drain"));
+  // 3 worker lanes (tids 1..3) plus main: worker spans must appear under
+  // worker tids, and the serializer must name the lanes.
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("lane-0"), std::string::npos);
+}
+
+TEST(TraceTest, LogicalTimeTracesAreByteIdenticalAcrossRuns) {
+  // Single-threaded workload + logical clock: two identical runs serialize
+  // to identical bytes — the reproducibility contract golden traces rely on.
+  auto run_once = [] {
+    obs::TraceRecorder::Options opt;
+    opt.level = obs::TraceLevel::kDetail;
+    opt.logical_time = true;
+    obs::TraceRecorder recorder(opt);
+    recorder.Install();
+    BlobsGenerator source(DriftingBlobs());
+    Disc clusterer(2, BlobConfig());
+    StreamingPipeline pipeline(&source, &clusterer, 300, 100);
+    pipeline.Run(6);
+    recorder.Uninstall();
+    std::ostringstream os;
+    recorder.WriteChromeJson(os);
+    return os.str();
+  };
+  const std::string a = run_once();
+  const std::string b = run_once();
+  EXPECT_GT(a.size(), 0u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TraceTest, NoRecorderMeansInactiveSpansAndNoEvents) {
+  ASSERT_EQ(obs::TraceRecorder::active(), nullptr);
+  obs::TraceSpan span("orphan");
+  span.AddArg("k", 1);  // Must be safe with no recorder.
+  EXPECT_FALSE(span.active());
+
+  // A workload run without a recorder must leave a later recorder empty.
+  obs::TraceRecorder recorder;
+  {
+    BlobsGenerator source(DriftingBlobs());
+    Disc clusterer(2, BlobConfig());
+    StreamingPipeline pipeline(&source, &clusterer, 200, 100);
+    pipeline.Run(3);
+  }
+  EXPECT_EQ(recorder.event_count(), 0u);
+}
+
+TEST(TraceTest, LevelFilterSkipsDetailSpansEntirely) {
+#if !DISC_TRACING_ENABLED
+  GTEST_SKIP() << "spans compiled out (DISC_TRACING=OFF)";
+#endif
+  obs::TraceRecorder::Options opt;
+  opt.level = obs::TraceLevel::kPhase;
+  obs::TraceRecorder recorder(opt);
+  recorder.Install();
+  {
+    obs::TraceSpan detail("rtree.range_search", obs::TraceLevel::kDetail);
+    EXPECT_FALSE(detail.active());
+    obs::TraceSpan phase("disc.update");
+    EXPECT_TRUE(phase.active());
+  }
+  recorder.Uninstall();
+  EXPECT_EQ(recorder.event_count(), 2u);  // B+E of the phase span only.
+}
+
+// ---------------------------------------------------------------------------
+// Export determinism across thread counts
+// ---------------------------------------------------------------------------
+
+struct ExportBundle {
+  std::string jsonl;
+  std::string prometheus;
+};
+
+ExportBundle RunAndExport(std::uint32_t threads) {
+  BlobsGenerator source(DriftingBlobs());
+  Disc clusterer(2, BlobConfig(threads));
+  StreamingPipeline pipeline(&source, &clusterer, 500, 125);
+
+  obs::MetricsRegistry registry;
+  std::ostringstream jsonl;
+  obs::MetricsObserver::Options opt;
+  opt.disc_metrics = &clusterer.last_metrics();
+  opt.jsonl = &jsonl;
+  opt.jsonl_timings = false;  // Deterministic subset only.
+  obs::MetricsObserver observer(&registry, opt);
+  pipeline.Run(10, observer.AsObserver());
+
+  ExportBundle bundle;
+  bundle.jsonl = jsonl.str();
+  std::ostringstream prom;
+  registry.WritePrometheus(prom, /*include_histograms=*/false);
+  bundle.prometheus = prom.str();
+  return bundle;
+}
+
+TEST(ExportDeterminismTest, JsonlAndCountersIdenticalForOneAndFourThreads) {
+  const ExportBundle one = RunAndExport(1);
+  const ExportBundle four = RunAndExport(4);
+  EXPECT_GT(one.jsonl.size(), 0u);
+  EXPECT_EQ(one.jsonl, four.jsonl);
+  // The gauge disc_threads_used differs by construction; the counter-only
+  // export must not leak thread count anywhere else. Neutralize that one
+  // expected difference before comparing.
+  auto drop_threads_gauge = [](const std::string& s) {
+    std::string out;
+    std::istringstream lines(s);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.find("disc_threads_used") != std::string::npos) continue;
+      out += line;
+      out += '\n';
+    }
+    return out;
+  };
+  EXPECT_EQ(drop_threads_gauge(one.prometheus),
+            drop_threads_gauge(four.prometheus));
+  EXPECT_NE(one.jsonl.find("\"counters\":{\"range_searches\":"),
+            std::string::npos);
+  EXPECT_NE(one.jsonl.find("\"disc\":{\"ex_cores\":"), std::string::npos);
+  // jsonl_timings=false must exclude every wall-clock field.
+  EXPECT_EQ(one.jsonl.find("timings_ms"), std::string::npos);
+}
+
+TEST(ExportDeterminismTest, SlideJsonlFixedFormat) {
+  SlideReport report;
+  report.slide_index = 7;
+  report.window_size = 500;
+  report.entered = 125;
+  report.exited = 125;
+  report.relabeled = 3;
+  report.probes.range_searches = 10;
+  report.probes.nodes_visited = 40;
+  report.probes.entries_checked = 200;
+  report.probes.leaf_entries_tested = 150;
+  report.probes.epoch_pruned = 5;
+  std::ostringstream os;
+  obs::WriteSlideJsonl(os, report, nullptr, /*include_timings=*/false);
+  EXPECT_EQ(os.str(),
+            "{\"slide\":7,\"window\":500,\"entered\":125,\"exited\":125,"
+            "\"relabeled\":3,\"counters\":{\"range_searches\":10,"
+            "\"nodes_visited\":40,\"entries_checked\":200,"
+            "\"leaf_entries_tested\":150,\"epoch_pruned\":5}}\n");
+}
+
+// ---------------------------------------------------------------------------
+// Probe drill-down counters
+// ---------------------------------------------------------------------------
+
+TEST(ProbeCountersTest, EpochSearchPrunesMarkedEntries) {
+  // Two epoch-probed searches over the same neighborhood under one tick:
+  // the second must skip everything the first marked.
+  RTree tree(2);
+  for (int i = 0; i < 64; ++i) {
+    Point p;
+    p.id = static_cast<PointId>(i);
+    p.dims = 2;
+    p.x[0] = static_cast<double>(i % 8);
+    p.x[1] = static_cast<double>(i / 8);
+    tree.Insert(p);
+  }
+  Point center;
+  center.dims = 2;
+  center.x[0] = 3.5;
+  center.x[1] = 3.5;
+  const std::uint64_t tick = tree.NewTick();
+  auto mark_all = [](PointId, const Point&) { return true; };
+  tree.EpochRangeSearch(center, 3.0, tick, mark_all);
+  const std::uint64_t pruned_after_first = tree.stats().epoch_pruned;
+  const std::uint64_t tested_after_first = tree.stats().leaf_entries_tested;
+  EXPECT_GT(tested_after_first, 0u);
+  tree.EpochRangeSearch(center, 3.0, tick, mark_all);
+  EXPECT_GT(tree.stats().epoch_pruned, pruned_after_first);
+}
+
+TEST(ProbeCountersTest, DiscReportsDrillDownThroughSlideReport) {
+  BlobsGenerator source(DriftingBlobs());
+  DiscConfig config = BlobConfig();
+  config.use_epoch_probing = true;
+  Disc clusterer(2, config);
+  StreamingPipeline pipeline(&source, &clusterer, 400, 100);
+  ProbeCounters total;
+  pipeline.Run(10, [&](const SlideReport& r) {
+    total.range_searches += r.probes.range_searches;
+    total.nodes_visited += r.probes.nodes_visited;
+    total.entries_checked += r.probes.entries_checked;
+    total.leaf_entries_tested += r.probes.leaf_entries_tested;
+    total.epoch_pruned += r.probes.epoch_pruned;
+    return true;
+  });
+  EXPECT_GT(total.range_searches, 0u);
+  EXPECT_GE(total.nodes_visited, total.range_searches);
+  EXPECT_GT(total.leaf_entries_tested, 0u);
+  EXPECT_GE(total.entries_checked, total.leaf_entries_tested);
+  // The drill-down must agree with the clusterer's own metrics for the
+  // last slide.
+  const DiscMetrics& m = clusterer.last_metrics();
+  const ProbeCounters last = clusterer.LastProbeCounters();
+  EXPECT_EQ(last.range_searches, m.range_searches);
+  EXPECT_EQ(last.nodes_visited, m.nodes_visited);
+  EXPECT_EQ(last.epoch_pruned, m.epoch_pruned);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline phase timings and probe counters (previously all-zero)
+// ---------------------------------------------------------------------------
+
+template <typename MakeClusterer>
+void ExpectBaselineInstrumented(MakeClusterer make, bool expect_searches) {
+  BlobsGenerator source(DriftingBlobs());
+  auto clusterer = make();
+  StreamingPipeline pipeline(&source, clusterer.get(), 300, 100);
+  double timing_total = 0.0;
+  std::uint64_t searches_total = 0;
+  pipeline.Run(6, [&](const SlideReport& r) {
+    timing_total += r.phases.collect_ms + r.phases.ex_phase_ms +
+                    r.phases.neo_phase_ms + r.phases.recheck_ms;
+    searches_total += r.probes.range_searches;
+    return true;
+  });
+  EXPECT_GT(timing_total, 0.0) << clusterer->name();
+  if (expect_searches) {
+    EXPECT_GT(searches_total, 0u) << clusterer->name();
+  }
+}
+
+TEST(BaselineObservabilityTest, IncDbscanFillsTimingsAndProbes) {
+  ExpectBaselineInstrumented(
+      [] { return std::make_unique<IncDbscan>(2, BlobConfig()); }, true);
+}
+
+TEST(BaselineObservabilityTest, GraphDiscFillsTimingsAndProbes) {
+  ExpectBaselineInstrumented(
+      [] { return std::make_unique<GraphDisc>(2, BlobConfig()); }, true);
+}
+
+TEST(BaselineObservabilityTest, ExtraNFillsTimingsAndProbes) {
+  ExpectBaselineInstrumented(
+      [] {
+        return std::make_unique<ExtraN>(2, /*eps=*/0.4, /*tau=*/4,
+                                        /*window_size=*/300, /*stride=*/100);
+      },
+      true);
+}
+
+}  // namespace
+}  // namespace disc

@@ -21,4 +21,8 @@ struct Clusterer {
     std::vector<int> hits;
     for (int center : incoming) hits.push_back(center);  // No epoch probes.
   }
+
+  void DrainBatch(std::size_t lane) {
+    (void)lane;  // Lanes run plain (non-epoch) probes only.
+  }
 };

@@ -26,6 +26,12 @@ struct Clusterer {
     }
   }
 
+  void DrainBatch(std::size_t lane) {
+    // VIOLATION: a pool lane must never touch epoch state — every worker
+    // thread executes this body concurrently.
+    tree_.EpochRangeSearch(static_cast<int>(lane), 1.0, tree_.NewTick());
+  }
+
   template <typename Fn>
   static void ParallelFor(void* pool, std::size_t n, const Fn& fn);
 };

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""trace_check: structural validator for DISC observability artifacts.
+
+Checks a Chrome trace-event JSON file (produced by
+obs::TraceRecorder::WriteChromeJson) and optionally a per-slide JSONL
+metrics file (produced by obs::WriteSlideJsonl). Used by the scripts/ci.sh
+observability smoke stage and usable standalone:
+
+  tools/trace_check.py --trace /tmp/trace.json \
+      --require-span disc.collect --require-span disc.ex_phase \
+      --jsonl /tmp/metrics.jsonl --min-slides 3
+
+Trace checks:
+  * file parses as JSON with a traceEvents array
+  * every event has ph in {B, E, M}, integer pid/tid, and (for B/E)
+    integer ts and a non-empty name
+  * per tid: timestamps are non-decreasing and B/E events nest LIFO with
+    matching names (a well-formed flame graph)
+  * every --require-span name occurs at least once
+
+JSONL checks:
+  * every line parses as one JSON object
+  * required keys: slide, window, entered, exited, relabeled, counters
+  * counters carries the probe drill-down keys
+  * slide indices are strictly increasing
+  * at least --min-slides lines
+
+Exit status: 0 all checks pass, 1 a check failed, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_COUNTER_KEYS = (
+    "range_searches",
+    "nodes_visited",
+    "entries_checked",
+    "leaf_entries_tested",
+    "epoch_pruned",
+)
+
+
+def fail(message):
+    print(f"trace_check: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def check_trace(path, required_spans):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{path}: not loadable JSON: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(f"{path}: missing traceEvents array")
+
+    open_stacks = {}  # tid -> [names]
+    last_ts = {}      # tid -> ts
+    seen_names = set()
+    spans = 0
+    for i, e in enumerate(events):
+        where = f"{path}: event {i}"
+        if not isinstance(e, dict):
+            return fail(f"{where}: not an object")
+        ph = e.get("ph")
+        if ph not in ("B", "E", "M"):
+            return fail(f"{where}: bad ph {ph!r}")
+        if not isinstance(e.get("pid"), int) or not isinstance(
+                e.get("tid"), int):
+            return fail(f"{where}: pid/tid must be integers")
+        if ph == "M":
+            continue
+        name = e.get("name")
+        ts = e.get("ts")
+        if not isinstance(name, str) or not name:
+            return fail(f"{where}: B/E event without a name")
+        if not isinstance(ts, int):
+            return fail(f"{where}: B/E event without integer ts")
+        tid = e["tid"]
+        if tid in last_ts and ts < last_ts[tid]:
+            return fail(f"{where}: ts regressed on tid {tid} "
+                        f"({last_ts[tid]} -> {ts})")
+        last_ts[tid] = ts
+        spans += 1
+        stack = open_stacks.setdefault(tid, [])
+        if ph == "B":
+            stack.append(name)
+            seen_names.add(name)
+        else:
+            if not stack:
+                return fail(f"{where}: E without open B on tid {tid}")
+            if stack[-1] != name:
+                return fail(f"{where}: mis-nested span on tid {tid}: "
+                            f"closing {name!r} while {stack[-1]!r} is open")
+            stack.pop()
+
+    for tid, stack in open_stacks.items():
+        if stack:
+            return fail(f"{path}: unclosed span(s) on tid {tid}: {stack}")
+    if spans == 0:
+        return fail(f"{path}: no span events captured")
+    missing = [s for s in required_spans if s not in seen_names]
+    if missing:
+        return fail(f"{path}: required span(s) never appeared: {missing}; "
+                    f"captured: {sorted(seen_names)}")
+    print(f"trace_check: {path}: {spans} span events across "
+          f"{len(last_ts)} thread(s), all nested and monotone")
+    return 0
+
+
+def check_jsonl(path, min_slides):
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    except OSError as e:
+        return fail(f"{path}: unreadable: {e}")
+
+    prev_slide = -1
+    for i, line in enumerate(lines):
+        where = f"{path}: line {i + 1}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            return fail(f"{where}: not a JSON object: {e}")
+        for key in ("slide", "window", "entered", "exited", "relabeled",
+                    "counters"):
+            if key not in record:
+                return fail(f"{where}: missing key {key!r}")
+        counters = record["counters"]
+        if not isinstance(counters, dict):
+            return fail(f"{where}: counters is not an object")
+        for key in REQUIRED_COUNTER_KEYS:
+            if not isinstance(counters.get(key), int):
+                return fail(f"{where}: counters.{key} missing or non-integer")
+        slide = record["slide"]
+        if not isinstance(slide, int) or slide <= prev_slide:
+            return fail(f"{where}: slide index {slide!r} not increasing "
+                        f"(previous {prev_slide})")
+        prev_slide = slide
+
+    if len(lines) < min_slides:
+        return fail(f"{path}: {len(lines)} slide record(s), "
+                    f"expected at least {min_slides}")
+    print(f"trace_check: {path}: {len(lines)} slide records, "
+          f"schema and ordering ok")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="trace_check.py",
+        description="Validate DISC trace/JSONL observability artifacts.")
+    parser.add_argument("--trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME",
+                        help="span name that must appear (repeatable)")
+    parser.add_argument("--jsonl", help="per-slide JSONL metrics file")
+    parser.add_argument("--min-slides", type=int, default=1,
+                        help="minimum JSONL records (default 1)")
+    args = parser.parse_args(argv)
+
+    if not args.trace and not args.jsonl:
+        parser.print_usage(sys.stderr)
+        print("trace_check: nothing to check (pass --trace and/or --jsonl)",
+              file=sys.stderr)
+        return 2
+
+    status = 0
+    if args.trace:
+        status |= check_trace(args.trace, args.require_span)
+    if args.jsonl:
+        status |= check_jsonl(args.jsonl, args.min_slides)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
