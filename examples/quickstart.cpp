@@ -22,19 +22,26 @@
 #include "stream/blobs_generator.h"
 
 int main(int argc, char** argv) {
-  // A stream of points drawn from five Gaussian blobs plus 10% noise.
+  // A stream of points drawn from five drifting Gaussian blobs plus 10%
+  // noise. The drift makes blobs wander apart and back together, so slides
+  // regularly split and merge clusters — exercising the MS-BFS split checks
+  // and neo-core discovery that the trace below records.
   disc::BlobsGenerator::Options gen_options;
   gen_options.dims = 2;
   gen_options.num_blobs = 5;
   gen_options.stddev = 0.3;
   gen_options.noise_fraction = 0.1;
+  gen_options.drift = 0.05;
   disc::BlobsGenerator stream(gen_options);
 
   // DISC with DBSCAN thresholds eps=0.4, tau=5: a point is a core when at
-  // least 5 points (itself included) lie within distance 0.4.
+  // least 5 points (itself included) lie within distance 0.4. Two pool
+  // lanes fan out the COLLECT and CLUSTER probes; results are bit-identical
+  // for any num_threads.
   disc::DiscConfig config;
   config.eps = 0.4;
   config.tau = 5;
+  config.num_threads = 2;
   disc::Disc clusterer(/*dims=*/2, config);
 
   // Tracing is dormant until a recorder is installed; with a path on the

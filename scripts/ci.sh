@@ -40,6 +40,8 @@ python3 tools/trace_check.py \
   --require-span disc.collect --require-span disc.ex_phase \
   --require-span disc.neo_phase --require-span disc.recheck \
   --require-span rtree.epoch_search \
+  --require-span disc.msbfs --require-span disc.msbfs.round \
+  --require-span disc.neo_discovery \
   --jsonl "${obs_dir}/metrics.jsonl" --min-slides 20
 
 echo "=== ASan+UBSan: configure + build + full ctest ==="

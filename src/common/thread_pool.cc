@@ -46,7 +46,8 @@ void ThreadPool::DrainBatch(std::size_t lane) {
 }
 
 void ThreadPool::ParallelFor(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t chunk) {
   if (n == 0) return;
   if (workers_.empty()) {
     for (std::size_t i = 0; i < n; ++i) fn(0, i);
@@ -57,8 +58,10 @@ void ThreadPool::ParallelFor(
     batch_n_ = n;
     // Small chunks balance skewed per-index costs (a probe in a dense region
     // costs far more than one in a sparse region); 8 chunks per lane keeps
-    // the fetch_add traffic negligible.
-    batch_chunk_ = std::max<std::size_t>(1, n / (lanes() * 8));
+    // the fetch_add traffic negligible. Callers with wildly uneven bodies
+    // override with chunk = 1.
+    batch_chunk_ =
+        chunk != 0 ? chunk : std::max<std::size_t>(1, n / (lanes() * 8));
     batch_fn_ = &fn;
     batch_next_.store(0);
     batch_error_ = nullptr;

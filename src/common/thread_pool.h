@@ -47,10 +47,16 @@ class ThreadPool {
   std::size_t lanes() const { return workers_.size() + 1; }
 
   // Runs fn(lane, i) for every i in [0, n). Blocks until every index has
-  // been executed (or abandoned after an exception).
+  // been executed (or abandoned after an exception). `chunk` is the number
+  // of consecutive indices a lane claims per fetch_add: 0 picks the default
+  // (8 chunks per lane, good for cheap mildly-skewed bodies such as range
+  // probes); pass 1 when per-index costs are wildly uneven — e.g. CLUSTER's
+  // speculative neo-core discoveries, where one index explores a whole
+  // component while its neighbors abort instantly — so no expensive index
+  // queues behind another inside one claimed chunk.
   void ParallelFor(std::size_t n,
-                   const std::function<void(std::size_t, std::size_t)>& fn)
-      EXCLUDES(mutex_);
+                   const std::function<void(std::size_t, std::size_t)>& fn,
+                   std::size_t chunk = 0) EXCLUDES(mutex_);
 
  private:
   void WorkerLoop(std::size_t lane) EXCLUDES(mutex_);
@@ -86,12 +92,13 @@ class ThreadPool {
 // lets call sites keep one code path for the 1-thread and N-thread configs.
 inline void ParallelFor(
     ThreadPool* pool, std::size_t n,
-    const std::function<void(std::size_t, std::size_t)>& fn) {
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t chunk = 0) {
   if (pool == nullptr) {
     for (std::size_t i = 0; i < n; ++i) fn(0, i);
     return;
   }
-  pool->ParallelFor(n, fn);
+  pool->ParallelFor(n, fn, chunk);
 }
 
 }  // namespace disc

@@ -40,6 +40,24 @@ struct DiscConfig {
   // parallel phases are read-only and their results are merged in a
   // thread-count-independent order (see docs/ALGORITHM.md).
   std::uint32_t num_threads = 1;
+
+  // Parallel CLUSTER stage (docs/ALGORITHM.md §4.6): MS-BFS expands its
+  // frontier in level-synchronous rounds whose probes fan out across the
+  // pool, with a deterministic min-starter merge rule, and neo-core group
+  // closures run as speculative concurrent discoveries committed in seed
+  // order. Both paths probe the R-tree tick-free (plain read-only searches,
+  // no epoch marks), so lanes never race on entry epochs, and every state
+  // mutation stays on the calling thread — output is bit-identical for any
+  // num_threads. When false, CLUSTER runs the original interleaved
+  // epoch-probed traversals (the ablation baseline); the clustering is
+  // DBSCAN-identical either way, but cluster-id assignment between the two
+  // modes may differ.
+  bool parallel_cluster = true;
+
+  // Minimum per-round probe batch worth dispatching to the pool; smaller
+  // batches run inline on the calling thread. Purely an execution knob —
+  // inline and pooled probes return identical candidate lists.
+  std::uint32_t parallel_cluster_min_batch = 2;
 };
 
 }  // namespace disc

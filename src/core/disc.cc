@@ -73,15 +73,18 @@ void Disc::FanOutProbes(const std::vector<const Point*>& centers,
   const std::size_t lanes = pool_ ? pool_->lanes() : 1;
   std::vector<RTreeStats> lane_stats(lanes);
   Timer timer;
-  ParallelFor(pool_.get(), centers.size(),
-              [&](std::size_t lane, std::size_t i) {
-                if (centers[i] == nullptr) return;
-                std::vector<PointId>& out = (*hits)[i];
-                tree_.RangeSearch(
-                    *centers[i], config_.eps,
-                    [&out](PointId qid, const Point&) { out.push_back(qid); },
-                    &lane_stats[lane]);
-              });
+  {
+    RTree::ConcurrentProbeScope probe_scope(tree_);
+    ParallelFor(pool_.get(), centers.size(),
+                [&](std::size_t lane, std::size_t i) {
+                  if (centers[i] == nullptr) return;
+                  std::vector<PointId>& out = (*hits)[i];
+                  tree_.RangeSearch(
+                      *centers[i], config_.eps,
+                      [&out](PointId qid, const Point&) { out.push_back(qid); },
+                      &lane_stats[lane]);
+                });
+  }
   metrics_.collect_parallel_ms += timer.ElapsedMillis();
   for (const RTreeStats& s : lane_stats) tree_.stats().MergeFrom(s);
 }

@@ -115,6 +115,7 @@ RTree::RTree(std::uint32_t dims, int max_entries, SplitPolicy split_policy)
 RTree::~RTree() { FreeSubtree(root_); }
 
 void RTree::Clear() {
+  AssertNoConcurrentProbes();
   FreeSubtree(root_);
   root_ = new Node{};
   size_ = 0;
@@ -381,6 +382,7 @@ void RTree::GrowRoot(Node* sibling) {
 }
 
 void RTree::Insert(const Point& p) {
+  AssertNoConcurrentProbes();
   assert(p.dims == dims_);
   Node* sibling = InsertRecurse(root_, p);
   if (sibling != nullptr) GrowRoot(sibling);
@@ -413,6 +415,7 @@ void RTree::StrOrder(std::vector<Point>* points, std::size_t lo,
 }
 
 void RTree::BulkLoad(std::vector<Point> points) {
+  AssertNoConcurrentProbes();
   assert(size_ == 0 && root_->entries.empty());
   if (points.empty()) return;
   StrOrder(&points, 0, points.size(), 0);
@@ -523,6 +526,7 @@ bool RTree::DeleteRecurse(Node* node, const Point& p,
 }
 
 bool RTree::Delete(const Point& p) {
+  AssertNoConcurrentProbes();
   assert(p.dims == dims_);
   std::vector<Point> orphans;
   if (!DeleteRecurse(root_, p, &orphans)) return false;
@@ -676,6 +680,7 @@ void RTree::EpochRecurse(Node* node, const Point& center, double eps2,
 
 void RTree::EpochRangeSearch(const Point& center, double eps,
                              std::uint64_t tick, const MarkingVisitor& visit) {
+  AssertNoConcurrentProbes();  // Writes entry epochs: not a tick-free probe.
   obs::TraceSpan span("rtree.epoch_search", obs::TraceLevel::kDetail);
   const RTreeStats before = stats_;
   ++stats_.range_searches;

@@ -1,6 +1,8 @@
 #ifndef DISC_INDEX_RTREE_H_
 #define DISC_INDEX_RTREE_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -101,9 +103,32 @@ class RTree {
   // is not mutated (and no epoch-probed search runs — it writes entry
   // epochs), any number of threads may call this at once, each with its own
   // accumulator; merge the accumulators into stats() afterwards if the
-  // global counts should reflect the probes.
+  // global counts should reflect the probes. This is the *tick-free probe
+  // mode* the parallel CLUSTER stage relies on; hold a ConcurrentProbeScope
+  // around the fan-out to have the contract machine-checked.
   void RangeSearch(const Point& center, double eps, const Visitor& visit,
                    RTreeStats* stats) const;
+
+  // RAII marker of a tick-free concurrent probe region (the parallel
+  // COLLECT/CLUSTER fan-outs). While at least one scope is alive, any number
+  // of threads may run the stats-accumulating RangeSearch overload; every
+  // mutating or epoch-marking call (Insert, Delete, BulkLoad, Clear,
+  // EpochRangeSearch, NewTick) asserts in debug builds. The counter is
+  // purely a contract check — it adds no synchronization of its own.
+  class ConcurrentProbeScope {
+   public:
+    explicit ConcurrentProbeScope(const RTree& tree) : tree_(tree) {
+      tree_.probe_scopes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~ConcurrentProbeScope() {
+      tree_.probe_scopes_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    ConcurrentProbeScope(const ConcurrentProbeScope&) = delete;
+    ConcurrentProbeScope& operator=(const ConcurrentProbeScope&) = delete;
+
+   private:
+    const RTree& tree_;
+  };
 
   // A point together with its distance to a query center.
   struct Neighbor {
@@ -126,7 +151,10 @@ class RTree {
 
   // Returns a fresh tick, strictly larger than all previously issued ticks
   // and than the epoch of every entry currently in the tree.
-  std::uint64_t NewTick() { return ++tick_counter_; }
+  std::uint64_t NewTick() {
+    AssertNoConcurrentProbes();
+    return ++tick_counter_;
+  }
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -144,6 +172,13 @@ class RTree {
  private:
   struct Node;
   struct Entry;
+
+  // Debug check that no ConcurrentProbeScope is alive: mutators and
+  // epoch-marking searches must never overlap a tick-free probe region.
+  void AssertNoConcurrentProbes() const {
+    assert(probe_scopes_.load(std::memory_order_relaxed) == 0 &&
+           "RTree mutated inside a concurrent probe region");
+  }
 
   // Orders [lo, hi) of `points` into Sort-Tile-Recursive layout.
   void StrOrder(std::vector<Point>* points, std::size_t lo, std::size_t hi,
@@ -175,6 +210,8 @@ class RTree {
   std::size_t size_ = 0;
   std::uint64_t tick_counter_ = 0;
   mutable RTreeStats stats_;
+  // Live ConcurrentProbeScope count; see AssertNoConcurrentProbes.
+  mutable std::atomic<int> probe_scopes_{0};
 };
 
 }  // namespace disc

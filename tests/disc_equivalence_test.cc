@@ -28,6 +28,7 @@ struct ParamCase {
   std::size_t stride;
   bool use_msbfs;
   bool use_epoch;
+  bool parallel_cluster = true;
   int generator;  // 0: blobs, 1: drifting blobs, 2: maze, 3: uniform.
   std::uint32_t dims;
 };
@@ -82,13 +83,22 @@ TEST_P(DiscEquivalenceTest, MatchesFreshDbscanAfterEverySlide) {
   config.tau = pc.tau;
   config.use_msbfs = pc.use_msbfs;
   config.use_epoch_probing = pc.use_epoch;
+  config.parallel_cluster = pc.parallel_cluster;
   Disc disc(pc.dims, config);
+
+  // Twin instance: identical config except it runs on a thread pool. Every
+  // oracle comparison below also executes the parallel configuration, and
+  // the twin must stay byte-identical to the single-threaded instance.
+  DiscConfig par_config = config;
+  par_config.num_threads = 4;
+  Disc par_disc(pc.dims, par_config);
 
   CountBasedWindow window(pc.window, pc.stride);
   const int slides = 12;
   for (int s = 0; s < slides; ++s) {
     WindowDelta delta = window.Advance(source->NextPoints(pc.stride));
     disc.Update(delta.incoming, delta.outgoing);
+    par_disc.Update(delta.incoming, delta.outgoing);
 
     std::vector<Point> contents(window.contents().begin(),
                                 window.contents().end());
@@ -96,20 +106,32 @@ TEST_P(DiscEquivalenceTest, MatchesFreshDbscanAfterEverySlide) {
     const EquivalenceResult eq = CheckSameClustering(
         disc.Snapshot(), truth.snapshot, contents, pc.eps);
     ASSERT_TRUE(eq.ok) << "slide " << s << " [" << pc.name
-                       << "]: " << eq.error;
+                       << "] seed 99: " << eq.error;
+    const EquivalenceResult par_eq = CheckSameClustering(
+        par_disc.Snapshot(), truth.snapshot, contents, pc.eps);
+    ASSERT_TRUE(par_eq.ok) << "slide " << s << " [" << pc.name
+                           << "] seed 99 (num_threads=4): " << par_eq.error;
+    const ClusteringSnapshot a = disc.Snapshot();
+    const ClusteringSnapshot b = par_disc.Snapshot();
+    ASSERT_TRUE(a.ids == b.ids && a.categories == b.categories &&
+                a.cids == b.cids)
+        << "slide " << s << " [" << pc.name
+        << "] seed 99: num_threads=4 snapshot diverged from num_threads=1";
   }
 }
 
 std::vector<ParamCase> MakeCases() {
   std::vector<ParamCase> cases;
-  // Base grid: generators x optimization settings.
+  // Base grid: generators x optimization settings (MS-BFS, epoch probing,
+  // and the parallel-vs-legacy CLUSTER structure).
   int idx = 0;
   for (int gen = 0; gen <= 3; ++gen) {
-    for (int opt = 0; opt < 4; ++opt) {
+    for (int opt = 0; opt < 8; ++opt) {
       ParamCase pc;
       pc.generator = gen;
       pc.use_msbfs = (opt & 1) != 0;
       pc.use_epoch = (opt & 2) != 0;
+      pc.parallel_cluster = (opt & 4) != 0;
       pc.eps = gen == 3 ? 0.45 : 0.4;
       pc.tau = 5;
       pc.window = 600;

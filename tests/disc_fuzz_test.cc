@@ -62,6 +62,21 @@ class PolylineStream : public StreamSource {
   std::vector<double> offsets_;
 };
 
+// Every fuzz scenario also drives a twin instance whose config differs only
+// in num_threads. Beyond matching the DBSCAN oracle, the twin must stay
+// byte-identical to the single-threaded instance — the configs agree on
+// everything semantic, so any divergence is a determinism bug in the
+// parallel COLLECT/CLUSTER machinery.
+void ExpectTwinIdentical(const Disc& base, const Disc& twin,
+                         std::uint64_t seed, int slide) {
+  const ClusteringSnapshot a = base.Snapshot();
+  const ClusteringSnapshot b = twin.Snapshot();
+  ASSERT_TRUE(a.ids == b.ids && a.categories == b.categories &&
+              a.cids == b.cids)
+      << "seed " << seed << " slide " << slide
+      << ": num_threads=4 twin snapshot diverged from num_threads=1";
+}
+
 class DiscFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(DiscFuzzTest, PolylineChainsStayExact) {
@@ -72,12 +87,17 @@ TEST_P(DiscFuzzTest, PolylineChainsStayExact) {
   // Alternate optimization settings across seeds for breadth.
   config.use_msbfs = (seed % 2) == 0;
   config.use_epoch_probing = (seed % 3) != 0;
+  config.parallel_cluster = (seed % 4) < 2;
   Disc disc(2, config);
+  DiscConfig par_config = config;
+  par_config.num_threads = 4;
+  Disc par_disc(2, par_config);
   PolylineStream source(4, seed);
   CountBasedWindow window(800, 160);
   for (int s = 0; s < 15; ++s) {
     WindowDelta d = window.Advance(source.NextPoints(160));
     disc.Update(d.incoming, d.outgoing);
+    par_disc.Update(d.incoming, d.outgoing);
     std::vector<Point> contents(window.contents().begin(),
                                 window.contents().end());
     const DbscanResult truth = RunDbscan(contents, config.eps, config.tau);
@@ -85,6 +105,11 @@ TEST_P(DiscFuzzTest, PolylineChainsStayExact) {
         disc.Snapshot(), truth.snapshot, contents, config.eps);
     ASSERT_TRUE(eq.ok) << "seed " << seed << " slide " << s << ": "
                        << eq.error;
+    const EquivalenceResult par_eq = CheckSameClustering(
+        par_disc.Snapshot(), truth.snapshot, contents, config.eps);
+    ASSERT_TRUE(par_eq.ok) << "seed " << seed << " slide " << s
+                           << " (num_threads=4): " << par_eq.error;
+    ExpectTwinIdentical(disc, par_disc, seed, s);
   }
 }
 
@@ -97,6 +122,9 @@ TEST_P(DiscFuzzTest, RandomChurnStaysExact) {
   config.eps = 0.25;
   config.tau = 3 + static_cast<std::uint32_t>(seed % 3);
   Disc disc(2, config);
+  DiscConfig par_config = config;
+  par_config.num_threads = 4;
+  Disc par_disc(2, par_config);
   std::vector<Point> live;
   PointId next_id = 0;
   for (int round = 0; round < 25; ++round) {
@@ -139,12 +167,18 @@ TEST_P(DiscFuzzTest, RandomChurnStaysExact) {
       live.pop_back();
     }
     disc.Update(incoming, outgoing);
+    par_disc.Update(incoming, outgoing);
     ASSERT_EQ(disc.window_size(), live.size());
     const DbscanResult truth = RunDbscan(live, config.eps, config.tau);
     const EquivalenceResult eq =
         CheckSameClustering(disc.Snapshot(), truth.snapshot, live, config.eps);
     ASSERT_TRUE(eq.ok) << "seed " << seed << " round " << round << ": "
                        << eq.error;
+    const EquivalenceResult par_eq = CheckSameClustering(
+        par_disc.Snapshot(), truth.snapshot, live, config.eps);
+    ASSERT_TRUE(par_eq.ok) << "seed " << seed << " round " << round
+                           << " (num_threads=4): " << par_eq.error;
+    ExpectTwinIdentical(disc, par_disc, seed, round);
   }
 }
 
@@ -166,16 +200,25 @@ TEST(DiscFuzzTest, DenseMazeLongRun) {
   o.points_per_step = 3;
   o.seed = 71;
   MazeGenerator source(o);
+  DiscConfig par_config = config;
+  par_config.num_threads = 4;
+  Disc par_disc(2, par_config);
   CountBasedWindow window(1200, 120);
   for (int s = 0; s < 30; ++s) {
     WindowDelta d = window.Advance(source.NextPoints(120));
     disc.Update(d.incoming, d.outgoing);
+    par_disc.Update(d.incoming, d.outgoing);
     std::vector<Point> contents(window.contents().begin(),
                                 window.contents().end());
     const DbscanResult truth = RunDbscan(contents, config.eps, config.tau);
     const EquivalenceResult eq = CheckSameClustering(
         disc.Snapshot(), truth.snapshot, contents, config.eps);
     ASSERT_TRUE(eq.ok) << "slide " << s << ": " << eq.error;
+    const EquivalenceResult par_eq = CheckSameClustering(
+        par_disc.Snapshot(), truth.snapshot, contents, config.eps);
+    ASSERT_TRUE(par_eq.ok) << "slide " << s << " seed 71 (num_threads=4): "
+                           << par_eq.error;
+    ExpectTwinIdentical(disc, par_disc, /*seed=*/71, s);
   }
 }
 

@@ -3,8 +3,11 @@
 with its rule id, and every clean twin must pass.
 
 Fixture naming: tools/lint/fixtures/**/<rule_with_underscores>_violation.cc
-and ..._clean.cc. Run with --rule <rule-id> to check one rule's pair (how
-ctest registers it), or with no arguments to check every fixture found.
+and ..._clean.cc. A rule may have several golden pairs, one per directory
+(e.g. epoch-confinement has the COLLECT-stage pair at the fixtures root and
+the parallel-CLUSTER pair under cluster/). Run with --rule <rule-id> to
+check every pair of one rule (how ctest registers it), or with no arguments
+to check every fixture found.
 
 Exit status: 0 all expectations met, 1 otherwise.
 """
@@ -20,8 +23,12 @@ FIXTURES = os.path.join(HERE, "fixtures")
 
 
 def find_fixtures():
-    pairs = {}  # rule -> {"violation": path, "clean": path}
+    # (rule, group) -> {"violation": path, "clean": path}, where group is
+    # the pair's directory relative to fixtures/ so one rule can own
+    # multiple golden pairs without the paths colliding.
+    pairs = {}
     for root, _dirs, names in os.walk(FIXTURES):
+        group = os.path.relpath(root, FIXTURES)
         for name in sorted(names):
             if not name.endswith(".cc"):
                 continue
@@ -30,7 +37,8 @@ def find_fixtures():
                 suffix = "_" + kind
                 if stem.endswith(suffix):
                     rule = stem[:-len(suffix)].replace("_", "-")
-                    pairs.setdefault(rule, {})[kind] = os.path.join(root, name)
+                    pairs.setdefault((rule, group), {})[kind] = os.path.join(
+                        root, name)
     return pairs
 
 
@@ -41,27 +49,29 @@ def run_lint(path):
     return proc.returncode, proc.stdout
 
 
-def check_rule(rule, pair):
+def check_rule(rule, group, pair):
     failures = []
+    label = f"{rule} ({group})"
     violation = pair.get("violation")
     clean = pair.get("clean")
     if violation is None:
-        failures.append(f"{rule}: missing violation fixture")
+        failures.append(f"{label}: missing violation fixture")
     else:
         code, out = run_lint(violation)
         if code != 1:
             failures.append(
-                f"{rule}: expected exit 1 on {violation}, got {code}\n{out}")
+                f"{label}: expected exit 1 on {violation}, got {code}\n{out}")
         elif f"[{rule}]" not in out:
             failures.append(
-                f"{rule}: violation fixture not flagged with [{rule}]\n{out}")
+                f"{label}: violation fixture not flagged with [{rule}]\n"
+                f"{out}")
     if clean is None:
-        failures.append(f"{rule}: missing clean twin")
+        failures.append(f"{label}: missing clean twin")
     else:
         code, out = run_lint(clean)
         if code != 0:
             failures.append(
-                f"{rule}: expected exit 0 on clean twin {clean}, got "
+                f"{label}: expected exit 0 on clean twin {clean}, got "
                 f"{code}\n{out}")
     return failures
 
@@ -73,14 +83,14 @@ def main(argv):
 
     pairs = find_fixtures()
     if args.rule:
-        if args.rule not in pairs:
+        pairs = {k: v for k, v in pairs.items() if k[0] == args.rule}
+        if not pairs:
             print(f"no fixtures found for rule {args.rule}", file=sys.stderr)
             return 1
-        pairs = {args.rule: pairs[args.rule]}
 
     failures = []
-    for rule, pair in sorted(pairs.items()):
-        failures.extend(check_rule(rule, pair))
+    for (rule, group), pair in sorted(pairs.items()):
+        failures.extend(check_rule(rule, group, pair))
     for f in failures:
         print(f"FAIL {f}", file=sys.stderr)
     if not failures:

@@ -22,8 +22,13 @@ Rules (see docs/ANALYSIS.md for the invariant each protects):
                       path: tick_counter_ may be touched only inside
                       rtree.*, and NewTick / EpochRangeSearch /
                       SearchMarking must never appear in the parallel
-                      COLLECT stage (Collect / FanOutProbes / DrainBatch /
-                      WorkerLoop bodies, or any ParallelFor call argument).
+                      stages — COLLECT (Collect / FanOutProbes bodies), the
+                      parallel CLUSTER entry points (MsBfsStrided /
+                      FanOutClusterProbes / ProcessNeoCoresParallel /
+                      NeoDiscoveryWorker bodies — these run tick-free
+                      concurrent probes), the thread-pool lane entry points
+                      (DrainBatch / WorkerLoop), or any ParallelFor call
+                      argument.
 
   unordered-emit      A range-for over a std::unordered_map/set whose body
                       emits (push_back / emplace_back / WritePod /
@@ -244,12 +249,18 @@ def check_epoch_confinement(fc):
         for m in TICK_MUTATION_RE.finditer(fc.code):
             fc.report(m.start(), "epoch-confinement")
 
-    # The parallel COLLECT stage: bodies of Collect / FanOutProbes, the
-    # thread-pool lane entry points (DrainBatch / WorkerLoop — everything a
-    # worker thread executes), plus the full argument span of every
-    # ParallelFor call (the loop body lambda).
+    # The parallel stages: bodies of Collect / FanOutProbes (COLLECT), the
+    # parallel CLUSTER entry points (MsBfsStrided / FanOutClusterProbes run
+    # tick-free probe rounds; ProcessNeoCoresParallel / NeoDiscoveryWorker
+    # are the speculative neo-discovery region — concurrent readers must
+    # never write entry epochs), the thread-pool lane entry points
+    # (DrainBatch / WorkerLoop — everything a worker thread executes), plus
+    # the full argument span of every ParallelFor call (the loop body
+    # lambda).
     collect_spans = []
-    for name in ("Collect", "FanOutProbes", "DrainBatch", "WorkerLoop"):
+    for name in ("Collect", "FanOutProbes", "MsBfsStrided",
+                 "FanOutClusterProbes", "ProcessNeoCoresParallel",
+                 "NeoDiscoveryWorker", "DrainBatch", "WorkerLoop"):
         collect_spans.extend(function_body_spans(fc.code, name))
     for m in re.finditer(r"\bParallelFor\s*\(", fc.code):
         collect_spans.append((m.end() - 1, match_paren(fc.code, m.end() - 1)))

@@ -1,0 +1,40 @@
+// Clean twin for the parallel-CLUSTER epoch-confinement pair: the strided
+// MS-BFS, the cluster-probe fan-out, and the neo-discovery worker issue
+// tick-free (const) probes only; epoch ticks stay on the legacy sequential
+// traversals, which never overlap concurrent readers.
+#include <cstdint>
+#include <vector>
+
+struct Tree {
+  std::uint64_t NewTick();
+  void EpochRangeSearch(int center, double eps, std::uint64_t tick);
+  void RangeSearch(int center, double eps) const;
+};
+
+struct Clusterer {
+  Tree tree_;
+
+  int MsBfsInterleaved(const std::vector<int>& m_minus) {
+    // Legacy sequential traversal: epoch probing is the point (Alg. 4).
+    const std::uint64_t tick = tree_.NewTick();
+    for (int center : m_minus) {
+      tree_.EpochRangeSearch(center, 1.0, tick);
+    }
+    return 1;
+  }
+
+  int MsBfsStrided(const std::vector<int>& m_minus) {
+    FanOutClusterProbes(m_minus);  // Tick-free rounds only.
+    return 1;
+  }
+
+  void FanOutClusterProbes(const std::vector<int>& centers) {
+    for (int center : centers) {
+      tree_.RangeSearch(center, 1.0);  // Const probe: no epoch writes.
+    }
+  }
+
+  void NeoDiscoveryWorker(int seed) {
+    tree_.RangeSearch(seed, 1.0);  // Tick-free speculative discovery.
+  }
+};
