@@ -3,14 +3,12 @@
 // varying window size, stride 5%. Same methods as Fig. 9.
 
 #include <cstdio>
+#include <memory>
 
-#include "baselines/dbstream.h"
-#include "baselines/edmstream.h"
-#include "baselines/rho_dbscan.h"
 #include "bench/datasets.h"
-#include "core/disc.h"
 #include "eval/runner.h"
 #include "eval/table.h"
+#include "stream/clusterer_factory.h"
 
 namespace disc {
 namespace {
@@ -38,37 +36,23 @@ void Run(double scale, int slides) {
     MeasureOptions opts;
     opts.reference_snapshots = &refs;
 
-    DiscConfig config;
-    config.eps = spec.eps;
-    config.tau = spec.tau;
-    Disc disc_method(spec.dims, config);
-    AddRow(&table, spec.window, RunMethod(data, &disc_method, opts));
+    ClustererSpec cs = bench::TunedClustererSpec(spec, stride);
+    const std::unique_ptr<StreamClusterer> disc_method =
+        MakeClusterer("DISC", cs);
+    AddRow(&table, spec.window, RunMethod(data, disc_method.get(), opts));
 
     for (double rho : {0.1, 0.001}) {
-      RhoDbscan::Options ro;
-      ro.eps = spec.eps;
-      ro.tau = spec.tau;
-      ro.rho = rho;
-      RhoDbscan rho_method(spec.dims, ro);
-      AddRow(&table, spec.window, RunMethod(data, &rho_method, opts));
+      cs.rho = rho;
+      const std::unique_ptr<StreamClusterer> rho_method =
+          MakeClusterer("rho-DBSCAN", cs);
+      AddRow(&table, spec.window, RunMethod(data, rho_method.get(), opts));
     }
 
-    DbStream::Options dbo;
-    dbo.radius = 1.5 * spec.eps;
-    dbo.decay_lambda = 4.0 / static_cast<double>(spec.window);
-    dbo.alpha = 0.03;
-    dbo.w_min = 0.3;
-    dbo.eta = 0.02;
-    DbStream dbs(spec.dims, dbo);
-    AddRow(&table, spec.window, RunMethod(data, &dbs, opts));
+    const std::unique_ptr<StreamClusterer> dbs = MakeClusterer("DBSTREAM", cs);
+    AddRow(&table, spec.window, RunMethod(data, dbs.get(), opts));
 
-    EdmStream::Options edo;
-    edo.radius = 3.0 * spec.eps;
-    edo.decay_lambda = 4.0 / static_cast<double>(spec.window);
-    edo.delta_threshold = 10.0 * spec.eps;
-    edo.rho_min = 1.0;
-    EdmStream edm(spec.dims, edo);
-    AddRow(&table, spec.window, RunMethod(data, &edm, opts));
+    const std::unique_ptr<StreamClusterer> edm = MakeClusterer("EDMStream", cs);
+    AddRow(&table, spec.window, RunMethod(data, edm.get(), opts));
   }
   std::printf(
       "== Fig. 10: DTG — ARI vs DBSCAN labels and per-point update latency "

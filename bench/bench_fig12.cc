@@ -5,16 +5,15 @@
 // paper's "same clusters as DBSCAN" observation for Figs. 12(d)-(f).
 
 #include <cstdio>
+#include <memory>
 
 #include "baselines/dbscan.h"
-#include "baselines/dbstream.h"
-#include "baselines/edmstream.h"
 #include "bench/datasets.h"
-#include "core/disc.h"
 #include "eval/ari.h"
 #include "eval/equivalence.h"
 #include "eval/partition.h"
 #include "eval/table.h"
+#include "stream/clusterer_factory.h"
 #include "stream/csv.h"
 #include "stream/sliding_window.h"
 
@@ -36,23 +35,11 @@ void Run(double scale) {
     const std::size_t stride = std::max<std::size_t>(1, spec.window / 20);
     auto source = spec.make(77);
 
-    DiscConfig config;
-    config.eps = spec.eps;
-    config.tau = spec.tau;
-    Disc disc_method(spec.dims, config);
-    DbStream::Options dbo;
-    dbo.radius = 1.5 * spec.eps;
-    dbo.decay_lambda = 4.0 / static_cast<double>(spec.window);
-    dbo.alpha = 0.03;
-    dbo.w_min = 0.3;
-    dbo.eta = 0.02;
-    DbStream dbs(spec.dims, dbo);
-    EdmStream::Options edo;
-    edo.radius = 3.0 * spec.eps;
-    edo.decay_lambda = 4.0 / static_cast<double>(spec.window);
-    edo.delta_threshold = 10.0 * spec.eps;
-    edo.rho_min = 1.0;
-    EdmStream edm(spec.dims, edo);
+    const ClustererSpec cs = bench::TunedClustererSpec(spec, stride);
+    const std::unique_ptr<StreamClusterer> disc_method =
+        MakeClusterer("DISC", cs);
+    const std::unique_ptr<StreamClusterer> dbs = MakeClusterer("DBSTREAM", cs);
+    const std::unique_ptr<StreamClusterer> edm = MakeClusterer("EDMStream", cs);
 
     // Slide a few times past the fill so the picture shows a steady state.
     CountBasedWindow window(spec.window, stride);
@@ -66,9 +53,9 @@ void Run(double scale) {
         batch.push_back(labeled.back().point);
       }
       WindowDelta delta = window.Advance(batch);
-      disc_method.Update(delta.incoming, delta.outgoing);
-      dbs.Update(delta.incoming, delta.outgoing);
-      edm.Update(delta.incoming, delta.outgoing);
+      disc_method->Update(delta.incoming, delta.outgoing);
+      dbs->Update(delta.incoming, delta.outgoing);
+      edm->Update(delta.incoming, delta.outgoing);
     }
 
     std::vector<Point> contents(window.contents().begin(),
@@ -90,13 +77,13 @@ void Run(double scale) {
       reference = LabelsFor(dbscan.snapshot, ids);
     }
 
-    StreamClusterer* methods[] = {&disc_method, &dbs, &edm};
+    StreamClusterer* methods[] = {disc_method.get(), dbs.get(), edm.get()};
     for (StreamClusterer* m : methods) {
       const ClusteringSnapshot snap = m->Snapshot();
       const std::vector<ClusterId> labels = LabelsFor(snap, ids);
       const double ari = AdjustedRandIndex(labels, reference);
       std::string exact = "-";
-      if (m == &disc_method) {
+      if (m == disc_method.get()) {
         const EquivalenceResult eq =
             CheckSameClustering(snap, dbscan.snapshot, contents, spec.eps);
         exact = eq.ok ? "yes" : ("NO: " + eq.error);

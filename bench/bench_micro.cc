@@ -355,9 +355,11 @@ void BM_DiscCheckpointRoundTrip(benchmark::State& state) {
                 {});
   for (auto _ : state) {
     std::stringstream buffer;
-    method.SaveCheckpoint(buffer);
+    const bool saved = method.SaveCheckpoint(buffer).ok();
     Disc restored(2, config);
-    restored.LoadCheckpoint(buffer);
+    const bool loaded = restored.LoadCheckpoint(buffer).ok();
+    benchmark::DoNotOptimize(saved);
+    benchmark::DoNotOptimize(loaded);
     benchmark::DoNotOptimize(restored.window_size());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "stream/clusterer_factory.h"
 #include "stream/covid_generator.h"
 #include "stream/dtg_generator.h"
 #include "stream/geolife_generator.h"
@@ -112,6 +113,30 @@ inline DatasetSpec MazeSpec(double scale = 1.0,
 inline std::vector<DatasetSpec> StandardDatasets(double scale = 1.0) {
   return {DtgSpec(scale), GeolifeSpec(scale), CovidSpec(scale),
           IrisSpec(scale)};
+}
+
+// ClustererSpec for MakeClusterer, tuned the way the figure benchmarks
+// drive every method on `spec`: exact-method thresholds straight from
+// Table II, summarization radii proportional to eps and decay matched to
+// the window (the paper's regime; see bench_fig9/10/12).
+inline ClustererSpec TunedClustererSpec(const DatasetSpec& spec,
+                                        std::size_t stride) {
+  ClustererSpec cs;
+  cs.dims = spec.dims;
+  cs.window_size = spec.window;
+  cs.stride = stride;
+  cs.disc.eps = spec.eps;
+  cs.disc.tau = spec.tau;
+  cs.dbstream.radius = 1.5 * spec.eps;
+  cs.dbstream.decay_lambda = 4.0 / static_cast<double>(spec.window);
+  cs.dbstream.alpha = 0.03;
+  cs.dbstream.w_min = 0.3;
+  cs.dbstream.eta = 0.02;
+  cs.edmstream.radius = 3.0 * spec.eps;
+  cs.edmstream.decay_lambda = 4.0 / static_cast<double>(spec.window);
+  cs.edmstream.delta_threshold = 10.0 * spec.eps;
+  cs.edmstream.rho_min = 1.0;
+  return cs;
 }
 
 // Minimal command-line parsing shared by the bench binaries: recognizes

@@ -62,13 +62,14 @@ int main() {
   // 5. Checkpoint, restore into a new instance, and resume the pipeline
   // with a seeded window.
   std::stringstream checkpoint;
-  if (!clusterer.SaveCheckpoint(checkpoint)) {
-    std::fprintf(stderr, "checkpoint failed\n");
+  if (disc::Status saved = clusterer.SaveCheckpoint(checkpoint); !saved.ok()) {
+    std::fprintf(stderr, "checkpoint failed: %s\n", saved.message().c_str());
     return 1;
   }
   disc::Disc restored(2, config);
-  if (!restored.LoadCheckpoint(checkpoint)) {
-    std::fprintf(stderr, "restore failed\n");
+  if (disc::Status loaded = restored.LoadCheckpoint(checkpoint);
+      !loaded.ok()) {
+    std::fprintf(stderr, "restore failed: %s\n", loaded.message().c_str());
     return 1;
   }
   disc::StreamingPipeline resumed(&stream, &restored, 2000, 250,

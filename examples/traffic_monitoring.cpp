@@ -6,9 +6,8 @@
 
 #include <cstdio>
 
-#include "baselines/dbscan.h"
 #include "common/timer.h"
-#include "core/disc.h"
+#include "stream/clusterer_factory.h"
 #include "stream/dtg_generator.h"
 #include "stream/sliding_window.h"
 
@@ -17,11 +16,14 @@ int main() {
   gen_options.num_zones = 30;  // Congestion zones on the road grid.
   disc::DtgGenerator stream(gen_options);
 
-  disc::DiscConfig config;
-  config.eps = 0.02;  // Small: roads are 1.0 apart, lanes ~0.005 wide.
-  config.tau = 14;
-  disc::Disc disc_method(/*dims=*/2, config);
-  disc::DbscanClusterer dbscan(/*dims=*/2, config.eps, config.tau);
+  disc::ClustererSpec spec;
+  spec.dims = 2;
+  spec.disc.eps = 0.02;  // Small: roads are 1.0 apart, lanes ~0.005 wide.
+  spec.disc.tau = 14;
+  const std::unique_ptr<disc::StreamClusterer> disc_method =
+      disc::MakeClusterer("DISC", spec);
+  const std::unique_ptr<disc::StreamClusterer> dbscan =
+      disc::MakeClusterer("DBSCAN", spec);
 
   const std::size_t window_size = 10000;
   const std::size_t stride = 500;  // 5% stride: frequent updates.
@@ -33,11 +35,11 @@ int main() {
     disc::WindowDelta delta = window.Advance(stream.NextPoints(stride));
 
     disc::Timer disc_timer;
-    disc_method.Update(delta.incoming, delta.outgoing);
+    disc_method->Update(delta.incoming, delta.outgoing);
     const double disc_ms = disc_timer.ElapsedMillis();
 
     disc::Timer dbscan_timer;
-    dbscan.Update(delta.incoming, delta.outgoing);
+    dbscan->Update(delta.incoming, delta.outgoing);
     const double dbscan_ms = dbscan_timer.ElapsedMillis();
 
     if (!window.full()) continue;  // Measure steady state only.
@@ -45,7 +47,7 @@ int main() {
     dbscan_total_ms += dbscan_ms;
     ++measured;
 
-    const std::size_t congested = disc_method.Snapshot().NumClusters();
+    const std::size_t congested = disc_method->Snapshot().NumClusters();
     std::printf("slide %2d: %3zu congested segments | DISC %6.2f ms, "
                 "DBSCAN-from-scratch %7.2f ms\n",
                 slide, congested, disc_ms, dbscan_ms);

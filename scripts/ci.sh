@@ -6,10 +6,12 @@
 #   3. Release: build + full ctest suite
 #   4. Observability smoke: run an example with tracing + JSONL metrics and
 #      validate both artifacts with tools/trace_check.py
-#   5. ASan+UBSan: build + full ctest suite (UBSan findings are fatal via
+#   5. Engine smoke: multi-session run with checkpoint/recover through a
+#      spill dir, trace validated for the engine scheduling spans
+#   6. ASan+UBSan: build + full ctest suite (UBSan findings are fatal via
 #      -fno-sanitize-recover, see the asan preset)
-#   6. TSan: build + full ctest suite
-#   7. clang-tidy over src/ (skips when clang-tidy is not installed)
+#   7. TSan: build + full ctest suite
+#   8. clang-tidy over src/ (skips when clang-tidy is not installed)
 #
 # Usage: scripts/ci.sh [extra ctest args...]
 set -euo pipefail
@@ -43,6 +45,18 @@ python3 tools/trace_check.py \
   --require-span disc.msbfs --require-span disc.msbfs.round \
   --require-span disc.neo_discovery \
   --jsonl "${obs_dir}/metrics.jsonl" --min-slides 20
+
+echo "=== engine smoke: multi-session checkpoint/recover + scheduling spans ==="
+./build-release/examples/multi_session \
+  "${obs_dir}/engine_trace.json" "${obs_dir}/engine_metrics.prom" \
+  "${obs_dir}/engine_spill" > /dev/null
+python3 tools/trace_check.py \
+  --trace "${obs_dir}/engine_trace.json" \
+  --require-span engine.drain --require-span engine.session \
+  --require-span pipeline.slide --require-span disc.update
+grep -q '^engine_session_city_vehicles_slides_total 15$' \
+  "${obs_dir}/engine_metrics.prom" || {
+    echo "engine smoke: per-session metrics missing or wrong" >&2; exit 1; }
 
 echo "=== ASan+UBSan: configure + build + full ctest ==="
 cmake --preset asan

@@ -1,0 +1,42 @@
+#ifndef DISC_COMMON_STATUS_H_
+#define DISC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace disc {
+
+// Lightweight operation status: ok, or an error with a human-readable
+// message. Fallible library operations that used to return bare bools
+// (checkpoint save/load, engine session admission, config validation)
+// return a Status instead, so multi-tenant callers can report *which*
+// resource failed and why — e.g. DiscEngine::Open names the session whose
+// recovery failed rather than collapsing everything into `false`.
+//
+// A default-constructed Status is OK. The message of an OK status is empty.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+  // `if (status) ...` reads as "if the operation succeeded".
+  explicit operator bool() const { return ok_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_STATUS_H_

@@ -2,10 +2,16 @@
 // algorithm needs across slides: per-point coordinates, density, previous
 // core status, category, and cluster handle, plus the cluster registry. The
 // spatial index and all per-update scratch fields are rebuilt/reset.
+//
+// Both operations return a Status whose message names the first thing that
+// went wrong (bad magic, dims/eps/tau mismatch, truncation, corrupt
+// record), so a multi-session host like DiscEngine can report which
+// checkpoint failed to recover and why.
 
 #include <algorithm>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <vector>
 
 #include "core/disc.h"
@@ -29,7 +35,7 @@ bool ReadPod(std::istream& in, T* value) {
 
 }  // namespace
 
-bool Disc::SaveCheckpoint(std::ostream& out) const {
+Status Disc::SaveCheckpoint(std::ostream& out) const {
   WritePod(out, kMagic);
   WritePod(out, static_cast<std::uint32_t>(tree_.dims()));
   WritePod(out, config_.eps);
@@ -51,21 +57,45 @@ bool Disc::SaveCheckpoint(std::ostream& out) const {
     WritePod(out, static_cast<std::uint8_t>(rec.category));
     WritePod(out, rec.cid);
   }
-  if (!registry_.Save(out)) return false;
-  return static_cast<bool>(out);
+  if (!registry_.Save(out)) {
+    return Status::Error("checkpoint save: cluster-registry write failed");
+  }
+  if (!out) {
+    return Status::Error("checkpoint save: stream write failed");
+  }
+  return Status::Ok();
 }
 
-bool Disc::LoadCheckpoint(std::istream& in) {
+Status Disc::LoadCheckpoint(std::istream& in) {
   std::uint64_t magic = 0;
   std::uint32_t dims = 0;
   double eps = 0.0;
   std::uint32_t tau = 0;
   std::uint64_t count = 0;
-  if (!ReadPod(in, &magic) || magic != kMagic) return false;
-  if (!ReadPod(in, &dims) || dims != tree_.dims()) return false;
-  if (!ReadPod(in, &eps) || eps != config_.eps) return false;
-  if (!ReadPod(in, &tau) || tau != config_.tau) return false;
-  if (!ReadPod(in, &count)) return false;
+  if (!ReadPod(in, &magic) || magic != kMagic) {
+    return Status::Error("checkpoint load: bad magic (not a DISC checkpoint)");
+  }
+  if (!ReadPod(in, &dims) || dims != tree_.dims()) {
+    std::ostringstream os;
+    os << "checkpoint load: dims mismatch (checkpoint " << dims
+       << ", clusterer " << tree_.dims() << ")";
+    return Status::Error(os.str());
+  }
+  if (!ReadPod(in, &eps) || eps != config_.eps) {
+    std::ostringstream os;
+    os << "checkpoint load: eps mismatch (checkpoint " << eps
+       << ", clusterer " << config_.eps << ")";
+    return Status::Error(os.str());
+  }
+  if (!ReadPod(in, &tau) || tau != config_.tau) {
+    std::ostringstream os;
+    os << "checkpoint load: tau mismatch (checkpoint " << tau
+       << ", clusterer " << config_.tau << ")";
+    return Status::Error(os.str());
+  }
+  if (!ReadPod(in, &count)) {
+    return Status::Error("checkpoint load: truncated header");
+  }
 
   records_.clear();
   records_.reserve(count);
@@ -76,33 +106,52 @@ bool Disc::LoadCheckpoint(std::istream& in) {
     Record rec;
     std::uint8_t core_prev = 0;
     std::uint8_t category = 0;
-    if (!ReadPod(in, &id)) return false;
+    // Built only on failure; the success path never touches a stream.
+    auto record_error = [&](const char* what) {
+      std::ostringstream os;
+      os << "checkpoint load: record " << i << " of " << count << ": " << what;
+      return Status::Error(os.str());
+    };
+    if (!ReadPod(in, &id)) return record_error("truncated");
     in.read(reinterpret_cast<char*>(rec.pt.x.data()),
             sizeof(double) * kMaxDims);
-    if (!in) return false;
-    if (!ReadPod(in, &rec.n_eps)) return false;
-    if (!ReadPod(in, &core_prev)) return false;
-    if (!ReadPod(in, &category)) return false;
-    if (!ReadPod(in, &rec.cid)) return false;
-    if (category > static_cast<std::uint8_t>(Category::kNoise)) return false;
+    if (!in) return record_error("truncated coordinates");
+    if (!ReadPod(in, &rec.n_eps)) return record_error("truncated");
+    if (!ReadPod(in, &core_prev)) return record_error("truncated");
+    if (!ReadPod(in, &category)) return record_error("truncated");
+    if (!ReadPod(in, &rec.cid)) return record_error("truncated");
+    if (category > static_cast<std::uint8_t>(Category::kNoise)) {
+      return record_error("invalid category byte");
+    }
     rec.pt.id = id;
     rec.pt.dims = dims;
-    if (!IsValidPoint(rec.pt)) return false;
+    if (!IsValidPoint(rec.pt)) {
+      return record_error("invalid point coordinates");
+    }
     rec.core_prev = core_prev != 0;
     // Restoring persisted labels, not making a clustering decision — the
     // SetLabel choke point (and its delta accounting) does not apply here:
     // disc-lint: allow(label-choke-point) checkpoint restore.
     rec.category = static_cast<Category>(category);
     points.push_back(rec.pt);
-    if (!records_.emplace(id, rec).second) return false;  // Duplicate id.
+    if (!records_.emplace(id, rec).second) {
+      return record_error("duplicate point id");
+    }
   }
-  if (!registry_.Load(in)) return false;
-  // Validate handles against the restored registry.
-  for (const auto& [id, rec] : records_) {
+  if (!registry_.Load(in)) {
+    return Status::Error("checkpoint load: corrupt cluster registry");
+  }
+  // Validate handles against the restored registry. Iterates the points in
+  // file order (not the hash map) so the first reported offender is stable.
+  for (const Point& pt : points) {
+    const Record& rec = records_.at(pt.id);
     if (rec.cid != kNoiseCluster &&
         (rec.cid < 0 ||
          static_cast<std::size_t>(rec.cid) >= registry_.num_handles())) {
-      return false;
+      std::ostringstream os;
+      os << "checkpoint load: point " << pt.id << " references cluster handle "
+         << rec.cid << " outside the restored registry";
+      return Status::Error(os.str());
     }
   }
 
@@ -116,7 +165,7 @@ bool Disc::LoadCheckpoint(std::istream& in) {
   touched_.clear();
   update_serial_ = 0;
   search_serial_ = 0;
-  return true;
+  return Status::Ok();
 }
 
 }  // namespace disc

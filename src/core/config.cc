@@ -1,0 +1,29 @@
+#include "core/config.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace disc {
+
+Status DiscConfig::Validate() const {
+  if (!std::isfinite(eps) || eps <= 0.0) {
+    std::ostringstream os;
+    os << "DiscConfig: eps must be a positive finite number, got " << eps;
+    return Status::Error(os.str());
+  }
+  if (tau < 1) {
+    return Status::Error(
+        "DiscConfig: tau must be >= 1 (a point is always its own "
+        "eps-neighbor)");
+  }
+  if (rtree_max_entries < 4) {
+    std::ostringstream os;
+    os << "DiscConfig: rtree_max_entries must be >= 4 (node splits need at "
+          "least two entries per half), got "
+       << rtree_max_entries;
+    return Status::Error(os.str());
+  }
+  return Status::Ok();
+}
+
+}  // namespace disc

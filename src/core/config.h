@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/status.h"
 #include "index/rtree.h"
 
 namespace disc {
@@ -58,6 +59,14 @@ struct DiscConfig {
   // batches run inline on the calling thread. Purely an execution knob —
   // inline and pooled probes return identical candidate lists.
   std::uint32_t parallel_cluster_min_batch = 2;
+
+  // Checks every parameter and returns a descriptive error for the first
+  // violation (eps must be a positive finite number, tau >= 1,
+  // rtree_max_entries >= 4). Called by the Disc constructor — which throws
+  // std::invalid_argument with the message on failure — and by
+  // DiscEngine session admission, which surfaces the Status instead of
+  // failing deep inside the index.
+  Status Validate() const;
 };
 
 }  // namespace disc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <thread>
 
 #include "common/timer.h"
@@ -17,17 +18,35 @@ std::uint32_t ResolveThreads(std::uint32_t requested) {
   return hw == 0 ? 1 : hw;
 }
 
+// Runs before any member that consumes config values (the R-tree asserts on
+// its fanout), so an invalid config surfaces as one descriptive exception
+// instead of an assert deep in the index.
+const DiscConfig& ValidateOrThrow(const DiscConfig& config) {
+  if (Status valid = config.Validate(); !valid.ok()) {
+    throw std::invalid_argument(valid.message());
+  }
+  return config;
+}
+
 }  // namespace
 
 Disc::Disc(std::uint32_t dims, const DiscConfig& config)
-    : config_(config),
+    : config_(ValidateOrThrow(config)),
       tree_(dims, config.rtree_max_entries, config.rtree_split_policy) {
-  assert(config.eps > 0.0);
-  assert(config.tau >= 1);
   config_.num_threads = ResolveThreads(config_.num_threads);
   if (config_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads - 1);
   }
+}
+
+void Disc::SetExecutionPool(ThreadPool* pool) {
+  external_pool_ = pool;
+  use_external_pool_ = true;
+}
+
+void Disc::ReleaseExecutionPool() {
+  external_pool_ = nullptr;
+  use_external_pool_ = false;
 }
 
 Disc::Record& Disc::GetRecord(PointId id) {
@@ -70,12 +89,13 @@ void Disc::SetLabel(PointId id, Record* rec, Category category,
 void Disc::FanOutProbes(const std::vector<const Point*>& centers,
                         std::vector<std::vector<PointId>>* hits) {
   hits->assign(centers.size(), {});
-  const std::size_t lanes = pool_ ? pool_->lanes() : 1;
+  ThreadPool* pool = execution_pool();
+  const std::size_t lanes = pool ? pool->lanes() : 1;
   std::vector<RTreeStats> lane_stats(lanes);
   Timer timer;
   {
     RTree::ConcurrentProbeScope probe_scope(tree_);
-    ParallelFor(pool_.get(), centers.size(),
+    ParallelFor(pool, centers.size(),
                 [&](std::size_t lane, std::size_t i) {
                   if (centers[i] == nullptr) return;
                   std::vector<PointId>& out = (*hits)[i];

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/cluster_registry.h"
 #include "core/config.h"
@@ -55,6 +56,9 @@ namespace disc {
 // borders adjacent to several clusters).
 class Disc : public StreamClusterer {
  public:
+  // Throws std::invalid_argument when config.Validate() fails; validate
+  // up front (e.g. DiscEngine session admission) to reject bad configs
+  // without the exception.
   Disc(std::uint32_t dims, const DiscConfig& config);
 
   // StreamClusterer. The returned delta is precise: `relabeled` lists
@@ -77,11 +81,22 @@ class Disc : public StreamClusterer {
   // densities, labels, cluster registry) so a stream processor can restart
   // without replaying the window. Restore into a Disc constructed with the
   // same dims; eps/tau are verified against the checkpoint. The R-tree is
-  // rebuilt by bulk load. Same-machine byte order is assumed. Both return
-  // false on I/O or validation failure (the target is unusable after a
-  // failed Load).
-  bool SaveCheckpoint(std::ostream& out) const;
-  bool LoadCheckpoint(std::istream& in);
+  // rebuilt by bulk load. Same-machine byte order is assumed. Both return a
+  // Status naming the first I/O or validation failure (the target is
+  // unusable after a failed Load).
+  Status SaveCheckpoint(std::ostream& out) const;
+  Status LoadCheckpoint(std::istream& in);
+
+  // Replaces the probe-fan-out pool for every subsequent Update: probes run
+  // on `pool` (borrowed; the caller owns it and must not run two clusterers
+  // on it concurrently), or inline on the calling thread when `pool` is
+  // null. ReleaseExecutionPool() returns to the config-owned pool. Because
+  // results are byte-identical for every lane count, switching pools never
+  // changes any output — this is how DiscEngine multiplexes many sessions
+  // over one shared pool (a lone runnable session borrows every lane;
+  // concurrently scheduled sessions run single-lane internally).
+  void SetExecutionPool(ThreadPool* pool);
+  void ReleaseExecutionPool();
 
   // Cluster-evolution events observed during the most recent Update.
   const std::vector<ClusterEvent>& last_events() const { return events_; }
@@ -259,6 +274,13 @@ class Disc : public StreamClusterer {
 
   Record& GetRecord(PointId id);
 
+  // The pool the parallel stages fan out on: the external pool when one is
+  // installed (even if null — that means "run inline"), else the internal
+  // config-owned pool.
+  ThreadPool* execution_pool() const {
+    return use_external_pool_ ? external_pool_ : pool_.get();
+  }
+
   DiscConfig config_;
   RTree tree_;
   std::unordered_map<PointId, Record> records_;
@@ -266,6 +288,9 @@ class Disc : public StreamClusterer {
   // COLLECT's probe fan-out pool; null when config_.num_threads resolves
   // to 1 (the sequential path then runs without any synchronization).
   std::unique_ptr<ThreadPool> pool_;
+  // SetExecutionPool state; see execution_pool().
+  ThreadPool* external_pool_ = nullptr;
+  bool use_external_pool_ = false;
 
   std::vector<ClusterEvent> events_;
   DiscMetrics metrics_;

@@ -323,7 +323,7 @@ void Disc::FanOutClusterProbes(const std::vector<const Point*>& centers,
                                std::vector<std::vector<PointId>>* hits) {
   hits->assign(centers.size(), {});
   ThreadPool* pool = centers.size() >= config_.parallel_cluster_min_batch
-                         ? pool_.get()
+                         ? execution_pool()
                          : nullptr;
   const std::size_t lanes = pool ? pool->lanes() : 1;
   std::vector<RTreeStats> lane_stats(lanes);
@@ -777,7 +777,7 @@ void Disc::ProcessNeoCoresParallel(const std::vector<PointId>& neo_cores) {
     // neighbors abort after a single claim check — the worst per-index skew
     // in the codebase.
     ParallelFor(
-        pool_.get(), n,
+        execution_pool(), n,
         [&](std::size_t, std::size_t i) {
           NeoDiscoveryWorker(static_cast<std::uint32_t>(i), neo_cores,
                              seed_index, &claims, &discoveries[i]);

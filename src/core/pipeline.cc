@@ -17,11 +17,13 @@ StreamingPipeline::StreamingPipeline(StreamSource* source,
                                      StreamClusterer* clusterer,
                                      std::size_t window_size,
                                      std::size_t stride,
-                                     std::vector<Point> window_contents)
+                                     std::vector<Point> window_contents,
+                                     std::size_t slides_already_run)
     : source_(source),
       clusterer_(clusterer),
       window_(window_size, stride, std::move(window_contents)),
-      stride_(stride) {}
+      stride_(stride),
+      slide_index_(slides_already_run) {}
 
 std::size_t StreamingPipeline::Run(std::size_t max_slides,
                                    const Observer& observe) {

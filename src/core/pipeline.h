@@ -52,10 +52,13 @@ class StreamingPipeline {
 
   // Resumption constructor: seeds the window with existing contents (e.g.,
   // Disc::WindowContents() after LoadCheckpoint) so eviction continues from
-  // where the checkpointed run left off.
+  // where the checkpointed run left off. `slides_already_run` seeds the
+  // slide counter, so resumed SlideReports (and the traces/metrics built
+  // from them) continue the original numbering instead of restarting at 0.
   StreamingPipeline(StreamSource* source, StreamClusterer* clusterer,
                     std::size_t window_size, std::size_t stride,
-                    std::vector<Point> window_contents);
+                    std::vector<Point> window_contents,
+                    std::size_t slides_already_run = 0);
 
   // Processes up to max_slides slides (or until the observer stops it).
   // Returns the number of slides executed. May be called repeatedly; the

@@ -1,0 +1,471 @@
+#include "engine/disc_engine.h"
+
+#include <cassert>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "core/disc.h"
+#include "obs/trace.h"
+
+namespace disc {
+
+namespace {
+
+// Spill-file framing. Same-machine byte order, like Disc's own checkpoint.
+constexpr std::uint32_t kSessionMagic = 0x444E4753;  // "SGND" little-endian.
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WritePod(out, static_cast<std::uint64_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::istream& in, std::string* s) {
+  std::uint64_t size = 0;
+  if (!ReadPod(in, &size) || size > (1u << 20)) return false;
+  s->resize(size);
+  in.read(s->data(), static_cast<std::streamsize>(size));
+  return static_cast<bool>(in);
+}
+
+// Prometheus-compatible metric-name fragment — also keeps the session's
+// spill file name shell-safe.
+bool ValidSessionName(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) return false;
+  }
+  return true;
+}
+
+std::size_t ResolveLanes(std::uint32_t num_threads) {
+  if (num_threads != 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/engine.manifest";
+}
+
+std::string SessionPath(const std::string& dir, const std::string& name) {
+  return dir + "/" + name + ".session";
+}
+
+constexpr char kManifestHeader[] = "DISCENGINE 1";
+
+}  // namespace
+
+LabeledPoint DiscEngine::QueueSource::Next() {
+  assert(!queue_.empty() && "engine slide scheduled without queued points");
+  LabeledPoint lp;
+  lp.point = queue_.front();
+  queue_.pop_front();
+  return lp;
+}
+
+DiscEngine::DiscEngine(const EngineOptions& options) : options_(options) {
+  const std::size_t lanes = ResolveLanes(options_.num_threads);
+  if (lanes > 1) pool_ = std::make_unique<ThreadPool>(lanes - 1);
+}
+
+DiscEngine::~DiscEngine() = default;
+
+DiscEngine::Session* DiscEngine::Find(const std::string& name) {
+  for (const auto& session : sessions_) {
+    if (session->name == name) return session.get();
+  }
+  return nullptr;
+}
+
+const DiscEngine::Session* DiscEngine::Find(const std::string& name) const {
+  for (const auto& session : sessions_) {
+    if (session->name == name) return session.get();
+  }
+  return nullptr;
+}
+
+Status DiscEngine::CreateSession(const std::string& name,
+                                 const SessionOptions& options) {
+  if (!ValidSessionName(name)) {
+    return Status::Error("invalid session name \"" + name +
+                         "\"; names must match [a-zA-Z_][a-zA-Z0-9_]*");
+  }
+  if (Find(name) != nullptr) {
+    return Status::Error("session \"" + name + "\" already exists");
+  }
+  const ClustererSpec& spec = options.spec;
+  if (spec.stride < 1 || spec.window_size < spec.stride) {
+    std::ostringstream os;
+    os << "session \"" << name << "\": window geometry needs 1 <= stride <= "
+       << "window_size, got window_size=" << spec.window_size
+       << " stride=" << spec.stride;
+    return Status::Error(os.str());
+  }
+  // The engine owns execution: sessions never spin up an internal pool
+  // (they run single-lane on their scheduled lane, or borrow the shared
+  // pool when alone) — results are identical either way.
+  SessionOptions adopted = options;
+  adopted.spec.disc.num_threads = 1;
+  Status error;
+  std::unique_ptr<StreamClusterer> clusterer =
+      MakeClusterer(adopted.method, adopted.spec, &error);
+  if (clusterer == nullptr) {
+    return Status::Error("session \"" + name + "\": " + error.message());
+  }
+  Admit(name, std::move(adopted), std::move(clusterer), {}, 0);
+  return Status::Ok();
+}
+
+void DiscEngine::Admit(const std::string& name, SessionOptions options,
+                       std::unique_ptr<StreamClusterer> clusterer,
+                       std::vector<Point> seed_window,
+                       std::size_t slides_already_run) {
+  auto session = std::make_unique<Session>();
+  session->name = name;
+  session->id = next_session_id_++;
+  session->options = std::move(options);
+  session->clusterer = std::move(clusterer);
+  const ClustererSpec& spec = session->options.spec;
+  // Session is heap-allocated, so the pipeline's borrowed source/clusterer
+  // pointers stay valid for the session's lifetime.
+  if (seed_window.empty() && slides_already_run == 0) {
+    session->pipeline = std::make_unique<StreamingPipeline>(
+        &session->source, session->clusterer.get(), spec.window_size,
+        spec.stride);
+  } else {
+    session->pipeline = std::make_unique<StreamingPipeline>(
+        &session->source, session->clusterer.get(), spec.window_size,
+        spec.stride, std::move(seed_window), slides_already_run);
+  }
+  sessions_.push_back(std::move(session));
+  if (options_.metrics != nullptr) {
+    options_.metrics->gauge("engine_sessions")
+        .Set(static_cast<double>(sessions_.size()));
+  }
+}
+
+Status DiscEngine::FeedSlide(const std::string& name,
+                             const std::vector<Point>& points) {
+  Session* session = Find(name);
+  if (session == nullptr) {
+    return Status::Error("no session named \"" + name + "\"");
+  }
+  const std::size_t stride = session->options.spec.stride;
+  if (points.size() != stride) {
+    std::ostringstream os;
+    os << "session \"" << name << "\": a slide is exactly stride=" << stride
+       << " points, got " << points.size();
+    return Status::Error(os.str());
+  }
+  for (const Point& p : points) session->source.Push(p);
+  ++session->pending_slides;
+  return Status::Ok();
+}
+
+Status DiscEngine::CloseSession(const std::string& name) {
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (sessions_[i]->name != name) continue;
+    sessions_.erase(sessions_.begin() +
+                    static_cast<std::ptrdiff_t>(i));
+    if (options_.metrics != nullptr) {
+      options_.metrics->gauge("engine_sessions")
+          .Set(static_cast<double>(sessions_.size()));
+    }
+    return Status::Ok();
+  }
+  return Status::Error("no session named \"" + name + "\"");
+}
+
+void DiscEngine::ExecuteSessionSlide(Session* session) {
+  obs::TraceSpan span("engine.session");
+  span.AddArg("session", session->id);
+  span.AddArg("slide", session->pipeline->slides_run());
+  session->pipeline->Run(1, [session](const SlideReport& report) {
+    session->last_report = report;
+    return true;
+  });
+  --session->pending_slides;
+  session->ran_this_round = true;
+}
+
+void DiscEngine::FoldSessionMetrics(Session* session) {
+  if (options_.metrics == nullptr) return;
+  obs::MetricsRegistry& reg = *options_.metrics;
+  const SlideReport& r = session->last_report;
+  const std::string prefix = "engine_session_" + session->name + "_";
+  reg.counter(prefix + "slides_total").Add(1);
+  reg.counter(prefix + "points_entered_total").Add(r.entered);
+  reg.counter(prefix + "points_exited_total").Add(r.exited);
+  reg.counter(prefix + "points_relabeled_total").Add(r.relabeled);
+  reg.gauge(prefix + "window_size").Set(static_cast<double>(r.window_size));
+  reg.histogram(prefix + "update_ms").Observe(r.update_ms);
+}
+
+std::size_t DiscEngine::Drain() {
+  obs::TraceSpan span("engine.drain");
+  std::size_t executed = 0;
+  while (!sessions_.empty()) {
+    // Ready set of this round, in round-robin order so no session starves
+    // the slot assignment when there are more ready sessions than lanes.
+    const std::size_t n = sessions_.size();
+    std::vector<Session*> ready;
+    for (std::size_t k = 0; k < n; ++k) {
+      Session* s = sessions_[(rr_cursor_ + k) % n].get();
+      if (s->pending_slides > 0) ready.push_back(s);
+    }
+    if (ready.empty()) break;
+    rr_cursor_ = (rr_cursor_ + 1) % n;
+
+    if (ready.size() == 1) {
+      // A lone runnable session borrows every lane of the shared pool for
+      // its internal fan-out; output is identical either way (core/disc.h).
+      Session* s = ready.front();
+      Disc* exact = s->clusterer->name() == "DISC"
+                        ? static_cast<Disc*>(s->clusterer.get())
+                        : nullptr;
+      if (exact != nullptr) exact->SetExecutionPool(pool_.get());
+      ExecuteSessionSlide(s);
+      if (exact != nullptr) exact->ReleaseExecutionPool();
+    } else {
+      // One slide per ready session, one session per pool lane. Each
+      // session updates single-lane internally (its config carries
+      // num_threads=1 and no external pool is installed), so lanes never
+      // share any clusterer state; the lambda writes only to its own
+      // session. chunk=1: slides are coarse, uneven tasks.
+      ParallelFor(
+          pool_.get(), ready.size(),
+          [&ready, this](std::size_t, std::size_t i) {
+            ExecuteSessionSlide(ready[i]);
+          },
+          1);
+    }
+
+    // Fold telemetry on the scheduler thread (the registry is not
+    // thread-safe), in creation order so exports never depend on the
+    // round-robin phase or lane scheduling.
+    for (const auto& up : sessions_) {
+      if (!up->ran_this_round) continue;
+      up->ran_this_round = false;
+      FoldSessionMetrics(up.get());
+      ++executed;
+    }
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("engine_drains_total").Add(1);
+    options_.metrics->counter("engine_slides_total").Add(executed);
+  }
+  span.AddArg("slides", executed);
+  return executed;
+}
+
+Status DiscEngine::SaveSession(const Session& session,
+                               std::ostream& out) const {
+  WritePod(out, kSessionMagic);
+  WriteString(out, session.name);
+  WriteString(out, session.options.method);
+  const ClustererSpec& spec = session.options.spec;
+  WritePod(out, spec.dims);
+  WritePod(out, static_cast<std::uint64_t>(spec.window_size));
+  WritePod(out, static_cast<std::uint64_t>(spec.stride));
+  WritePod(out, static_cast<std::uint64_t>(session.pipeline->slides_run()));
+  const DiscConfig& c = spec.disc;
+  WritePod(out, c.eps);
+  WritePod(out, c.tau);
+  WritePod(out, static_cast<std::uint8_t>(c.use_msbfs));
+  WritePod(out, static_cast<std::uint8_t>(c.use_epoch_probing));
+  WritePod(out, static_cast<std::uint8_t>(c.use_border_witness));
+  WritePod(out, static_cast<std::int32_t>(c.rtree_max_entries));
+  WritePod(out, static_cast<std::uint8_t>(c.rtree_split_policy));
+  WritePod(out, static_cast<std::uint8_t>(c.parallel_cluster));
+  WritePod(out, c.parallel_cluster_min_batch);
+  if (!out) {
+    return Status::Error("session \"" + session.name +
+                         "\": write failed on the spill header");
+  }
+  return static_cast<const Disc*>(session.clusterer.get())
+      ->SaveCheckpoint(out);
+}
+
+Status DiscEngine::Checkpoint() {
+  if (options_.spill_dir.empty()) {
+    return Status::Error(
+        "checkpointing disabled: EngineOptions::spill_dir is unset");
+  }
+  // All-or-nothing: refuse before writing any bytes when a session cannot
+  // be persisted, so a partial generation never shadows the previous one.
+  for (const auto& session : sessions_) {
+    if (session->clusterer->name() != "DISC") {
+      return Status::Error("session \"" + session->name + "\" uses method " +
+                           session->clusterer->name() +
+                           ", which has no checkpoint support; only DISC "
+                           "sessions are checkpointable");
+    }
+  }
+  Drain();  // No queued slide may be lost to the checkpoint boundary.
+
+  std::error_code ec;
+  std::filesystem::create_directories(options_.spill_dir, ec);
+  if (ec) {
+    return Status::Error("cannot create spill directory " +
+                         options_.spill_dir + ": " + ec.message());
+  }
+  for (const auto& session : sessions_) {
+    const std::string path = SessionPath(options_.spill_dir, session->name);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Error("cannot open " + path + " for writing");
+    }
+    if (Status saved = SaveSession(*session, out); !saved.ok()) return saved;
+    out.flush();
+    if (!out) return Status::Error("write failed on " + path);
+  }
+  // Manifest last, via rename: a crash mid-checkpoint leaves the previous
+  // manifest (and its still-present session files) intact.
+  const std::string manifest = ManifestPath(options_.spill_dir);
+  const std::string tmp = manifest + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::Error("cannot open " + tmp + " for writing");
+    out << kManifestHeader << "\n" << sessions_.size() << "\n";
+    for (const auto& session : sessions_) out << session->name << "\n";
+    out.flush();
+    if (!out) return Status::Error("write failed on " + tmp);
+  }
+  std::filesystem::rename(tmp, manifest, ec);
+  if (ec) {
+    return Status::Error("cannot publish " + manifest + ": " + ec.message());
+  }
+  return Status::Ok();
+}
+
+std::unique_ptr<DiscEngine> DiscEngine::Open(const EngineOptions& options,
+                                             Status* error) {
+  if (error != nullptr) *error = Status::Ok();
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = Status::Error(message);
+    return std::unique_ptr<DiscEngine>();
+  };
+  if (options.spill_dir.empty()) {
+    return fail("EngineOptions::spill_dir is unset");
+  }
+  std::ifstream manifest(ManifestPath(options.spill_dir));
+  if (!manifest) {
+    return fail("no engine manifest in " + options.spill_dir);
+  }
+  std::string header;
+  std::getline(manifest, header);
+  if (header != kManifestHeader) {
+    return fail("bad manifest header \"" + header + "\"");
+  }
+  std::size_t count = 0;
+  manifest >> count;
+  manifest.ignore(1, '\n');
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!std::getline(manifest, name) || !ValidSessionName(name)) {
+      return fail("corrupt manifest: bad session name at entry " +
+                  std::to_string(i));
+    }
+    names.push_back(std::move(name));
+  }
+
+  auto engine = std::unique_ptr<DiscEngine>(new DiscEngine(options));
+  for (const std::string& name : names) {
+    const std::string path = SessionPath(options.spill_dir, name);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return fail("cannot open " + path);
+    std::uint32_t magic = 0;
+    std::string stored_name, method;
+    if (!ReadPod(in, &magic) || magic != kSessionMagic ||
+        !ReadString(in, &stored_name) || stored_name != name ||
+        !ReadString(in, &method)) {
+      return fail("corrupt session header in " + path);
+    }
+    SessionOptions so;
+    so.method = method;
+    ClustererSpec& spec = so.spec;
+    std::uint64_t window_size = 0, stride = 0, slides_run = 0;
+    std::uint8_t use_msbfs = 0, use_epoch = 0, use_witness = 0;
+    std::uint8_t split_policy = 0, parallel_cluster = 0;
+    std::int32_t max_entries = 0;
+    if (!ReadPod(in, &spec.dims) || !ReadPod(in, &window_size) ||
+        !ReadPod(in, &stride) || !ReadPod(in, &slides_run) ||
+        !ReadPod(in, &spec.disc.eps) || !ReadPod(in, &spec.disc.tau) ||
+        !ReadPod(in, &use_msbfs) || !ReadPod(in, &use_epoch) ||
+        !ReadPod(in, &use_witness) || !ReadPod(in, &max_entries) ||
+        !ReadPod(in, &split_policy) || !ReadPod(in, &parallel_cluster) ||
+        !ReadPod(in, &spec.disc.parallel_cluster_min_batch)) {
+      return fail("corrupt session header in " + path);
+    }
+    spec.window_size = window_size;
+    spec.stride = stride;
+    spec.disc.use_msbfs = use_msbfs != 0;
+    spec.disc.use_epoch_probing = use_epoch != 0;
+    spec.disc.use_border_witness = use_witness != 0;
+    spec.disc.rtree_max_entries = max_entries;
+    spec.disc.rtree_split_policy = static_cast<SplitPolicy>(split_policy);
+    spec.disc.parallel_cluster = parallel_cluster != 0;
+    spec.disc.num_threads = 1;
+
+    Status make_error;
+    std::unique_ptr<StreamClusterer> clusterer =
+        MakeClusterer(so.method, spec, &make_error);
+    if (clusterer == nullptr) {
+      return fail("session \"" + name + "\": " + make_error.message());
+    }
+    if (clusterer->name() != "DISC") {
+      return fail("session \"" + name + "\" was spilled with method " +
+                  method + ", which has no checkpoint support");
+    }
+    Disc* exact = static_cast<Disc*>(clusterer.get());
+    if (Status loaded = exact->LoadCheckpoint(in); !loaded.ok()) {
+      return fail("session \"" + name + "\": " + loaded.message());
+    }
+    engine->Admit(name, std::move(so), std::move(clusterer),
+                  exact->WindowContents(), slides_run);
+  }
+  return engine;
+}
+
+std::vector<std::string> DiscEngine::SessionNames() const {
+  std::vector<std::string> names;
+  names.reserve(sessions_.size());
+  for (const auto& session : sessions_) names.push_back(session->name);
+  return names;
+}
+
+StreamClusterer* DiscEngine::Clusterer(const std::string& name) {
+  Session* session = Find(name);
+  return session == nullptr ? nullptr : session->clusterer.get();
+}
+
+std::size_t DiscEngine::PendingSlides(const std::string& name) const {
+  const Session* session = Find(name);
+  return session == nullptr ? 0 : session->pending_slides;
+}
+
+std::size_t DiscEngine::SlidesRun(const std::string& name) const {
+  const Session* session = Find(name);
+  return session == nullptr ? 0 : session->pipeline->slides_run();
+}
+
+}  // namespace disc

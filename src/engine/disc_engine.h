@@ -1,0 +1,191 @@
+#ifndef DISC_ENGINE_DISC_ENGINE_H_
+#define DISC_ENGINE_DISC_ENGINE_H_
+
+// DiscEngine: many concurrent clustering sessions multiplexed over one
+// shared thread pool, with checkpointed recovery (docs/API.md §Engine).
+//
+// A *session* is a named (clusterer, window, slide queue) triple. Hosts
+// feed raw point strides with FeedSlide and call Drain() to advance every
+// session that has work; the engine schedules ready sessions round-robin
+// onto the pool's lanes. Scheduling never changes results: when several
+// sessions run concurrently each update runs single-lane internally, and a
+// lone runnable session borrows the whole pool — DISC's output is
+// bit-identical for every lane count (see core/disc.h), so per-session
+// snapshots, deltas, and checkpoints are byte-identical to a standalone
+// single-threaded run of the same stream.
+//
+// Checkpoint() persists every session into the engine's spill directory
+// (drained first, so no queued slide is lost); DiscEngine::Open() restores
+// all of them — window contents, labels, slide numbering — and the resumed
+// streams continue exactly as if never interrupted.
+//
+// The engine is single-threaded at its surface: all calls must come from
+// one thread (the pool is used only inside Drain). Per-session telemetry —
+// `engine_session_<name>_*` metrics, "engine.session" trace spans — is
+// emitted on that thread; see docs/OBSERVABILITY.md.
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/pipeline.h"
+#include "obs/metrics_registry.h"
+#include "stream/clusterer_factory.h"
+#include "stream/stream_clusterer.h"
+#include "stream/stream_source.h"
+
+namespace disc {
+
+struct EngineOptions {
+  // Concurrent lanes of the shared pool, like DiscConfig::num_threads:
+  // 1 = no pool (everything runs on the calling thread), 0 = one lane per
+  // hardware thread. Lane count never affects any session's output.
+  std::uint32_t num_threads = 0;
+
+  // Directory Checkpoint() writes to and Open() reads from. Empty disables
+  // checkpointing (Checkpoint() then fails with a Status).
+  std::string spill_dir;
+
+  // Optional telemetry sink, borrowed (must outlive the engine). Gains
+  // engine_* counters plus engine_session_<name>_* metrics per session.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct SessionOptions {
+  // MakeClusterer key ("DISC", "DBSTREAM", ...). Only "DISC" sessions are
+  // checkpointable; any method can be hosted.
+  std::string method = "DISC";
+
+  // Dims, window geometry (window_size/stride, both required), thresholds,
+  // and baseline options. The engine owns execution: spec.disc.num_threads
+  // is forced to 1 and the shared pool is injected per-slide instead.
+  ClustererSpec spec;
+};
+
+class DiscEngine {
+ public:
+  explicit DiscEngine(const EngineOptions& options);
+  ~DiscEngine();
+
+  DiscEngine(const DiscEngine&) = delete;
+  DiscEngine& operator=(const DiscEngine&) = delete;
+
+  // Admits a new session. Fails (without side effects) when the name is
+  // empty, not Prometheus-compatible ([a-zA-Z_][a-zA-Z0-9_]*), or taken;
+  // when the window geometry is degenerate (stride < 1 or window_size <
+  // stride); or when MakeClusterer rejects the method/spec — the returned
+  // Status carries the factory's (or Validate()'s) message.
+  Status CreateSession(const std::string& name, const SessionOptions& options);
+
+  // Queues one slide for the named session. `points` must hold exactly
+  // stride points (the count-based window model); ids are the caller's and
+  // must be fresh, as with any StreamClusterer. The slide runs at the next
+  // Drain().
+  Status FeedSlide(const std::string& name, const std::vector<Point>& points);
+
+  // Runs every queued slide of every session to completion and returns the
+  // number of slides executed. Scheduling is round-robin over the sessions
+  // with work: each round picks the ready set, runs one slide per session
+  // across the pool's lanes (or hands the whole pool to a lone session),
+  // then folds telemetry before the next round.
+  std::size_t Drain();
+
+  // Removes the session and its queued slides. Fails when unknown.
+  Status CloseSession(const std::string& name);
+
+  // Drains, then persists every session to spill_dir (one binary file per
+  // session plus a manifest). Fails when spill_dir is unset, a session's
+  // method is not checkpointable (the message names the offender), or on
+  // the first I/O error. A successful call replaces the previous manifest
+  // atomically-enough for the crash-before-rename window: Open() sees
+  // either the old or the new checkpoint generation.
+  Status Checkpoint();
+
+  // Restores an engine (and every session of the manifest) from
+  // options.spill_dir. Returns null with the reason in *error when the
+  // directory holds no manifest or any session fails to load. Sessions
+  // resume with their window contents, labels, and slide numbering intact.
+  static std::unique_ptr<DiscEngine> Open(const EngineOptions& options,
+                                          Status* error = nullptr);
+
+  // Session names in creation (manifest) order.
+  std::vector<std::string> SessionNames() const;
+
+  // The named session's clusterer, or null when unknown. Snapshot() and
+  // checkpointing through this pointer are fine; do not Update() through
+  // it — feed the engine instead.
+  StreamClusterer* Clusterer(const std::string& name);
+
+  // Queued-but-not-yet-run slides of the named session (0 when unknown).
+  std::size_t PendingSlides(const std::string& name) const;
+
+  // Slides the named session has executed since creation — checkpointed
+  // and restored, so numbering continues across recovery.
+  std::size_t SlidesRun(const std::string& name) const;
+
+  std::size_t session_count() const { return sessions_.size(); }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  // Feeds a session's queued strides to its pipeline: FeedSlide pushes
+  // here, the pipeline's window pulls via Next() during a drained slide.
+  class QueueSource : public StreamSource {
+   public:
+    LabeledPoint Next() override;
+    void Push(const Point& p) { queue_.push_back(p); }
+    std::size_t size() const { return queue_.size(); }
+
+   private:
+    std::deque<Point> queue_;
+  };
+
+  struct Session {
+    std::string name;
+    std::uint64_t id = 0;  // Creation order; the trace-span session arg.
+    SessionOptions options;
+    QueueSource source;
+    std::unique_ptr<StreamClusterer> clusterer;
+    std::unique_ptr<StreamingPipeline> pipeline;
+    std::size_t pending_slides = 0;
+    // Scratch of the current Drain round, written only by the lane running
+    // this session, folded into metrics by the scheduler thread after the
+    // round's barrier.
+    SlideReport last_report;
+    bool ran_this_round = false;
+  };
+
+  Session* Find(const std::string& name);
+  const Session* Find(const std::string& name) const;
+
+  // Builds the session object (no validation; CreateSession and Open have
+  // already vetted the options and built the clusterer). The seed window
+  // and slide counter carry restored state when resuming.
+  void Admit(const std::string& name, SessionOptions options,
+             std::unique_ptr<StreamClusterer> clusterer,
+             std::vector<Point> seed_window, std::size_t slides_already_run);
+
+  // Runs exactly one queued slide of `session` on the calling thread (a
+  // pool lane during concurrent rounds, the scheduler thread when the
+  // session has the pool to itself). Emits the "engine.session" span.
+  void ExecuteSessionSlide(Session* session);
+
+  void FoldSessionMetrics(Session* session);
+
+  Status SaveSession(const Session& session, std::ostream& out) const;
+
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // Null when num_threads resolves to 1.
+  std::vector<std::unique_ptr<Session>> sessions_;  // Creation order.
+  std::uint64_t next_session_id_ = 0;
+  std::size_t rr_cursor_ = 0;  // Round-robin start of the next ready set.
+};
+
+}  // namespace disc
+
+#endif  // DISC_ENGINE_DISC_ENGINE_H_

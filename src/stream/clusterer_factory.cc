@@ -1,0 +1,108 @@
+#include "stream/clusterer_factory.h"
+
+#include <cctype>
+#include <sstream>
+#include <string>
+
+#include "baselines/dbscan.h"
+#include "baselines/extra_n.h"
+#include "baselines/graph_disc.h"
+#include "baselines/inc_dbscan.h"
+#include "baselines/rho_dbscan.h"
+#include "core/disc.h"
+
+namespace disc {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SetError(Status* error, Status status) {
+  if (error != nullptr) *error = std::move(status);
+}
+
+}  // namespace
+
+std::vector<std::string_view> KnownClustererMethods() {
+  return {"DISC",    "DISC-graph", "IncDBSCAN", "DBSCAN",
+          "EXTRA-N", "rho-DBSCAN", "DBSTREAM",  "EDMStream"};
+}
+
+std::unique_ptr<StreamClusterer> MakeClusterer(std::string_view method,
+                                               const ClustererSpec& spec,
+                                               Status* error) {
+  SetError(error, Status::Ok());
+
+  // The exact methods all consume the DiscConfig thresholds; reject a bad
+  // config here so no constructor gets the chance to throw or assert.
+  auto validated_disc_config = [&]() -> bool {
+    Status valid = spec.disc.Validate();
+    if (!valid.ok()) SetError(error, std::move(valid));
+    return valid.ok();
+  };
+
+  if (EqualsIgnoreCase(method, "DISC")) {
+    if (!validated_disc_config()) return nullptr;
+    return std::make_unique<Disc>(spec.dims, spec.disc);
+  }
+  if (EqualsIgnoreCase(method, "DISC-graph")) {
+    if (!validated_disc_config()) return nullptr;
+    return std::make_unique<GraphDisc>(spec.dims, spec.disc);
+  }
+  if (EqualsIgnoreCase(method, "IncDBSCAN")) {
+    if (!validated_disc_config()) return nullptr;
+    return std::make_unique<IncDbscan>(spec.dims, spec.disc);
+  }
+  if (EqualsIgnoreCase(method, "DBSCAN")) {
+    if (!validated_disc_config()) return nullptr;
+    return std::make_unique<DbscanClusterer>(spec.dims, spec.disc.eps,
+                                             spec.disc.tau,
+                                             spec.disc.rtree_max_entries);
+  }
+  if (EqualsIgnoreCase(method, "EXTRA-N")) {
+    if (!validated_disc_config()) return nullptr;
+    if (spec.stride == 0 || spec.window_size == 0 ||
+        spec.window_size % spec.stride != 0) {
+      std::ostringstream os;
+      os << "EXTRA-N needs window_size a nonzero multiple of stride, got "
+         << "window_size=" << spec.window_size << " stride=" << spec.stride;
+      SetError(error, Status::Error(os.str()));
+      return nullptr;
+    }
+    return std::make_unique<ExtraN>(spec.dims, spec.disc.eps, spec.disc.tau,
+                                    spec.window_size, spec.stride,
+                                    spec.disc.rtree_max_entries);
+  }
+  if (EqualsIgnoreCase(method, "rho-DBSCAN")) {
+    if (!validated_disc_config()) return nullptr;
+    RhoDbscan::Options options;
+    options.eps = spec.disc.eps;
+    options.tau = spec.disc.tau;
+    options.rho = spec.rho;
+    return std::make_unique<RhoDbscan>(spec.dims, options);
+  }
+  if (EqualsIgnoreCase(method, "DBSTREAM")) {
+    return std::make_unique<DbStream>(spec.dims, spec.dbstream);
+  }
+  if (EqualsIgnoreCase(method, "EDMStream")) {
+    return std::make_unique<EdmStream>(spec.dims, spec.edmstream);
+  }
+
+  std::ostringstream os;
+  os << "unknown clustering method \"" << std::string(method)
+     << "\"; known methods:";
+  for (std::string_view known : KnownClustererMethods()) os << ' ' << known;
+  SetError(error, Status::Error(os.str()));
+  return nullptr;
+}
+
+}  // namespace disc

@@ -1,0 +1,64 @@
+#ifndef DISC_STREAM_CLUSTERER_FACTORY_H_
+#define DISC_STREAM_CLUSTERER_FACTORY_H_
+
+// Name-keyed construction of every windowed clustering method in the
+// repository, so hosts that select a method at runtime — DiscEngine
+// sessions, benchmark drivers, examples — share one switch instead of each
+// hand-rolling its own.
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "baselines/dbstream.h"
+#include "baselines/edmstream.h"
+#include "common/status.h"
+#include "core/config.h"
+#include "stream/stream_clusterer.h"
+
+namespace disc {
+
+// Everything MakeClusterer needs to instantiate any method. The exact
+// methods read eps/tau (and the index/threading knobs) from `disc`; the
+// summarization baselines carry their own option structs, defaulted to the
+// regimes the paper benchmarks use.
+struct ClustererSpec {
+  std::uint32_t dims = 2;
+
+  // Window geometry. Required by EXTRA-N (its predicted-view state is laid
+  // out in window/stride sub-windows, so window_size must be a nonzero
+  // multiple of stride); ignored by every other method.
+  std::size_t window_size = 0;
+  std::size_t stride = 0;
+
+  // Shared thresholds and execution knobs (DISC, DISC-graph, IncDBSCAN,
+  // DBSCAN, EXTRA-N), and the source of rho-DBSCAN's eps/tau.
+  DiscConfig disc;
+
+  // rho-DBSCAN approximation parameter (its eps/tau come from `disc`).
+  double rho = 0.001;
+
+  // Summarization-method options.
+  DbStream::Options dbstream;
+  EdmStream::Options edmstream;
+};
+
+// Constructs the method named by `method`. Accepted keys (matching the
+// name() of the produced clusterer, compared case-insensitively):
+//
+//   "DISC", "DISC-graph", "IncDBSCAN", "DBSCAN", "EXTRA-N", "rho-DBSCAN",
+//   "DBSTREAM", "EDMStream"
+//
+// Returns null — with the reason in *error when provided — for an unknown
+// method or a spec the method rejects (invalid DiscConfig, EXTRA-N without
+// a window/stride). Never throws.
+std::unique_ptr<StreamClusterer> MakeClusterer(std::string_view method,
+                                               const ClustererSpec& spec,
+                                               Status* error = nullptr);
+
+// The keys MakeClusterer accepts, in canonical order (DISC first).
+std::vector<std::string_view> KnownClustererMethods();
+
+}  // namespace disc
+
+#endif  // DISC_STREAM_CLUSTERER_FACTORY_H_

@@ -40,9 +40,9 @@ TEST(IntegrationTest, PipelineTrackerCheckpointRoundTrip) {
   // Checkpoint mid-stream and continue in a fresh instance, seeding the
   // resumed pipeline's window from the restored clusterer.
   std::stringstream buffer;
-  ASSERT_TRUE(clusterer.SaveCheckpoint(buffer));
+  ASSERT_TRUE(clusterer.SaveCheckpoint(buffer).ok());
   Disc restored(3, config);
-  ASSERT_TRUE(restored.LoadCheckpoint(buffer));
+  ASSERT_TRUE(restored.LoadCheckpoint(buffer).ok());
   StreamingPipeline resumed(&source, &restored, 3000, 300,
                             restored.WindowContents());
   resumed.Run(10);
@@ -70,8 +70,8 @@ TEST(IntegrationTest, RestoredPipelineStaysExactAgainstDbscan) {
     active->Update(d.incoming, d.outgoing);
     if (s == 11) {
       std::stringstream buffer;
-      ASSERT_TRUE(active->SaveCheckpoint(buffer));
-      ASSERT_TRUE(restored.LoadCheckpoint(buffer));
+      ASSERT_TRUE(active->SaveCheckpoint(buffer).ok());
+      ASSERT_TRUE(restored.LoadCheckpoint(buffer).ok());
       active = &restored;
       continue;
     }

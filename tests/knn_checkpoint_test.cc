@@ -160,10 +160,10 @@ TEST(CheckpointTest, RoundTripPreservesSnapshotExactly) {
   }
 
   std::stringstream buffer;
-  ASSERT_TRUE(original.SaveCheckpoint(buffer));
+  ASSERT_TRUE(original.SaveCheckpoint(buffer).ok());
 
   Disc restored(2, CheckpointConfig());
-  ASSERT_TRUE(restored.LoadCheckpoint(buffer));
+  ASSERT_TRUE(restored.LoadCheckpoint(buffer).ok());
   EXPECT_EQ(restored.window_size(), original.window_size());
 
   // Same labeling, bit for bit (ids, categories, canonical cids).
@@ -194,9 +194,9 @@ TEST(CheckpointTest, RestoredInstanceContinuesExactly) {
     original.Update(d.incoming, d.outgoing);
   }
   std::stringstream buffer;
-  ASSERT_TRUE(original.SaveCheckpoint(buffer));
+  ASSERT_TRUE(original.SaveCheckpoint(buffer).ok());
   Disc restored(2, CheckpointConfig());
-  ASSERT_TRUE(restored.LoadCheckpoint(buffer));
+  ASSERT_TRUE(restored.LoadCheckpoint(buffer).ok());
 
   // Drive both with the same further slides; they must stay equivalent.
   for (int s = 0; s < 6; ++s) {
@@ -215,28 +215,28 @@ TEST(CheckpointTest, RejectsMismatchedConfigOrGarbage) {
   Disc original(2, CheckpointConfig());
   original.Update({P2(1, 1.0, 1.0)}, {});
   std::stringstream buffer;
-  ASSERT_TRUE(original.SaveCheckpoint(buffer));
+  ASSERT_TRUE(original.SaveCheckpoint(buffer).ok());
 
   DiscConfig other = CheckpointConfig();
   other.eps = 0.9;
   Disc wrong_eps(2, other);
-  EXPECT_FALSE(wrong_eps.LoadCheckpoint(buffer));
+  EXPECT_FALSE(wrong_eps.LoadCheckpoint(buffer).ok());
 
   std::stringstream garbage("not a checkpoint at all");
   Disc fresh(2, CheckpointConfig());
-  EXPECT_FALSE(fresh.LoadCheckpoint(garbage));
+  EXPECT_FALSE(fresh.LoadCheckpoint(garbage).ok());
 
   std::stringstream truncated(buffer.str().substr(0, 20));
   Disc fresh2(2, CheckpointConfig());
-  EXPECT_FALSE(fresh2.LoadCheckpoint(truncated));
+  EXPECT_FALSE(fresh2.LoadCheckpoint(truncated).ok());
 }
 
 TEST(CheckpointTest, EmptyClustererRoundTrips) {
   Disc original(3, CheckpointConfig());
   std::stringstream buffer;
-  ASSERT_TRUE(original.SaveCheckpoint(buffer));
+  ASSERT_TRUE(original.SaveCheckpoint(buffer).ok());
   Disc restored(3, CheckpointConfig());
-  ASSERT_TRUE(restored.LoadCheckpoint(buffer));
+  ASSERT_TRUE(restored.LoadCheckpoint(buffer).ok());
   EXPECT_EQ(restored.window_size(), 0u);
   // And it still works afterwards.
   Point p;

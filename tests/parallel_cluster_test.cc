@@ -61,7 +61,7 @@ std::string CanonicalState(const Disc& disc, const UpdateDelta& delta) {
 
 std::string CheckpointBytes(const Disc& disc) {
   std::ostringstream os;
-  EXPECT_TRUE(disc.SaveCheckpoint(os));
+  EXPECT_TRUE(disc.SaveCheckpoint(os).ok());
   return os.str();
 }
 

@@ -105,7 +105,7 @@ TEST(CheckpointFuzzTest, TruncatedCheckpointsNeverCrashAndAlwaysFail) {
   BlobsGenerator source = MakeBlobs(86);
   original.Update(source.NextPoints(150), {});
   std::stringstream buffer;
-  ASSERT_TRUE(original.SaveCheckpoint(buffer));
+  ASSERT_TRUE(original.SaveCheckpoint(buffer).ok());
   const std::string bytes = buffer.str();
   ASSERT_GT(bytes.size(), 64u);
   // Every strict prefix must be rejected cleanly.
@@ -113,12 +113,12 @@ TEST(CheckpointFuzzTest, TruncatedCheckpointsNeverCrashAndAlwaysFail) {
        cut += std::max<std::size_t>(1, bytes.size() / 97)) {
     Disc target(2, config);
     std::stringstream truncated(bytes.substr(0, cut));
-    EXPECT_FALSE(target.LoadCheckpoint(truncated)) << "cut at " << cut;
+    EXPECT_FALSE(target.LoadCheckpoint(truncated).ok()) << "cut at " << cut;
   }
   // The full checkpoint still loads.
   Disc target(2, config);
   std::stringstream full(bytes);
-  EXPECT_TRUE(target.LoadCheckpoint(full));
+  EXPECT_TRUE(target.LoadCheckpoint(full).ok());
 }
 
 TEST(CheckpointFuzzTest, BitFlippedHeadersAreRejected) {
@@ -129,14 +129,14 @@ TEST(CheckpointFuzzTest, BitFlippedHeadersAreRejected) {
   BlobsGenerator source = MakeBlobs(87);
   original.Update(source.NextPoints(50), {});
   std::stringstream buffer;
-  ASSERT_TRUE(original.SaveCheckpoint(buffer));
+  ASSERT_TRUE(original.SaveCheckpoint(buffer).ok());
   std::string bytes = buffer.str();
   for (std::size_t pos : {0u, 8u, 12u, 16u, 20u}) {
     std::string corrupted = bytes;
     corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x5A);
     Disc target(2, config);
     std::stringstream in(corrupted);
-    EXPECT_FALSE(target.LoadCheckpoint(in)) << "flip at " << pos;
+    EXPECT_FALSE(target.LoadCheckpoint(in).ok()) << "flip at " << pos;
   }
 }
 

@@ -254,13 +254,16 @@ def check_epoch_confinement(fc):
     # tick-free probe rounds; ProcessNeoCoresParallel / NeoDiscoveryWorker
     # are the speculative neo-discovery region — concurrent readers must
     # never write entry epochs), the thread-pool lane entry points
-    # (DrainBatch / WorkerLoop — everything a worker thread executes), plus
-    # the full argument span of every ParallelFor call (the loop body
-    # lambda).
+    # (DrainBatch / WorkerLoop — everything a worker thread executes), the
+    # engine scheduling loop (Drain dispatches session slides across lanes;
+    # ExecuteSessionSlide is the per-lane slide body — epoch writes belong
+    # to the probing layer underneath, never to the scheduler), plus the
+    # full argument span of every ParallelFor call (the loop body lambda).
     collect_spans = []
     for name in ("Collect", "FanOutProbes", "MsBfsStrided",
                  "FanOutClusterProbes", "ProcessNeoCoresParallel",
-                 "NeoDiscoveryWorker", "DrainBatch", "WorkerLoop"):
+                 "NeoDiscoveryWorker", "DrainBatch", "WorkerLoop",
+                 "Drain", "ExecuteSessionSlide"):
         collect_spans.extend(function_body_spans(fc.code, name))
     for m in re.finditer(r"\bParallelFor\s*\(", fc.code):
         collect_spans.append((m.end() - 1, match_paren(fc.code, m.end() - 1)))
