@@ -71,6 +71,24 @@ std::string SessionPath(const std::string& dir, const std::string& name) {
 
 constexpr char kManifestHeader[] = "DISCENGINE 1";
 
+// Installs a borrowed pool on a Disc for one slide; the destructor releases
+// it even when the slide throws, so the shared pool never stays attached to
+// a session across rounds.
+class ScopedExecutionPool {
+ public:
+  ScopedExecutionPool(Disc* disc, ThreadPool* pool) : disc_(disc) {
+    if (disc_ != nullptr) disc_->SetExecutionPool(pool);
+  }
+  ~ScopedExecutionPool() {
+    if (disc_ != nullptr) disc_->ReleaseExecutionPool();
+  }
+  ScopedExecutionPool(const ScopedExecutionPool&) = delete;
+  ScopedExecutionPool& operator=(const ScopedExecutionPool&) = delete;
+
+ private:
+  Disc* disc_;
+};
+
 }  // namespace
 
 LabeledPoint DiscEngine::QueueSource::Next() {
@@ -175,6 +193,16 @@ Status DiscEngine::FeedSlide(const std::string& name,
        << " points, got " << points.size();
     return Status::Error(os.str());
   }
+  const std::uint32_t dims = session->options.spec.dims;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].dims != dims) {
+      std::ostringstream os;
+      os << "session \"" << name << "\": point " << i << " (id "
+         << points[i].id << ") has dims=" << points[i].dims
+         << ", session expects dims=" << dims;
+      return Status::Error(os.str());
+    }
+  }
   for (const Point& p : points) session->source.Push(p);
   ++session->pending_slides;
   return Status::Ok();
@@ -241,9 +269,8 @@ std::size_t DiscEngine::Drain() {
       Disc* exact = s->clusterer->name() == "DISC"
                         ? static_cast<Disc*>(s->clusterer.get())
                         : nullptr;
-      if (exact != nullptr) exact->SetExecutionPool(pool_.get());
+      ScopedExecutionPool borrow(exact, pool_.get());
       ExecuteSessionSlide(s);
-      if (exact != nullptr) exact->ReleaseExecutionPool();
     } else {
       // One slide per ready session, one session per pool lane. Each
       // session updates single-lane internally (its config carries
@@ -327,18 +354,31 @@ Status DiscEngine::Checkpoint() {
     return Status::Error("cannot create spill directory " +
                          options_.spill_dir + ": " + ec.message());
   }
+  // Stage the whole generation as .tmp files first: the live .session files
+  // the current manifest points at stay untouched until every write has
+  // succeeded, so a crash (or failure return) anywhere below leaves the
+  // previous checkpoint generation fully recoverable.
   for (const auto& session : sessions_) {
-    const std::string path = SessionPath(options_.spill_dir, session->name);
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const std::string tmp =
+        SessionPath(options_.spill_dir, session->name) + ".tmp";
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
-      return Status::Error("cannot open " + path + " for writing");
+      return Status::Error("cannot open " + tmp + " for writing");
     }
     if (Status saved = SaveSession(*session, out); !saved.ok()) return saved;
     out.flush();
-    if (!out) return Status::Error("write failed on " + path);
+    if (!out) return Status::Error("write failed on " + tmp);
   }
-  // Manifest last, via rename: a crash mid-checkpoint leaves the previous
-  // manifest (and its still-present session files) intact.
+  for (const auto& session : sessions_) {
+    const std::string path = SessionPath(options_.spill_dir, session->name);
+    std::filesystem::rename(path + ".tmp", path, ec);
+    if (ec) {
+      return Status::Error("cannot publish " + path + ": " + ec.message());
+    }
+  }
+  // Manifest last, via rename: after the session renames every .session
+  // file on disk is a complete spill of the old or the new generation, so a
+  // crash before this point still leaves the old manifest recoverable.
   const std::string manifest = ManifestPath(options_.spill_dir);
   const std::string tmp = manifest + ".tmp";
   {
@@ -418,6 +458,15 @@ std::unique_ptr<DiscEngine> DiscEngine::Open(const EngineOptions& options,
     }
     spec.window_size = window_size;
     spec.stride = stride;
+    // Same geometry gate as CreateSession: a hand-edited or corrupt spill
+    // must not build a degenerate pipeline.
+    if (spec.stride < 1 || spec.window_size < spec.stride) {
+      return fail("corrupt session header in " + path +
+                  ": window geometry needs 1 <= stride <= window_size, got "
+                  "window_size=" +
+                  std::to_string(spec.window_size) +
+                  " stride=" + std::to_string(spec.stride));
+    }
     spec.disc.use_msbfs = use_msbfs != 0;
     spec.disc.use_epoch_probing = use_epoch != 0;
     spec.disc.use_border_witness = use_witness != 0;

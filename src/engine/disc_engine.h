@@ -102,9 +102,11 @@ class DiscEngine {
   // Drains, then persists every session to spill_dir (one binary file per
   // session plus a manifest). Fails when spill_dir is unset, a session's
   // method is not checkpointable (the message names the offender), or on
-  // the first I/O error. A successful call replaces the previous manifest
-  // atomically-enough for the crash-before-rename window: Open() sees
-  // either the old or the new checkpoint generation.
+  // the first I/O error. The new generation is staged as .tmp files and
+  // renamed into place only after every write succeeds, manifest last: a
+  // crash (or failure return) at any point leaves the previous manifest
+  // live, with each session file it references a complete spill of its old
+  // or new generation — Open() always recovers every listed session.
   Status Checkpoint();
 
   // Restores an engine (and every session of the manifest) from

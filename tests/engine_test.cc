@@ -8,6 +8,7 @@
 #include <cctype>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -230,7 +231,12 @@ TEST(EngineDeterminismTest, MetricExportsIndependentOfLaneCount) {
 
   std::vector<std::string> names;
   for (std::size_t i = 0; i < kSessions; ++i) {
-    names.push_back("s" + std::to_string(i));
+    // Built with += rather than `"s" + std::to_string(i)`: the rvalue
+    // operator+ trips GCC 12's -Wrestrict false positive (PR105651) under
+    // -Werror.
+    std::string name = "s";
+    name += std::to_string(i);
+    names.push_back(std::move(name));
   }
 
   auto run = [&streams, &names](std::uint32_t lanes) {
@@ -398,6 +404,74 @@ TEST(EngineRecoveryTest, CheckpointStatusErrors) {
   std::filesystem::remove_all(options.spill_dir);
 }
 
+TEST(EngineRecoveryTest, TornCheckpointLeavesPreviousGenerationLive) {
+  EngineOptions options;
+  options.num_threads = 1;
+  options.spill_dir = SpillDir("torn");
+  const std::vector<std::vector<Point>> slides = MakeSlides(9100, 3);
+  {
+    DiscEngine engine(options);
+    ASSERT_TRUE(engine.CreateSession("torn", TestSession()).ok());
+    ASSERT_TRUE(engine.FeedSlide("torn", slides[0]).ok());
+    ASSERT_TRUE(engine.FeedSlide("torn", slides[1]).ok());
+    ASSERT_TRUE(engine.Checkpoint().ok());
+  }
+  // Simulate a crash in the middle of the next Checkpoint(): the new
+  // generation is staged as .tmp files before anything is renamed, so a
+  // kill at that point leaves half-written .tmp garbage next to the intact
+  // published generation.
+  {
+    std::ofstream stage(options.spill_dir + "/torn.session.tmp",
+                        std::ios::binary | std::ios::trunc);
+    stage << "partial write from a crashed checkpoint";
+  }
+  {
+    std::ofstream stage(options.spill_dir + "/engine.manifest.tmp",
+                        std::ios::trunc);
+    stage << "DISCENGINE 1\n99\n";
+  }
+  Status error;
+  std::unique_ptr<DiscEngine> engine = DiscEngine::Open(options, &error);
+  ASSERT_NE(engine, nullptr) << error.message();
+  EXPECT_EQ(engine->SlidesRun("torn"), 2u);
+  // The recovered session still streams.
+  ASSERT_TRUE(engine->FeedSlide("torn", slides[2]).ok());
+  EXPECT_EQ(engine->Drain(), 1u);
+  std::filesystem::remove_all(options.spill_dir);
+}
+
+TEST(EngineRecoveryTest, OpenRejectsDegenerateGeometry) {
+  EngineOptions options;
+  options.num_threads = 1;
+  options.spill_dir = SpillDir("geometry");
+  {
+    DiscEngine engine(options);
+    ASSERT_TRUE(engine.CreateSession("geom", TestSession()).ok());
+    ASSERT_TRUE(engine.Checkpoint().ok());
+  }
+  // Zero the spilled stride in place. Field offset per the spill framing:
+  // magic u32, (u64 length + bytes) for name and method, dims u32,
+  // window_size u64, then stride u64.
+  const std::string name = "geom", method = "DISC";
+  const std::streamoff stride_offset =
+      4 + (8 + static_cast<std::streamoff>(name.size())) +
+      (8 + static_cast<std::streamoff>(method.size())) + 4 + 8;
+  {
+    std::fstream file(options.spill_dir + "/geom.session",
+                      std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.is_open());
+    file.seekp(stride_offset);
+    const char zeros[8] = {};
+    file.write(zeros, sizeof(zeros));
+    ASSERT_TRUE(static_cast<bool>(file));
+  }
+  Status error;
+  EXPECT_EQ(DiscEngine::Open(options, &error), nullptr);
+  EXPECT_FALSE(error.ok());
+  EXPECT_NE(error.message().find("window geometry"), std::string::npos);
+  std::filesystem::remove_all(options.spill_dir);
+}
+
 TEST(EngineRecoveryTest, OpenFailsWithoutManifest) {
   EngineOptions options;
   options.spill_dir = SpillDir("absent");
@@ -464,6 +538,15 @@ TEST(EngineAdmissionTest, FeedAndCloseErrors) {
       engine.FeedSlide("only", std::vector<Point>(kStride - 1));
   EXPECT_FALSE(short_slide.ok());
   EXPECT_NE(short_slide.message().find("stride"), std::string::npos);
+  EXPECT_EQ(engine.PendingSlides("only"), 0u);
+
+  // Dimensionality is checked point by point at the API boundary, not deep
+  // inside the clusterer at Drain time.
+  std::vector<Point> mixed_dims = MakeSlides(2, 1)[0];
+  mixed_dims[3].dims = 3;
+  const Status bad_dims = engine.FeedSlide("only", mixed_dims);
+  EXPECT_FALSE(bad_dims.ok());
+  EXPECT_NE(bad_dims.message().find("dims"), std::string::npos);
   EXPECT_EQ(engine.PendingSlides("only"), 0u);
 
   EXPECT_FALSE(engine.CloseSession("missing").ok());
