@@ -19,9 +19,21 @@ cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 
+# The lint stage is a hard gate, not best-effort: a missing interpreter
+# must fail the run loudly instead of skipping the invariant checks.
+command -v python3 >/dev/null 2>&1 || {
+  echo "error: python3 not found on PATH — the disc_lint stage cannot run" >&2
+  echo "       (install python3; the lint gate is mandatory, see docs/ANALYSIS.md)" >&2
+  exit 1
+}
+
 echo "=== disc_lint: project invariants ==="
-python3 tools/lint/disc_lint.py src/
+lint_report="build-release/disc_lint_report.json"
+mkdir -p build-release
+python3 tools/lint/disc_lint.py \
+  --baseline tools/lint/baseline.json --json "${lint_report}" src/
 python3 tools/lint/check_fixtures.py
+echo "disc_lint: clean; findings report written to ${lint_report}"
 
 echo "=== format gate ==="
 scripts/check_format.sh

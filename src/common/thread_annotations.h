@@ -23,6 +23,10 @@
 
 #define CAPABILITY(x) DISC_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
 
+// An RAII class whose constructor acquires and destructor releases a
+// capability (e.g. RTree::ConcurrentProbeScope).
+#define SCOPED_CAPABILITY DISC_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
 #define GUARDED_BY(x) DISC_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
 
 #define PT_GUARDED_BY(x) DISC_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
@@ -30,14 +34,23 @@
 #define REQUIRES(...) \
   DISC_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
 
+#define REQUIRES_SHARED(...) \
+  DISC_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
 #define EXCLUDES(...) \
   DISC_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
 
 #define ACQUIRE(...) \
   DISC_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
 
+#define ACQUIRE_SHARED(...) \
+  DISC_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
 #define RELEASE(...) \
   DISC_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  DISC_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
 
 #define NO_THREAD_SAFETY_ANALYSIS \
   DISC_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)

@@ -129,9 +129,9 @@ Status Disc::LoadCheckpoint(std::istream& in) {
       return record_error("invalid point coordinates");
     }
     rec.core_prev = core_prev != 0;
-    // Restoring persisted labels, not making a clustering decision — the
-    // SetLabel choke point (and its delta accounting) does not apply here:
-    // disc-lint: allow(label-choke-point) checkpoint restore.
+    // `rec` is a by-value local: restoring persisted bytes into a copy is
+    // not a clustering decision, and disc_lint v2's scope tracking knows
+    // it (the v1 allow(label-choke-point) suppression is gone).
     rec.category = static_cast<Category>(category);
     points.push_back(rec.pt);
     if (!records_.emplace(id, rec).second) {

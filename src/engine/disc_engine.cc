@@ -122,6 +122,7 @@ const DiscEngine::Session* DiscEngine::Find(const std::string& name) const {
 
 Status DiscEngine::CreateSession(const std::string& name,
                                  const SessionOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (!ValidSessionName(name)) {
     return Status::Error("invalid session name \"" + name +
                          "\"; names must match [a-zA-Z_][a-zA-Z0-9_]*");
@@ -182,6 +183,7 @@ void DiscEngine::Admit(const std::string& name, SessionOptions options,
 
 Status DiscEngine::FeedSlide(const std::string& name,
                              const std::vector<Point>& points) {
+  std::lock_guard<std::mutex> lock(mutex_);
   Session* session = Find(name);
   if (session == nullptr) {
     return Status::Error("no session named \"" + name + "\"");
@@ -209,6 +211,7 @@ Status DiscEngine::FeedSlide(const std::string& name,
 }
 
 Status DiscEngine::CloseSession(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (std::size_t i = 0; i < sessions_.size(); ++i) {
     if (sessions_[i]->name != name) continue;
     sessions_.erase(sessions_.begin() +
@@ -248,6 +251,11 @@ void DiscEngine::FoldSessionMetrics(Session* session) {
 }
 
 std::size_t DiscEngine::Drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return DrainLocked();
+}
+
+std::size_t DiscEngine::DrainLocked() {
   obs::TraceSpan span("engine.drain");
   std::size_t executed = 0;
   while (!sessions_.empty()) {
@@ -332,6 +340,7 @@ Status DiscEngine::SaveSession(const Session& session,
 }
 
 Status DiscEngine::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (options_.spill_dir.empty()) {
     return Status::Error(
         "checkpointing disabled: EngineOptions::spill_dir is unset");
@@ -346,7 +355,10 @@ Status DiscEngine::Checkpoint() {
                            "sessions are checkpointable");
     }
   }
-  Drain();  // No queued slide may be lost to the checkpoint boundary.
+  // No queued slide may be lost to the checkpoint boundary. The drain runs
+  // inside this critical section (the mutex is not recursive, hence the
+  // DrainLocked split).
+  DrainLocked();
 
   std::error_code ec;
   std::filesystem::create_directories(options_.spill_dir, ec);
@@ -429,6 +441,9 @@ std::unique_ptr<DiscEngine> DiscEngine::Open(const EngineOptions& options,
   }
 
   auto engine = std::unique_ptr<DiscEngine>(new DiscEngine(options));
+  // The engine is not yet published, but Admit requires the lock it is
+  // annotated with; taking it here keeps the discipline uniform.
+  std::lock_guard<std::mutex> admit_lock(engine->mutex_);
   for (const std::string& name : names) {
     const std::string path = SessionPath(options.spill_dir, name);
     std::ifstream in(path, std::ios::binary);
@@ -496,6 +511,7 @@ std::unique_ptr<DiscEngine> DiscEngine::Open(const EngineOptions& options,
 }
 
 std::vector<std::string> DiscEngine::SessionNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(sessions_.size());
   for (const auto& session : sessions_) names.push_back(session->name);
@@ -503,16 +519,19 @@ std::vector<std::string> DiscEngine::SessionNames() const {
 }
 
 StreamClusterer* DiscEngine::Clusterer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   Session* session = Find(name);
   return session == nullptr ? nullptr : session->clusterer.get();
 }
 
 std::size_t DiscEngine::PendingSlides(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const Session* session = Find(name);
   return session == nullptr ? 0 : session->pending_slides;
 }
 
 std::size_t DiscEngine::SlidesRun(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const Session* session = Find(name);
   return session == nullptr ? 0 : session->pipeline->slides_run();
 }

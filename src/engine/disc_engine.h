@@ -19,20 +19,28 @@
 // all of them — window contents, labels, slide numbering — and the resumed
 // streams continue exactly as if never interrupted.
 //
-// The engine is single-threaded at its surface: all calls must come from
-// one thread (the pool is used only inside Drain). Per-session telemetry —
+// Scheduler state (the session table, the admission counter, the
+// round-robin cursor) is guarded by an internal mutex: every public entry
+// point takes it, so concurrent surface calls serialize instead of
+// corrupting the table. The intended usage is still one driving thread —
+// Drain holds the lock for the whole drain, so a second thread's calls
+// would simply block — but the lock discipline is machine-checked
+// (GUARDED_BY/REQUIRES, enforced by disc_lint's lock-discipline rule and
+// by clang -Wthread-safety where available). Per-session telemetry —
 // `engine_session_<name>_*` metrics, "engine.session" trace spans — is
-// emitted on that thread; see docs/OBSERVABILITY.md.
+// emitted on the draining thread; see docs/OBSERVABILITY.md.
 
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/pipeline.h"
 #include "obs/metrics_registry.h"
@@ -81,23 +89,25 @@ class DiscEngine {
   // when the window geometry is degenerate (stride < 1 or window_size <
   // stride); or when MakeClusterer rejects the method/spec — the returned
   // Status carries the factory's (or Validate()'s) message.
-  Status CreateSession(const std::string& name, const SessionOptions& options);
+  Status CreateSession(const std::string& name, const SessionOptions& options)
+      EXCLUDES(mutex_);
 
   // Queues one slide for the named session. `points` must hold exactly
   // stride points (the count-based window model); ids are the caller's and
   // must be fresh, as with any StreamClusterer. The slide runs at the next
   // Drain().
-  Status FeedSlide(const std::string& name, const std::vector<Point>& points);
+  Status FeedSlide(const std::string& name, const std::vector<Point>& points)
+      EXCLUDES(mutex_);
 
   // Runs every queued slide of every session to completion and returns the
   // number of slides executed. Scheduling is round-robin over the sessions
   // with work: each round picks the ready set, runs one slide per session
   // across the pool's lanes (or hands the whole pool to a lone session),
   // then folds telemetry before the next round.
-  std::size_t Drain();
+  std::size_t Drain() EXCLUDES(mutex_);
 
   // Removes the session and its queued slides. Fails when unknown.
-  Status CloseSession(const std::string& name);
+  Status CloseSession(const std::string& name) EXCLUDES(mutex_);
 
   // Drains, then persists every session to spill_dir (one binary file per
   // session plus a manifest). Fails when spill_dir is unset, a session's
@@ -107,7 +117,7 @@ class DiscEngine {
   // crash (or failure return) at any point leaves the previous manifest
   // live, with each session file it references a complete spill of its old
   // or new generation — Open() always recovers every listed session.
-  Status Checkpoint();
+  Status Checkpoint() EXCLUDES(mutex_);
 
   // Restores an engine (and every session of the manifest) from
   // options.spill_dir. Returns null with the reason in *error when the
@@ -117,21 +127,24 @@ class DiscEngine {
                                           Status* error = nullptr);
 
   // Session names in creation (manifest) order.
-  std::vector<std::string> SessionNames() const;
+  std::vector<std::string> SessionNames() const EXCLUDES(mutex_);
 
   // The named session's clusterer, or null when unknown. Snapshot() and
   // checkpointing through this pointer are fine; do not Update() through
   // it — feed the engine instead.
-  StreamClusterer* Clusterer(const std::string& name);
+  StreamClusterer* Clusterer(const std::string& name) EXCLUDES(mutex_);
 
   // Queued-but-not-yet-run slides of the named session (0 when unknown).
-  std::size_t PendingSlides(const std::string& name) const;
+  std::size_t PendingSlides(const std::string& name) const EXCLUDES(mutex_);
 
   // Slides the named session has executed since creation — checkpointed
   // and restored, so numbering continues across recovery.
-  std::size_t SlidesRun(const std::string& name) const;
+  std::size_t SlidesRun(const std::string& name) const EXCLUDES(mutex_);
 
-  std::size_t session_count() const { return sessions_.size(); }
+  std::size_t session_count() const EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sessions_.size();
+  }
   const EngineOptions& options() const { return options_; }
 
  private:
@@ -162,15 +175,20 @@ class DiscEngine {
     bool ran_this_round = false;
   };
 
-  Session* Find(const std::string& name);
-  const Session* Find(const std::string& name) const;
+  Session* Find(const std::string& name) REQUIRES(mutex_);
+  const Session* Find(const std::string& name) const REQUIRES(mutex_);
 
   // Builds the session object (no validation; CreateSession and Open have
   // already vetted the options and built the clusterer). The seed window
   // and slide counter carry restored state when resuming.
   void Admit(const std::string& name, SessionOptions options,
              std::unique_ptr<StreamClusterer> clusterer,
-             std::vector<Point> seed_window, std::size_t slides_already_run);
+             std::vector<Point> seed_window, std::size_t slides_already_run)
+      REQUIRES(mutex_);
+
+  // Drain's body; split out so Checkpoint can drain inside its own
+  // critical section (the mutex is not recursive).
+  std::size_t DrainLocked() REQUIRES(mutex_);
 
   // Runs exactly one queued slide of `session` on the calling thread (a
   // pool lane during concurrent rounds, the scheduler thread when the
@@ -183,9 +201,16 @@ class DiscEngine {
 
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // Null when num_threads resolves to 1.
-  std::vector<std::unique_ptr<Session>> sessions_;  // Creation order.
-  std::uint64_t next_session_id_ = 0;
-  std::size_t rr_cursor_ = 0;  // Round-robin start of the next ready set.
+
+  // Guards the scheduler state below. Held across a whole Drain round,
+  // including the ParallelFor barrier: lanes receive raw Session pointers
+  // collected under the lock and never touch the table itself.
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Session>> sessions_
+      GUARDED_BY(mutex_);  // Creation order.
+  std::uint64_t next_session_id_ GUARDED_BY(mutex_) = 0;
+  // Round-robin start of the next ready set.
+  std::size_t rr_cursor_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace disc

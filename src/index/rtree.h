@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/point.h"
+#include "common/thread_annotations.h"
 
 namespace disc {
 
@@ -81,19 +82,19 @@ class RTree {
 
   // Inserts p. Behaviour is undefined if a point with the same id is already
   // present (the tree does not deduplicate ids).
-  void Insert(const Point& p);
+  void Insert(const Point& p) EXCLUDES(probe_region_);
 
   // Builds the tree from `points` using Sort-Tile-Recursive packing — much
   // faster and better-packed than repeated Insert for a static load. The
   // tree must be empty. Subsequent Insert/Delete calls work normally.
-  void BulkLoad(std::vector<Point> points);
+  void BulkLoad(std::vector<Point> points) EXCLUDES(probe_region_);
 
   // Removes the point with p's id located at p's coordinates. Returns false
   // if no such point exists.
-  bool Delete(const Point& p);
+  bool Delete(const Point& p) EXCLUDES(probe_region_);
 
   // Removes every point. Tick counter and statistics are preserved.
-  void Clear();
+  void Clear() EXCLUDES(probe_region_);
 
   // Visits every indexed point within Euclidean distance eps of center.
   void RangeSearch(const Point& center, double eps, const Visitor& visit) const;
@@ -114,13 +115,18 @@ class RTree {
   // of threads may run the stats-accumulating RangeSearch overload; every
   // mutating or epoch-marking call (Insert, Delete, BulkLoad, Clear,
   // EpochRangeSearch, NewTick) asserts in debug builds. The counter is
-  // purely a contract check — it adds no synchronization of its own.
-  class ConcurrentProbeScope {
+  // purely a contract check — it adds no synchronization of its own. To
+  // Clang's thread-safety analysis the scope reads as a shared hold of the
+  // tree's probe_region_ capability, so mutators (EXCLUDES(probe_region_))
+  // are rejected at compile time when a scope is provably alive.
+  class SCOPED_CAPABILITY ConcurrentProbeScope {
    public:
-    explicit ConcurrentProbeScope(const RTree& tree) : tree_(tree) {
+    explicit ConcurrentProbeScope(const RTree& tree)
+        ACQUIRE_SHARED(tree.probe_region_)
+        : tree_(tree) {
       tree_.probe_scopes_.fetch_add(1, std::memory_order_relaxed);
     }
-    ~ConcurrentProbeScope() {
+    ~ConcurrentProbeScope() RELEASE() {
       tree_.probe_scopes_.fetch_sub(1, std::memory_order_relaxed);
     }
     ConcurrentProbeScope(const ConcurrentProbeScope&) = delete;
@@ -147,11 +153,11 @@ class RTree {
   // leaf entries when the visitor returns true, and propagates minimum epochs
   // to internal entries on backtracking. Ticks must come from NewTick().
   void EpochRangeSearch(const Point& center, double eps, std::uint64_t tick,
-                        const MarkingVisitor& visit);
+                        const MarkingVisitor& visit) EXCLUDES(probe_region_);
 
   // Returns a fresh tick, strictly larger than all previously issued ticks
   // and than the epoch of every entry currently in the tree.
-  std::uint64_t NewTick() {
+  std::uint64_t NewTick() EXCLUDES(probe_region_) {
     AssertNoConcurrentProbes();
     return ++tick_counter_;
   }
@@ -210,8 +216,14 @@ class RTree {
   std::size_t size_ = 0;
   std::uint64_t tick_counter_ = 0;
   mutable RTreeStats stats_;
-  // Live ConcurrentProbeScope count; see AssertNoConcurrentProbes.
+  // Live ConcurrentProbeScope count; see AssertNoConcurrentProbes. The
+  // runtime (assert-based) twin of the probe_region_ capability below.
   mutable std::atomic<int> probe_scopes_{0};
+  // Zero-size capability tag for -Wthread-safety: ConcurrentProbeScope
+  // acquires it shared, mutators exclude it. Carries no state — the
+  // runtime check lives in probe_scopes_.
+  struct CAPABILITY("probe region") ProbeRegionTag {};
+  ProbeRegionTag probe_region_;
 };
 
 }  // namespace disc

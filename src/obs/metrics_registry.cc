@@ -78,6 +78,7 @@ double Histogram::Quantile(double q) const {
 // ---------------------------------------------------------------------------
 
 Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), Counter{}).first;
@@ -86,6 +87,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), Gauge{}).first;
@@ -94,6 +96,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), Histogram{}).first;
@@ -103,6 +106,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 
 void MetricsRegistry::WritePrometheus(std::ostream& os,
                                       bool include_histograms) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [name, c] : counters_) {
     os << "# TYPE " << name << " counter\n" << name << ' ' << c.value() << '\n';
   }
@@ -133,6 +137,7 @@ void MetricsRegistry::WritePrometheus(std::ostream& os,
 }
 
 void MetricsRegistry::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   os << "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -171,6 +176,7 @@ void MetricsRegistry::WriteJson(std::ostream& os) const {
 }
 
 void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

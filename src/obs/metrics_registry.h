@@ -11,8 +11,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/thread_annotations.h"
 
 namespace disc {
 namespace obs {
@@ -84,15 +87,20 @@ class Histogram {
 };
 
 // Owns metrics by name. Lookups create on first use and return stable
-// references (std::map nodes never move). Not thread-safe: one registry
-// per observing thread, like the rest of the per-run observability state.
+// references (std::map nodes never move). Registration, export, and Reset
+// are serialized by an internal mutex, so sessions sharing one registry
+// (e.g. through DiscEngine) may register metrics while another thread
+// exports. The handed-out Counter/Gauge/Histogram references themselves
+// remain single-writer: keep each metric's writes on one observing thread
+// at a time, like the rest of the per-run observability state.
 class MetricsRegistry {
  public:
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
+  Counter& counter(std::string_view name) EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) EXCLUDES(mutex_);
+  Histogram& histogram(std::string_view name) EXCLUDES(mutex_);
 
-  std::size_t size() const {
+  std::size_t size() const EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
@@ -102,19 +110,25 @@ class MetricsRegistry {
   // Prometheus-compatible ([a-zA-Z_][a-zA-Z0-9_]*); the registry does not
   // mangle. `include_histograms=false` restricts the dump to counters and
   // gauges — the run-invariant subset, for byte-level diffing.
-  void WritePrometheus(std::ostream& os, bool include_histograms = true) const;
+  void WritePrometheus(std::ostream& os, bool include_histograms = true) const
+      EXCLUDES(mutex_);
 
   // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}},
   // name-sorted, histograms summarized as count/sum/min/max/p50/p95/p99.
-  void WriteJson(std::ostream& os) const;
+  void WriteJson(std::ostream& os) const EXCLUDES(mutex_);
 
-  void Reset();
+  void Reset() EXCLUDES(mutex_);
 
  private:
+  // Serializes map mutation (registration, Reset) against exports. The
+  // metric objects the maps own are deliberately NOT guarded: references
+  // are stable across rebalancing and each metric stays single-writer.
+  mutable std::mutex mutex_;
   // std::less<> enables string_view lookups without a temporary string.
-  std::map<std::string, Counter, std::less<>> counters_;
-  std::map<std::string, Gauge, std::less<>> gauges_;
-  std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, Counter, std::less<>> counters_ GUARDED_BY(mutex_);
+  std::map<std::string, Gauge, std::less<>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, Histogram, std::less<>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

@@ -36,6 +36,8 @@
 #include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 #ifndef DISC_TRACING_ENABLED
 #define DISC_TRACING_ENABLED 1
 #endif
@@ -114,15 +116,15 @@ class TraceRecorder {
   std::int64_t Now();
 
   // Appends one event to the buffer (thread-safe).
-  void Append(const TraceEvent& event);
+  void Append(const TraceEvent& event) EXCLUDES(mutex_);
 
-  std::size_t event_count();
-  void Clear();
+  std::size_t event_count() EXCLUDES(mutex_);
+  void Clear() EXCLUDES(mutex_);
 
   // Serializes the buffer: a {"traceEvents":[...]} object, one event per
   // line, thread-name metadata first, span events sorted by (tid, ts,
   // capture order). Does not clear the buffer.
-  void WriteChromeJson(std::ostream& os);
+  void WriteChromeJson(std::ostream& os) EXCLUDES(mutex_);
 
  private:
   static std::atomic<TraceRecorder*> active_recorder_;
@@ -132,7 +134,7 @@ class TraceRecorder {
   std::atomic<std::int64_t> logical_clock_{0};
 
   std::mutex mutex_;
-  std::vector<TraceEvent> events_;  // Guarded by mutex_.
+  std::vector<TraceEvent> events_ GUARDED_BY(mutex_);
 };
 
 #if DISC_TRACING_ENABLED

@@ -1,8 +1,11 @@
 #include <cmath>
+#include <type_traits>
+#include <utility>
 
 #include "common/point.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/status.h"
 #include "gtest/gtest.h"
 
 namespace disc {
@@ -103,6 +106,47 @@ TEST(StatsTest, AccumulatesMinMaxMean) {
   EXPECT_DOUBLE_EQ(acc.min(), -1.0);
   EXPECT_DOUBLE_EQ(acc.max(), 4.0);
   EXPECT_NEAR(acc.mean(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(StatusTest, DefaultAndOkAreSuccessWithEmptyMessage) {
+  Status def;
+  EXPECT_TRUE(def.ok());
+  EXPECT_TRUE(def.message().empty());
+
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesTheMessage) {
+  Status err = Status::Error("spill dir unset");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.message(), "spill dir unset");
+
+  // The message survives copies and moves intact.
+  Status copy = err;
+  EXPECT_FALSE(copy.ok());
+  EXPECT_EQ(copy.message(), "spill dir unset");
+  Status moved = std::move(err);
+  EXPECT_FALSE(moved.ok());
+  EXPECT_EQ(moved.message(), "spill dir unset");
+}
+
+TEST(StatusTest, OperatorBoolReadsAsSuccess) {
+  // `if (status)` means "the operation succeeded" — true for OK, false for
+  // errors, and explicit (no accidental integer conversions).
+  Status ok = Status::Ok();
+  Status err = Status::Error("boom");
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_FALSE(static_cast<bool>(err));
+  if (err) {
+    FAIL() << "an error Status must not read as success";
+  }
+  if (!ok) {
+    FAIL() << "an OK Status must read as success";
+  }
+  static_assert(!std::is_convertible_v<Status, bool>,
+                "operator bool must stay explicit");
 }
 
 }  // namespace

@@ -605,6 +605,34 @@ TEST(ClustererFactoryTest, CoversEveryMethodKey) {
   EXPECT_NE(MakeClusterer("dbstream", spec), nullptr);
 }
 
+TEST(ClustererFactoryTest, UnknownMethodIsDescriptiveAndSafe) {
+  ClustererSpec spec;
+  spec.dims = 2;
+  spec.window_size = 40;
+  spec.stride = 10;
+  spec.disc = TestConfig();
+
+  // With a null error pointer: no crash, just a null clusterer.
+  EXPECT_EQ(MakeClusterer("NOT_A_METHOD", spec), nullptr);
+
+  // With an error out-param: the message names the offender and lists
+  // every known method, so the caller can fix a typo without digging.
+  Status error;
+  EXPECT_EQ(MakeClusterer("NOT_A_METHOD", spec, &error), nullptr);
+  EXPECT_FALSE(error.ok());
+  EXPECT_NE(error.message().find("NOT_A_METHOD"), std::string::npos)
+      << error.message();
+  for (std::string_view method : KnownClustererMethods()) {
+    EXPECT_NE(error.message().find(method), std::string::npos)
+        << "unknown-method error should list \"" << method
+        << "\": " << error.message();
+  }
+
+  // The empty string is just another unknown method, not a special case.
+  EXPECT_EQ(MakeClusterer("", spec, &error), nullptr);
+  EXPECT_FALSE(error.ok());
+}
+
 TEST(ClustererFactoryTest, ReportsConstructionErrors) {
   ClustererSpec spec;
   spec.disc = TestConfig();

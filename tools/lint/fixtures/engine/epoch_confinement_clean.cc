@@ -1,0 +1,43 @@
+// Clean twin of engine/epoch_confinement_violation.cc: the scheduler
+// stages only move slides and fold results; epoch ticks happen in a
+// sequential stage outside DrainLocked/ExecuteSessionSlide. The
+// constructor initializer list again exercises the v2 signature parser.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace disc {
+
+class Index {
+ public:
+  std::uint64_t NewTick();
+  void EpochRangeSearch(double eps, std::uint64_t tick);
+};
+
+class Engine {
+ public:
+  explicit Engine(Index* index) : index_(index), executed_(0) {}
+
+  // Sequential pre-stage: epoch work is fine outside the parallel stages.
+  void PrepareRound() {
+    const std::uint64_t tick = index_->NewTick();
+    index_->EpochRangeSearch(0.5, tick);
+  }
+
+  std::size_t DrainLocked() {
+    for (std::size_t s = 0; s < sessions_.size(); ++s) {
+      ExecuteSessionSlide(s);
+    }
+    ++executed_;
+    return executed_;
+  }
+
+  void ExecuteSessionSlide(std::size_t session) { sessions_[session] += 1; }
+
+ private:
+  Index* index_;
+  std::size_t executed_;
+  std::vector<int> sessions_;
+};
+
+}  // namespace disc

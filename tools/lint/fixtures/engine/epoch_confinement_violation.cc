@@ -1,0 +1,40 @@
+// Violation fixture for epoch-confinement over the engine scheduling
+// stages (new in disc_lint v2): epoch calls inside DrainLocked /
+// ExecuteSessionSlide, which run on (or dispatch to) pool lanes. The
+// constructor with an initializer list exercises the v2 parser — a v1-era
+// lexical matcher misparsed `: member_(...)` as part of the signature.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace disc {
+
+class Index {
+ public:
+  std::uint64_t NewTick();
+  void EpochRangeSearch(double eps, std::uint64_t tick);
+};
+
+class Engine {
+ public:
+  explicit Engine(Index* index) : index_(index), executed_(0) {}
+
+  std::size_t DrainLocked() {
+    const std::uint64_t tick = index_->NewTick();  // BAD: scheduler stage.
+    index_->EpochRangeSearch(0.5, tick);           // BAD: scheduler stage.
+    ++executed_;
+    return executed_;
+  }
+
+  void ExecuteSessionSlide(std::size_t session) {
+    sessions_[session] += 1;
+    index_->NewTick();  // BAD: runs on a pool lane.
+  }
+
+ private:
+  Index* index_;
+  std::size_t executed_;
+  std::vector<int> sessions_;
+};
+
+}  // namespace disc

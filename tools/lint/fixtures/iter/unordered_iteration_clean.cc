@@ -1,0 +1,48 @@
+// Clean twin of unordered_iteration_violation.cc: unordered walks either
+// feed order-independent accumulation (integer sums, max), or materialize
+// into a vector that is sorted before anything order-sensitive happens.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace disc {
+
+class TraceSpan {
+ public:
+  void AddArg(const char* key, std::uint64_t value);
+};
+
+class Histogram {
+ public:
+  void Observe(double value);
+};
+
+struct Snapshot {
+  std::vector<std::uint64_t> ids;
+};
+
+void ExportSessionStats(
+    const std::unordered_map<std::string, std::uint64_t>& session_slides,
+    TraceSpan* span, Histogram* histogram) {
+  // Integer accumulation commutes — hash order cannot leak.
+  std::uint64_t total = 0;
+  for (const auto& [name, slides] : session_slides) {
+    total += slides;
+  }
+  span->AddArg("slides_total", total);
+  histogram->Observe(static_cast<double>(total));
+}
+
+Snapshot CollectIds(const std::unordered_map<std::uint64_t, int>& records) {
+  Snapshot snapshot;
+  for (auto it = records.begin(); it != records.end(); ++it) {
+    snapshot.ids.push_back(it->first);
+  }
+  // Sorted materialization: the emitted order is id order, not hash order.
+  std::sort(snapshot.ids.begin(), snapshot.ids.end());
+  return snapshot;
+}
+
+}  // namespace disc

@@ -1,0 +1,42 @@
+// Violation fixture for unordered-iteration: loops over unordered
+// containers feeding order-dependent sinks — trace args and histogram
+// observations from a range-for, and an iterator-style loop that emits.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace disc {
+
+class TraceSpan {
+ public:
+  void AddArg(const char* key, std::uint64_t value);
+};
+
+class Histogram {
+ public:
+  void Observe(double value);
+};
+
+struct Snapshot {
+  std::vector<std::uint64_t> ids;
+};
+
+void ExportSessionStats(
+    const std::unordered_map<std::string, std::uint64_t>& session_slides,
+    TraceSpan* span, Histogram* histogram) {
+  for (const auto& [name, slides] : session_slides) {
+    span->AddArg("slides", slides);  // BAD: arg order follows hash order.
+    histogram->Observe(static_cast<double>(slides));  // BAD: float order.
+  }
+}
+
+Snapshot CollectIds(const std::unordered_map<std::uint64_t, int>& records) {
+  Snapshot snapshot;
+  for (auto it = records.begin(); it != records.end(); ++it) {
+    snapshot.ids.push_back(it->first);  // BAD: emitted in hash order.
+  }
+  return snapshot;
+}
+
+}  // namespace disc

@@ -1,0 +1,62 @@
+// Clean twin of lock_discipline_violation.cc: every touch of a GUARDED_BY
+// field holds its mutex — via lock_guard, unique_lock (including a cv wait
+// and a manual unlock), a REQUIRES precondition, or manual lock()/unlock()
+// on the mutex itself. Constructors are exempt: no concurrent access
+// exists before the object is shared.
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#define GUARDED_BY(x)
+#define REQUIRES(...)
+#define EXCLUDES(...)
+
+namespace disc {
+
+class EventBuffer {
+ public:
+  explicit EventBuffer(std::size_t reserve) {
+    events_.reserve(reserve);  // OK: ctor, object not yet shared.
+  }
+
+  void Append(int event) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(event);
+    cv_.notify_one();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+  }
+
+  int WaitAndPop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (events_.empty()) cv_.wait(lock);
+    int event = events_.back();
+    events_.pop_back();
+    lock.unlock();
+    return event;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CompactLocked();  // OK: lock held at the call.
+  }
+
+  void ManualDance() {
+    mutex_.lock();
+    events_.clear();
+    mutex_.unlock();
+  }
+
+ private:
+  void CompactLocked() REQUIRES(mutex_) { events_.clear(); }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<int> events_ GUARDED_BY(mutex_);
+};
+
+}  // namespace disc

@@ -1,0 +1,36 @@
+// Violation fixture for lock-discipline: GUARDED_BY fields touched without
+// holding the named mutex — a bare read, and a call to a REQUIRES method
+// without the lock.
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#define GUARDED_BY(x)
+#define REQUIRES(...)
+#define EXCLUDES(...)
+
+namespace disc {
+
+class EventBuffer {
+ public:
+  void Append(int event) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(event);
+  }
+
+  std::size_t size() const {
+    return events_.size();  // BAD: mutex_ not held.
+  }
+
+  void Reset() {
+    CompactLocked();  // BAD: callee REQUIRES(mutex_), caller holds nothing.
+  }
+
+ private:
+  void CompactLocked() REQUIRES(mutex_) { events_.clear(); }
+
+  mutable std::mutex mutex_;
+  std::vector<int> events_ GUARDED_BY(mutex_);
+};
+
+}  // namespace disc

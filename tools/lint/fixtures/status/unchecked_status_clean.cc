@@ -1,0 +1,44 @@
+// Clean twin of unchecked_status_violation.cc: every Status is consumed —
+// assigned, returned, branched on, passed on — or explicitly allow()-ed
+// with a reason.
+#include <string>
+#include <utility>
+
+namespace disc {
+
+class Status {
+ public:
+  static Status Ok();
+  static Status Error(const std::string& message);
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+class SpillStore {
+ public:
+  Status Flush();
+  Status Close();
+  Status Checkpoint();
+};
+
+void Log(const std::string& message);
+void Consume(Status status);
+
+Status ShutDown(SpillStore* store) {
+  Status flushed = store->Flush();       // Assigned.
+  if (!flushed.ok()) Log(flushed.message());
+  if (store->Checkpoint().ok()) {        // Branched on.
+    Log("checkpointed");
+  }
+  Consume(store->Flush());               // Passed on.
+  // Best-effort close on the shutdown path; the store is gone either way:
+  // disc-lint: allow(unchecked-status) best-effort close at shutdown.
+  store->Close();
+  return store->Checkpoint();            // Returned.
+}
+
+}  // namespace disc

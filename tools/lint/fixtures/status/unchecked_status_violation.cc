@@ -1,0 +1,33 @@
+// Violation fixture for unchecked-status: Status results dropped on the
+// floor in every way the rule must catch — a bare expression statement, a
+// (void) cast, and a chained probe whose own result is discarded.
+#include <string>
+
+namespace disc {
+
+class Status {
+ public:
+  static Status Ok();
+  static Status Error(const std::string& message);
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+class SpillStore {
+ public:
+  Status Flush();
+  Status Close();
+  Status Checkpoint();
+};
+
+void ShutDown(SpillStore* store) {
+  store->Flush();             // BAD: result dropped.
+  (void)store->Close();       // BAD: a cast is not a decision.
+  store->Checkpoint().ok();   // BAD: probed, then the probe is dropped.
+}
+
+}  // namespace disc
