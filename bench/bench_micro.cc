@@ -5,17 +5,26 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <sstream>
+#include <string>
+#include <thread>
 
 #include "baselines/graph_disc.h"
 #include "baselines/inc_dbscan.h"
 #include "bench/datasets.h"
 #include "core/cluster_registry.h"
 #include "core/disc.h"
+#include "core/pipeline.h"
 #include "eval/runner.h"
 #include "index/grid_index.h"
 #include "index/rtree.h"
+#include "obs/http_server.h"
+#include "obs/log.h"
+#include "obs/metrics_registry.h"
+#include "obs/sinks.h"
 #include "stream/blobs_generator.h"
 #include "stream/sliding_window.h"
 
@@ -393,6 +402,81 @@ void BM_GraphVsIndexSlide(benchmark::State& state) {
   state.SetLabel(graph ? "graph" : "index");
 }
 BENCHMARK(BM_GraphVsIndexSlide)->Arg(0)->Arg(1);
+
+// Cost of the telemetry plane on the hot slide path (docs/OBSERVABILITY.md,
+// bench/results/telemetry_overhead.md). Arg selects the plane depth:
+//   0  bare pipeline — no recorder, no registry
+//   1  + MetricsObserver folding every SlideReport into a registry
+//   2  + embedded HTTP server with a background thread scraping GET
+//      /metrics at 10 Hz while the pipeline slides
+// The registry's fields are relaxed atomics, so a scrape never takes a
+// lock the slide path contends on — modes 1 and 2 should be within noise
+// of each other (the acceptance bar is <= 2% over mode 1).
+void BM_ObsScrapeOverhead(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  BlobsGenerator::Options gen;
+  gen.dims = 2;
+  gen.num_blobs = 5;
+  gen.stddev = 0.3;
+  gen.noise_fraction = 0.1;
+  gen.drift = 0.05;
+  gen.seed = 99;
+  BlobsGenerator stream(gen);
+  DiscConfig config;
+  config.eps = 0.4;
+  config.tau = 5;
+  Disc method(2, config);
+  StreamingPipeline pipeline(&stream, &method, /*window_size=*/2000,
+                             /*stride=*/200);
+
+  obs::MetricsRegistry registry;
+  obs::MetricsObserver::Options obs_options;
+  obs_options.disc_metrics = &method.last_metrics();
+  obs::MetricsObserver metrics(&registry, obs_options);
+
+  obs::HttpServerOptions server_options;
+  server_options.metrics = &registry;
+  obs::HttpServer server(server_options);
+  std::atomic<bool> stop{false};
+  std::thread scraper;
+  if (mode == 2) {
+    // The server's start/stop info lines would interleave with the
+    // benchmark table on stderr.
+    obs::SetLogLevel(obs::LogLevel::kWarn);
+    if (!server.Start().ok()) {
+      state.SkipWithError("telemetry server failed to bind");
+      return;
+    }
+    scraper = std::thread([&server, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        int status = 0;
+        std::string body = obs::HttpGet(server.port(), "/metrics", &status);
+        benchmark::DoNotOptimize(body.size());
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    });
+  }
+
+  pipeline.Run(10);  // fill the window before timing
+  for (auto _ : state) {
+    pipeline.Run(1, mode >= 1 ? metrics.AsObserver() : nullptr);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+  state.SetLabel(mode == 0   ? "bare"
+                 : mode == 1 ? "recorder"
+                             : "recorder+scrape10hz");
+
+  if (mode == 2) {
+    stop.store(true, std::memory_order_relaxed);
+    scraper.join();
+    server.Stop();
+  }
+}
+BENCHMARK(BM_ObsScrapeOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace disc

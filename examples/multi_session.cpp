@@ -7,15 +7,23 @@
 //   ./build/examples/multi_session
 //
 // Optional observability + recovery artifacts (docs/OBSERVABILITY.md):
-//   ./build/examples/multi_session [TRACE.json [METRICS.prom [SPILL_DIR]]]
+//   ./build/examples/multi_session [--serve PORT]
+//       [TRACE.json [METRICS.prom [SPILL_DIR]]]
 // writes a Chrome trace with the engine.drain / engine.session scheduling
 // spans, a Prometheus text dump with the per-session engine_session_<name>_*
 // metrics, and — when SPILL_DIR is given — demonstrates Checkpoint() +
 // DiscEngine::Open() recovery through that directory. scripts/ci.sh runs
 // this with all three and validates the trace with tools/trace_check.py.
+//
+// --serve PORT starts DiscEngine::ServeTelemetry (PORT 0 = ephemeral; the
+// bound port is printed as "serving telemetry on port N") and holds the
+// process open on stdin after the run so /metrics, /sessions, /healthz
+// can be scraped against a live engine.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -87,14 +95,49 @@ void PrintSessions(disc::DiscEngine& engine, const char* label) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool serve = false;
+  std::uint16_t serve_port = 0;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--serve" && i + 1 < argc) {
+      serve = true;
+      serve_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const char* trace_path = positional.size() > 0 ? positional[0] : nullptr;
+  const char* prom_path = positional.size() > 1 ? positional[1] : nullptr;
+
   disc::obs::TraceRecorder recorder;
-  if (argc > 1) recorder.Install();
+  if (trace_path != nullptr || serve) recorder.Install();
 
   disc::obs::MetricsRegistry registry;
   disc::EngineOptions options;
   options.num_threads = 4;
   options.metrics = &registry;
-  if (argc > 3) options.spill_dir = argv[3];
+  if (positional.size() > 2) options.spill_dir = positional[2];
+
+  // Serve the given engine's telemetry plane and hold the process open on
+  // stdin so a scraper (curl, tools/disc_top.py, the CI smoke) can reach
+  // /metrics, /sessions, /healthz, /tracez against a live engine.
+  const auto serve_and_wait = [serve, serve_port](disc::DiscEngine& engine) {
+    if (!serve) return;
+    std::uint16_t port = 0;
+    const disc::Status started = engine.ServeTelemetry(serve_port, &port);
+    if (!started.ok()) {
+      std::fprintf(stderr, "telemetry: %s\n", started.message().c_str());
+      std::exit(1);
+    }
+    std::printf("serving telemetry on port %u\n",
+                static_cast<unsigned>(port));
+    std::printf("telemetry up; press Enter (or close stdin) to exit\n");
+    std::fflush(stdout);
+    std::string line;
+    std::getline(std::cin, line);
+    engine.StopTelemetry();
+  };
 
   std::vector<std::unique_ptr<disc::BlobsGenerator>> streams;
   {
@@ -134,6 +177,7 @@ int main(int argc, char** argv) {
     if (options.spill_dir.empty()) {
       FeedAll(engine, streams, 5);
       PrintSessions(engine, "after 15 shared slides:");
+      serve_and_wait(engine);
     }
   }
 
@@ -148,6 +192,7 @@ int main(int argc, char** argv) {
     PrintSessions(*engine, "\nrecovered sessions (state + numbering intact):");
     FeedAll(*engine, streams, 5);
     PrintSessions(*engine, "after 5 more slides on the recovered engine:");
+    serve_and_wait(*engine);
   }
 
   std::printf("\nengine totals: %llu slides across %llu drains\n",
@@ -156,17 +201,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   registry.counter("engine_drains_total").value()));
 
-  if (argc > 1) {
+  if (trace_path != nullptr) {
     recorder.Uninstall();
-    std::ofstream trace(argv[1]);
+    std::ofstream trace(trace_path);
     recorder.WriteChromeJson(trace);
     std::printf("wrote trace (%zu events) to %s\n", recorder.event_count(),
-                argv[1]);
+                trace_path);
   }
-  if (argc > 2) {
-    std::ofstream prom(argv[2]);
+  if (prom_path != nullptr) {
+    std::ofstream prom(prom_path);
     registry.WritePrometheus(prom);
-    std::printf("wrote Prometheus metrics to %s\n", argv[2]);
+    std::printf("wrote Prometheus metrics to %s\n", prom_path);
   }
   return 0;
 }

@@ -8,10 +8,14 @@
 #      validate both artifacts with tools/trace_check.py
 #   5. Engine smoke: multi-session run with checkpoint/recover through a
 #      spill dir, trace validated for the engine scheduling spans
-#   6. ASan+UBSan: build + full ctest suite (UBSan findings are fatal via
+#   6. Telemetry smoke: quickstart --serve 0, scrape the live /metrics,
+#      /healthz, and /sessions endpoints, validate the exposition with
+#      tools/prom_check.py (TYPE/HELP pairing, name validity, monotone
+#      counter re-scrape) — run under the Release AND ASan binaries
+#   7. ASan+UBSan: build + full ctest suite (UBSan findings are fatal via
 #      -fno-sanitize-recover, see the asan preset)
-#   7. TSan: build + full ctest suite
-#   8. clang-tidy over src/ (skips when clang-tidy is not installed)
+#   8. TSan: build + full ctest suite
+#   9. clang-tidy over src/ (skips when clang-tidy is not installed)
 #
 # Usage: scripts/ci.sh [extra ctest args...]
 set -euo pipefail
@@ -70,11 +74,64 @@ grep -q '^engine_session_city_vehicles_slides_total 15$' \
   "${obs_dir}/engine_metrics.prom" || {
     echo "engine smoke: per-session metrics missing or wrong" >&2; exit 1; }
 
+# Launch `$1 --serve 0`, hold its stdin open on a fifo while scraping the
+# live endpoints, then release stdin for a clean exit. Validates the
+# Prometheus exposition (and counter monotonicity across a re-scrape) with
+# tools/prom_check.py and the /healthz + /sessions JSON shapes inline.
+telemetry_smoke() {
+  local exe="$1" label="$2"
+  echo "=== telemetry smoke (${label}): live /metrics + /healthz + /sessions ==="
+  local dir fifo log pid port
+  dir="$(mktemp -d)"
+  fifo="${dir}/stdin.fifo"
+  log="${dir}/serve.log"
+  mkfifo "${fifo}"
+  "${exe}" --serve 0 < "${fifo}" > "${log}" 2>&1 &
+  pid=$!
+  exec 9> "${fifo}" # keep a writer open so the server's stdin stays alive
+  port=""
+  for _ in $(seq 200); do # sanitizer binaries start slowly; allow 20s
+    port="$(sed -n 's/^serving telemetry on port \([0-9]*\)$/\1/p' "${log}")"
+    [ -n "${port}" ] && break
+    sleep 0.1
+  done
+  if [ -z "${port}" ]; then
+    echo "telemetry smoke (${label}): server never announced a port" >&2
+    cat "${log}" >&2
+    exit 1
+  fi
+  python3 tools/prom_check.py --url "http://127.0.0.1:${port}/metrics" --rescrape
+  python3 - "http://127.0.0.1:${port}" <<'PY'
+import json, sys, urllib.request
+
+base = sys.argv[1]
+health = json.load(urllib.request.urlopen(base + "/healthz", timeout=10))
+assert health.get("live") is True and health.get("ready") is True, health
+sessions = json.load(urllib.request.urlopen(base + "/sessions", timeout=10))
+assert isinstance(sessions.get("sessions"), list), sessions
+print(f"telemetry smoke: healthz ready; "
+      f"{len(sessions['sessions'])} session rows")
+PY
+  echo >&9 # one stdin line releases the hold
+  exec 9>&-
+  wait "${pid}" || {
+    echo "telemetry smoke (${label}): server exited nonzero" >&2
+    cat "${log}" >&2
+    exit 1
+  }
+  rm -rf "${dir}"
+}
+
+telemetry_smoke ./build-release/examples/quickstart "Release"
+
 echo "=== ASan+UBSan: configure + build + full ctest ==="
 cmake --preset asan
 cmake --build --preset asan -j "${jobs}"
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --preset asan -j "${jobs}" "$@"
+
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+  telemetry_smoke ./build-asan/examples/quickstart "ASan"
 
 echo "=== TSan: configure + build + full ctest ==="
 cmake --preset tsan

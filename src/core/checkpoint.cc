@@ -15,12 +15,20 @@
 #include <vector>
 
 #include "core/disc.h"
+#include "obs/log.h"
 
 namespace disc {
 
 namespace {
 
 constexpr std::uint64_t kMagic = 0x44495343'43503031ULL;  // "DISCCP01"
+
+// Every checkpoint failure funnels through here so the structured log
+// stream carries the same message the Status does (one rate-limited site).
+Status Fail(const std::string& message) {
+  DISC_LOG(kError, "checkpoint.failed").Str("error", message);
+  return Status::Error(message);
+}
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
@@ -58,10 +66,10 @@ Status Disc::SaveCheckpoint(std::ostream& out) const {
     WritePod(out, rec.cid);
   }
   if (!registry_.Save(out)) {
-    return Status::Error("checkpoint save: cluster-registry write failed");
+    return Fail("checkpoint save: cluster-registry write failed");
   }
   if (!out) {
-    return Status::Error("checkpoint save: stream write failed");
+    return Fail("checkpoint save: stream write failed");
   }
   return Status::Ok();
 }
@@ -73,28 +81,28 @@ Status Disc::LoadCheckpoint(std::istream& in) {
   std::uint32_t tau = 0;
   std::uint64_t count = 0;
   if (!ReadPod(in, &magic) || magic != kMagic) {
-    return Status::Error("checkpoint load: bad magic (not a DISC checkpoint)");
+    return Fail("checkpoint load: bad magic (not a DISC checkpoint)");
   }
   if (!ReadPod(in, &dims) || dims != tree_.dims()) {
     std::ostringstream os;
     os << "checkpoint load: dims mismatch (checkpoint " << dims
        << ", clusterer " << tree_.dims() << ")";
-    return Status::Error(os.str());
+    return Fail(os.str());
   }
   if (!ReadPod(in, &eps) || eps != config_.eps) {
     std::ostringstream os;
     os << "checkpoint load: eps mismatch (checkpoint " << eps
        << ", clusterer " << config_.eps << ")";
-    return Status::Error(os.str());
+    return Fail(os.str());
   }
   if (!ReadPod(in, &tau) || tau != config_.tau) {
     std::ostringstream os;
     os << "checkpoint load: tau mismatch (checkpoint " << tau
        << ", clusterer " << config_.tau << ")";
-    return Status::Error(os.str());
+    return Fail(os.str());
   }
   if (!ReadPod(in, &count)) {
-    return Status::Error("checkpoint load: truncated header");
+    return Fail("checkpoint load: truncated header");
   }
 
   records_.clear();
@@ -110,7 +118,7 @@ Status Disc::LoadCheckpoint(std::istream& in) {
     auto record_error = [&](const char* what) {
       std::ostringstream os;
       os << "checkpoint load: record " << i << " of " << count << ": " << what;
-      return Status::Error(os.str());
+      return Fail(os.str());
     };
     if (!ReadPod(in, &id)) return record_error("truncated");
     in.read(reinterpret_cast<char*>(rec.pt.x.data()),
@@ -139,7 +147,7 @@ Status Disc::LoadCheckpoint(std::istream& in) {
     }
   }
   if (!registry_.Load(in)) {
-    return Status::Error("checkpoint load: corrupt cluster registry");
+    return Fail("checkpoint load: corrupt cluster registry");
   }
   // Validate handles against the restored registry. Iterates the points in
   // file order (not the hash map) so the first reported offender is stable.
@@ -151,7 +159,7 @@ Status Disc::LoadCheckpoint(std::istream& in) {
       std::ostringstream os;
       os << "checkpoint load: point " << pt.id << " references cluster handle "
          << rec.cid << " outside the restored registry";
-      return Status::Error(os.str());
+      return Fail(os.str());
     }
   }
 

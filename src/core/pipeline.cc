@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include "obs/log.h"
 #include "obs/trace.h"
 
 namespace disc {
@@ -49,7 +50,16 @@ std::size_t StreamingPipeline::Run(std::size_t max_slides,
     report.window_full = window_.full();
     slide_span.AddArg("window", report.window_size);
     slide_span.AddArg("relabeled", report.relabeled);
+    // Off by default (kDebug < the kInfo floor): one relaxed load per
+    // slide. Turned on via SetLogLevel(kDebug) it narrates the stream.
+    DISC_LOG(kDebug, "pipeline.slide")
+        .Num("slide", report.slide_index)
+        .Num("window", report.window_size)
+        .Num("relabeled", report.relabeled)
+        .Num("update_ms", report.update_ms);
     if (observe && !observe(report)) {
+      DISC_LOG(kInfo, "pipeline.halted_by_observer")
+          .Num("slide", report.slide_index);
       ++executed;
       break;
     }

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "core/disc.h"
+#include "obs/log.h"
 #include "obs/trace.h"
 
 namespace disc {
@@ -104,7 +105,7 @@ DiscEngine::DiscEngine(const EngineOptions& options) : options_(options) {
   if (lanes > 1) pool_ = std::make_unique<ThreadPool>(lanes - 1);
 }
 
-DiscEngine::~DiscEngine() = default;
+DiscEngine::~DiscEngine() { StopTelemetry(); }
 
 DiscEngine::Session* DiscEngine::Find(const std::string& name) {
   for (const auto& session : sessions_) {
@@ -147,9 +148,17 @@ Status DiscEngine::CreateSession(const std::string& name,
   std::unique_ptr<StreamClusterer> clusterer =
       MakeClusterer(adopted.method, adopted.spec, &error);
   if (clusterer == nullptr) {
+    DISC_LOG(kWarn, "engine.create_session_rejected")
+        .Str("session", name)
+        .Str("error", error.message());
     return Status::Error("session \"" + name + "\": " + error.message());
   }
   Admit(name, std::move(adopted), std::move(clusterer), {}, 0);
+  DISC_LOG(kInfo, "engine.session_created")
+      .Str("session", name)
+      .Str("method", options.method)
+      .Num("window_size", options.spec.window_size)
+      .Num("stride", options.spec.stride);
   return Status::Ok();
 }
 
@@ -176,9 +185,11 @@ void DiscEngine::Admit(const std::string& name, SessionOptions options,
   }
   sessions_.push_back(std::move(session));
   if (options_.metrics != nullptr) {
-    options_.metrics->gauge("engine_sessions")
+    options_.metrics->gauge("engine_sessions",
+                            "Sessions currently admitted to the engine.")
         .Set(static_cast<double>(sessions_.size()));
   }
+  UpdateBacklogGauges();
 }
 
 Status DiscEngine::FeedSlide(const std::string& name,
@@ -202,11 +213,17 @@ Status DiscEngine::FeedSlide(const std::string& name,
       os << "session \"" << name << "\": point " << i << " (id "
          << points[i].id << ") has dims=" << points[i].dims
          << ", session expects dims=" << dims;
+      // Rate-limited: a misbehaving feeder retrying every slide must not
+      // flood the sink.
+      DISC_LOG(kWarn, "engine.slide_rejected")
+          .Str("session", name)
+          .Str("error", os.str());
       return Status::Error(os.str());
     }
   }
   for (const Point& p : points) session->source.Push(p);
   ++session->pending_slides;
+  UpdateBacklogGauges();
   return Status::Ok();
 }
 
@@ -220,6 +237,7 @@ Status DiscEngine::CloseSession(const std::string& name) {
       options_.metrics->gauge("engine_sessions")
           .Set(static_cast<double>(sessions_.size()));
     }
+    UpdateBacklogGauges();
     return Status::Ok();
   }
   return Status::Error("no session named \"" + name + "\"");
@@ -248,6 +266,33 @@ void DiscEngine::FoldSessionMetrics(Session* session) {
   reg.counter(prefix + "points_relabeled_total").Add(r.relabeled);
   reg.gauge(prefix + "window_size").Set(static_cast<double>(r.window_size));
   reg.histogram(prefix + "update_ms").Observe(r.update_ms);
+}
+
+void DiscEngine::UpdateBacklogGauges() {
+  if (options_.metrics == nullptr) return;
+  obs::MetricsRegistry& reg = *options_.metrics;
+  // Watermark: the furthest slide index any session would reach if every
+  // queued slide ran now. A session's lag is its distance behind that —
+  // a stalled session (no feed, or feeds but never drained) shows a
+  // growing lag while the healthy ones stay at 0.
+  std::size_t watermark = 0;
+  for (const auto& s : sessions_) {
+    const std::size_t frontier = s->pipeline->slides_run() + s->pending_slides;
+    if (frontier > watermark) watermark = frontier;
+  }
+  for (const auto& s : sessions_) {
+    const std::string prefix = "engine_session_" + s->name + "_";
+    reg.gauge(prefix + "queue_depth",
+              "Slides fed to this session but not yet drained.")
+        .Set(static_cast<double>(s->pending_slides));
+    reg.gauge(prefix + "watermark_lag_slides",
+              "Slides this session is behind the engine watermark (the "
+              "furthest frontier over all sessions).")
+        .Set(static_cast<double>(watermark - s->pipeline->slides_run()));
+    reg.gauge(prefix + "last_slide_ms",
+              "Update latency of this session's most recent slide.")
+        .Set(s->last_report.update_ms);
+  }
 }
 
 std::size_t DiscEngine::Drain() {
@@ -302,6 +347,9 @@ std::size_t DiscEngine::DrainLocked() {
       FoldSessionMetrics(up.get());
       ++executed;
     }
+    // Refresh backlog gauges per round, not just at the end: a live scrape
+    // mid-drain sees queue depths shrink round by round.
+    UpdateBacklogGauges();
   }
   if (options_.metrics != nullptr) {
     options_.metrics->counter("engine_drains_total").Add(1);
@@ -375,11 +423,20 @@ Status DiscEngine::Checkpoint() {
         SessionPath(options_.spill_dir, session->name) + ".tmp";
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
+      DISC_LOG(kError, "engine.checkpoint_failed").Str("path", tmp);
       return Status::Error("cannot open " + tmp + " for writing");
     }
-    if (Status saved = SaveSession(*session, out); !saved.ok()) return saved;
+    if (Status saved = SaveSession(*session, out); !saved.ok()) {
+      DISC_LOG(kError, "engine.checkpoint_failed")
+          .Str("session", session->name)
+          .Str("error", saved.message());
+      return saved;
+    }
     out.flush();
-    if (!out) return Status::Error("write failed on " + tmp);
+    if (!out) {
+      DISC_LOG(kError, "engine.checkpoint_failed").Str("path", tmp);
+      return Status::Error("write failed on " + tmp);
+    }
   }
   for (const auto& session : sessions_) {
     const std::string path = SessionPath(options_.spill_dir, session->name);
@@ -412,6 +469,9 @@ std::unique_ptr<DiscEngine> DiscEngine::Open(const EngineOptions& options,
                                              Status* error) {
   if (error != nullptr) *error = Status::Ok();
   const auto fail = [error](const std::string& message) {
+    // Every recovery failure funnels through here — one logging choke
+    // point for the whole Open path.
+    DISC_LOG(kError, "engine.open_failed").Str("error", message);
     if (error != nullptr) *error = Status::Error(message);
     return std::unique_ptr<DiscEngine>();
   };
@@ -534,6 +594,85 @@ std::size_t DiscEngine::SlidesRun(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const Session* session = Find(name);
   return session == nullptr ? 0 : session->pipeline->slides_run();
+}
+
+std::vector<obs::SessionStatusRow> DiscEngine::SessionStatus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t watermark = 0;
+  for (const auto& s : sessions_) {
+    const std::size_t frontier = s->pipeline->slides_run() + s->pending_slides;
+    if (frontier > watermark) watermark = frontier;
+  }
+  std::vector<obs::SessionStatusRow> rows;
+  rows.reserve(sessions_.size());
+  for (const auto& s : sessions_) {
+    obs::SessionStatusRow row;
+    row.name = s->name;
+    row.id = s->id;
+    row.method = s->options.method;
+    row.window_size = s->last_report.window_size;
+    row.slides_run = s->pipeline->slides_run();
+    row.queue_depth = s->pending_slides;
+    row.watermark_lag_slides = watermark - s->pipeline->slides_run();
+    row.last_slide_ms = s->last_report.update_ms;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Status DiscEngine::ServeTelemetry(std::uint16_t port,
+                                  std::uint16_t* bound_port) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (http_ != nullptr) {
+      return Status::Error("telemetry already serving on port " +
+                           std::to_string(http_->port()));
+    }
+  }
+  obs::HttpServerOptions server_options;
+  server_options.port = port;
+  server_options.metrics = options_.metrics;
+  server_options.engine = this;
+  server_options.tracer = obs::TraceRecorder::active();
+  auto server = std::make_unique<obs::HttpServer>(server_options);
+  // Start outside the engine lock: the spawned workers take mutex_ through
+  // SessionStatus and must never find it held by their own birth.
+  if (Status started = server->Start(); !started.ok()) {
+    DISC_LOG(kError, "engine.telemetry_start_failed")
+        .Str("error", started.message());
+    return started;
+  }
+  if (bound_port != nullptr) *bound_port = server->port();
+  std::unique_ptr<obs::HttpServer> displaced;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (http_ == nullptr) {
+      http_ = std::move(server);
+    } else {
+      displaced = std::move(server);  // Lost a race with another caller.
+    }
+  }
+  if (displaced != nullptr) {
+    displaced->Stop();
+    return Status::Error("telemetry already serving");
+  }
+  return Status::Ok();
+}
+
+void DiscEngine::StopTelemetry() {
+  std::unique_ptr<obs::HttpServer> server;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    server = std::move(http_);
+  }
+  // Destroyed (and therefore joined) without the lock; workers blocked in
+  // SessionStatus can finish.
+  server.reset();
+}
+
+std::uint16_t DiscEngine::TelemetryPort() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return http_ == nullptr ? 0 : http_->port();
 }
 
 }  // namespace disc

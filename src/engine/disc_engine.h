@@ -43,6 +43,7 @@
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/pipeline.h"
+#include "obs/http_server.h"
 #include "obs/metrics_registry.h"
 #include "stream/clusterer_factory.h"
 #include "stream/stream_clusterer.h"
@@ -76,10 +77,10 @@ struct SessionOptions {
   ClustererSpec spec;
 };
 
-class DiscEngine {
+class DiscEngine : public obs::EngineStatusProvider {
  public:
   explicit DiscEngine(const EngineOptions& options);
-  ~DiscEngine();
+  ~DiscEngine() override;  // Stops the telemetry server if serving.
 
   DiscEngine(const DiscEngine&) = delete;
   DiscEngine& operator=(const DiscEngine&) = delete;
@@ -147,6 +148,28 @@ class DiscEngine {
   }
   const EngineOptions& options() const { return options_; }
 
+  // Live status of every session in creation order — what /sessions serves
+  // (obs::EngineStatusProvider). Safe from any thread; waits for an
+  // in-flight Drain round.
+  std::vector<obs::SessionStatusRow> SessionStatus() const override
+      EXCLUDES(mutex_);
+
+  // Starts the embedded telemetry HTTP server (obs/http_server.h) bound to
+  // 127.0.0.1:<port> with this engine's registry, status, and the active
+  // trace recorder attached. port 0 binds an ephemeral port; the bound port
+  // is stored into *bound_port when non-null. Fails when already serving or
+  // when the bind fails. docs/API.md §Telemetry.
+  Status ServeTelemetry(std::uint16_t port,
+                        std::uint16_t* bound_port = nullptr) EXCLUDES(mutex_);
+
+  // Stops and discards the telemetry server. Idempotent; also run by the
+  // destructor. Never called under mutex_: server workers may be blocked in
+  // SessionStatus() waiting for it.
+  void StopTelemetry() EXCLUDES(mutex_);
+
+  // The serving port, or 0 when no telemetry server is running.
+  std::uint16_t TelemetryPort() const EXCLUDES(mutex_);
+
  private:
   // Feeds a session's queued strides to its pipeline: FeedSlide pushes
   // here, the pipeline's window pulls via Next() during a drained slide.
@@ -197,6 +220,12 @@ class DiscEngine {
 
   void FoldSessionMetrics(Session* session);
 
+  // Refreshes the per-session backlog gauges (`..._queue_depth`,
+  // `..._watermark_lag_slides`, `..._last_slide_ms`) after any queue or
+  // progress change. Runs on the scheduler thread under the lock, like
+  // FoldSessionMetrics, so gauge writes keep the single-writer discipline.
+  void UpdateBacklogGauges() REQUIRES(mutex_);
+
   Status SaveSession(const Session& session, std::ostream& out) const;
 
   EngineOptions options_;
@@ -211,6 +240,11 @@ class DiscEngine {
   std::uint64_t next_session_id_ GUARDED_BY(mutex_) = 0;
   // Round-robin start of the next ready set.
   std::size_t rr_cursor_ GUARDED_BY(mutex_) = 0;
+  // The embedded telemetry server, when serving. The pointer is guarded;
+  // StopTelemetry moves it out under the lock and destroys it unlocked so
+  // joining its workers (which may be blocked in SessionStatus) cannot
+  // deadlock against mutex_.
+  std::unique_ptr<obs::HttpServer> http_ GUARDED_BY(mutex_);
 };
 
 }  // namespace disc

@@ -1,0 +1,548 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/thread_annotations.h"
+#include "obs/log.h"
+
+namespace disc {
+namespace obs {
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatMillis(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out;
+  out.reserve(response.body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += ReasonPhrase(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+void SendAll(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // Peer went away; nothing useful to do.
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+HttpResponse JsonError(int status, std::string_view message) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.Write("{\"error\":\"");
+  response.Write(JsonEscape(message));
+  response.Write("\"}\n");
+  return response;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Impl
+// ---------------------------------------------------------------------------
+
+struct HttpServer::Impl {
+  explicit Impl(const HttpServerOptions& opts) : options(opts) {}
+
+  HttpServerOptions options;
+
+  std::atomic<bool> running{false};
+  std::atomic<bool> stopping{false};
+  int listen_fd = -1;
+  int wake_read_fd = -1;
+  int wake_write_fd = -1;
+  std::uint16_t bound_port = 0;
+
+  std::thread accept_thread;
+  std::vector<std::thread> workers;
+
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<int> pending GUARDED_BY(queue_mutex);
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd) const;
+  HttpResponse Route(std::string_view target) const;
+};
+
+void HttpServer::Impl::AcceptLoop() {
+  while (!stopping.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd;
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = wake_read_fd;
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    const int ready = ::poll(fds, 2, /*timeout_ms=*/1000);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // Stop() wrote the wake byte.
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    // A stuck client must not wedge a worker: cap both directions.
+    timeval timeout{};
+    timeout.tv_sec = 5;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    bool enqueued = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      if (pending.size() < options.max_queued_connections) {
+        pending.push_back(conn);
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      queue_cv.notify_one();
+    } else {
+      // Bounded handling: shed load in the accept thread with a canned
+      // response instead of queueing without limit.
+      SendAll(conn, SerializeResponse(
+                        JsonError(503, "telemetry server overloaded")));
+      ::close(conn);
+      DISC_LOG(kWarn, "telemetry.http_overloaded")
+          .Num("queued", options.max_queued_connections);
+    }
+  }
+}
+
+void HttpServer::Impl::WorkerLoop() {
+  for (;;) {
+    int conn = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex);
+      queue_cv.wait(lock, [this]() REQUIRES(queue_mutex) {
+        return stopping.load(std::memory_order_acquire) || !pending.empty();
+      });
+      if (pending.empty()) return;  // Stopping and drained.
+      conn = pending.front();
+      pending.pop_front();
+    }
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpServer::Impl::HandleConnection(int fd) const {
+  std::string head;
+  head.reserve(512);
+  char buf[1024];
+  bool oversized = false;
+  while (head.find("\r\n\r\n") == std::string::npos) {
+    if (head.size() > options.max_request_bytes) {
+      oversized = true;
+      break;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      // Timeout, reset, or a client that never finished the head: no
+      // response owed unless we already know the head is hopeless.
+      if (head.empty()) return;
+      break;
+    }
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+  if (oversized) {
+    DISC_LOG(kWarn, "telemetry.http_request_oversized")
+        .Num("bytes", head.size())
+        .Num("limit", options.max_request_bytes);
+    SendAll(fd, SerializeResponse(JsonError(431, "request head too large")));
+    return;
+  }
+  // Request line: METHOD SP TARGET SP HTTP/x.y CRLF
+  const std::size_t line_end = head.find("\r\n");
+  const std::string line =
+      head.substr(0, line_end == std::string::npos ? head.size() : line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos
+                              ? std::string::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0 || sp2 == sp1 + 1) {
+    DISC_LOG(kWarn, "telemetry.http_malformed_request")
+        .Str("line", line.substr(0, 128));
+    SendAll(fd, SerializeResponse(JsonError(400, "malformed request line")));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    SendAll(fd, SerializeResponse(
+                    JsonError(405, "only GET is supported")));
+    return;
+  }
+  SendAll(fd, SerializeResponse(Route(target)));
+}
+
+HttpResponse HttpServer::Impl::Route(std::string_view target) const {
+  const std::size_t query = target.find('?');
+  if (query != std::string_view::npos) target = target.substr(0, query);
+
+  if (target == "/metrics") {
+    if (options.metrics == nullptr) {
+      return JsonError(503, "no metrics registry bound");
+    }
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    std::ostringstream os;
+    options.metrics->WritePrometheus(os);
+    response.Write(os.str());
+    return response;
+  }
+
+  if (target == "/metrics.json") {
+    if (options.metrics == nullptr) {
+      return JsonError(503, "no metrics registry bound");
+    }
+    HttpResponse response;
+    response.content_type = "application/json";
+    std::ostringstream os;
+    options.metrics->WriteJson(os);
+    response.Write(os.str());
+    return response;
+  }
+
+  if (target == "/healthz") {
+    // Per-component readiness. The process is live by construction (it is
+    // answering); readiness additionally requires a bound registry and —
+    // when an engine is bound — at least one admitted session, so closing
+    // the last session flips /healthz to 503.
+    std::vector<SessionStatusRow> session_rows;
+    if (options.engine != nullptr) {
+      session_rows = options.engine->SessionStatus();
+    }
+    const bool engine_ready = options.engine == nullptr || !session_rows.empty();
+    const bool ready = options.metrics != nullptr && engine_ready;
+    HttpResponse response;
+    response.status = ready ? 200 : 503;
+    response.content_type = "application/json";
+    response.Write("{\"live\":true,\"ready\":");
+    response.Write(ready ? "true" : "false");
+    response.Write(",\"components\":{\"engine\":\"");
+    response.Write(options.engine == nullptr ? "unbound"
+                   : session_rows.empty()            ? "no_sessions"
+                                             : "ok");
+    response.Write("\",\"metrics\":\"");
+    response.Write(options.metrics == nullptr ? "unbound" : "ok");
+    response.Write("\",\"tracer\":\"");
+    response.Write(options.tracer == nullptr ? "unbound" : "ok");
+    response.Write("\"}}\n");
+    return response;
+  }
+
+  if (target == "/sessions") {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.Write("{\"sessions\":[");
+    if (options.engine != nullptr) {
+      const std::vector<SessionStatusRow> session_rows =
+          options.engine->SessionStatus();
+      // Creation order straight from the provider — deterministic, and a
+      // vector walk, so hash order cannot leak into the wire format.
+      bool first = true;
+      for (const SessionStatusRow& row : session_rows) {
+        if (!first) response.Write(",");
+        first = false;
+        response.Write("{\"name\":\"");
+        response.Write(JsonEscape(row.name));
+        response.Write("\",\"id\":");
+        response.Write(std::to_string(row.id));
+        response.Write(",\"method\":\"");
+        response.Write(JsonEscape(row.method));
+        response.Write("\",\"window_size\":");
+        response.Write(std::to_string(row.window_size));
+        response.Write(",\"slides_run\":");
+        response.Write(std::to_string(row.slides_run));
+        response.Write(",\"queue_depth\":");
+        response.Write(std::to_string(row.queue_depth));
+        response.Write(",\"watermark_lag_slides\":");
+        response.Write(std::to_string(row.watermark_lag_slides));
+        response.Write(",\"last_slide_ms\":");
+        response.Write(FormatMillis(row.last_slide_ms));
+        response.Write("}");
+      }
+    }
+    response.Write("]}\n");
+    return response;
+  }
+
+  if (target == "/tracez") {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.Write("{\"spans\":[");
+    if (options.tracer != nullptr) {
+      const std::vector<CompletedSpan> spans = options.tracer->TailSnapshot();
+      bool first = true;
+      for (const CompletedSpan& span : spans) {
+        if (!first) response.Write(",");
+        first = false;
+        response.Write("{\"name\":\"");
+        response.Write(JsonEscape(span.name == nullptr ? "" : span.name));
+        response.Write("\",\"tid\":");
+        response.Write(std::to_string(span.tid));
+        response.Write(",\"start_us\":");
+        response.Write(std::to_string(span.start_us));
+        response.Write(",\"dur_us\":");
+        response.Write(std::to_string(span.dur_us));
+        if (span.num_args > 0) {
+          response.Write(",\"args\":{");
+          for (std::uint8_t i = 0; i < span.num_args; ++i) {
+            if (i > 0) response.Write(",");
+            response.Write("\"");
+            response.Write(JsonEscape(span.args[i].key));
+            response.Write("\":");
+            response.Write(std::to_string(span.args[i].value));
+          }
+          response.Write("}");
+        }
+        response.Write("}");
+      }
+    }
+    response.Write("]}\n");
+    return response;
+  }
+
+  return JsonError(404, "unknown route; try /metrics, /metrics.json, "
+                        "/healthz, /sessions, /tracez");
+}
+
+// ---------------------------------------------------------------------------
+// HttpServer
+// ---------------------------------------------------------------------------
+
+HttpServer::HttpServer(const HttpServerOptions& options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  Impl& impl = *impl_;
+  if (impl.running.load(std::memory_order_acquire)) {
+    return Status::Error("telemetry server already running on port " +
+                         std::to_string(impl.bound_port));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Error(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(impl.options.port);
+  if (::inet_pton(AF_INET, impl.options.bind_address.c_str(),
+                  &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::Error("bad bind address \"" + impl.options.bind_address +
+                         "\"");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Error("cannot bind " + impl.options.bind_address + ":" +
+                         std::to_string(impl.options.port) + ": " + error);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Error(std::string("getsockname(): ") + error);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Error(std::string("listen(): ") + error);
+  }
+  int wake[2] = {-1, -1};
+  if (::pipe(wake) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Error(std::string("pipe(): ") + error);
+  }
+  impl.listen_fd = fd;
+  impl.wake_read_fd = wake[0];
+  impl.wake_write_fd = wake[1];
+  impl.bound_port = ntohs(bound.sin_port);
+  impl.stopping.store(false, std::memory_order_release);
+  impl.running.store(true, std::memory_order_release);
+  impl.accept_thread = std::thread([this]() { impl_->AcceptLoop(); });
+  const std::size_t workers =
+      impl.options.worker_threads == 0 ? 1 : impl.options.worker_threads;
+  impl.workers.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    impl.workers.emplace_back([this]() { impl_->WorkerLoop(); });
+  }
+  DISC_LOG(kInfo, "telemetry.http_started")
+      .Str("address", impl.options.bind_address)
+      .Num("port", impl.bound_port)
+      .Num("workers", workers);
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  Impl& impl = *impl_;
+  if (!impl.running.exchange(false, std::memory_order_acq_rel)) return;
+  impl.stopping.store(true, std::memory_order_release);
+  const char wake_byte = 'x';
+  // A failed wake write leaves the 1 s poll timeout as the fallback.
+  if (impl.wake_write_fd >= 0) {
+    [[maybe_unused]] const ssize_t written =
+        ::write(impl.wake_write_fd, &wake_byte, 1);
+  }
+  impl.queue_cv.notify_all();
+  if (impl.accept_thread.joinable()) impl.accept_thread.join();
+  impl.queue_cv.notify_all();
+  for (std::thread& worker : impl.workers) {
+    if (worker.joinable()) worker.join();
+  }
+  impl.workers.clear();
+  // Workers exit once the queue drains, so nothing should be left; close
+  // defensively anyway.
+  {
+    std::lock_guard<std::mutex> lock(impl.queue_mutex);
+    for (const int fd : impl.pending) ::close(fd);
+    impl.pending.clear();
+  }
+  if (impl.listen_fd >= 0) ::close(impl.listen_fd);
+  if (impl.wake_read_fd >= 0) ::close(impl.wake_read_fd);
+  if (impl.wake_write_fd >= 0) ::close(impl.wake_write_fd);
+  impl.listen_fd = impl.wake_read_fd = impl.wake_write_fd = -1;
+  DISC_LOG(kInfo, "telemetry.http_stopped").Num("port", impl.bound_port);
+  impl.bound_port = 0;
+}
+
+bool HttpServer::running() const {
+  return impl_->running.load(std::memory_order_acquire);
+}
+
+std::uint16_t HttpServer::port() const {
+  return impl_->running.load(std::memory_order_acquire) ? impl_->bound_port
+                                                        : 0;
+}
+
+HttpResponse HttpServer::Handle(std::string_view target) const {
+  return impl_->Route(target);
+}
+
+// ---------------------------------------------------------------------------
+// HttpGet
+// ---------------------------------------------------------------------------
+
+std::string HttpGet(std::uint16_t port, const std::string& target,
+                    int* status_code) {
+  if (status_code != nullptr) *status_code = 0;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::string("socket(): ") + std::strerror(errno);
+  timeval timeout{};
+  timeout.tv_sec = 10;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return "connect(): " + error;
+  }
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  SendAll(fd, request);
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) return "malformed response: " + raw;
+  if (status_code != nullptr && raw.size() > 12 &&
+      raw.compare(0, 9, "HTTP/1.1 ") == 0) {
+    *status_code = std::atoi(raw.c_str() + 9);
+  }
+  return raw.substr(head_end + 4);
+}
+
+}  // namespace obs
+}  // namespace disc

@@ -1,0 +1,252 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace disc {
+namespace obs {
+
+namespace {
+
+// Same shortest-stable formatting discipline as the metrics registry:
+// %.9g is far beyond timer resolution and yields identical bytes for
+// identical values.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+double SteadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SiteState {
+  double tokens = 0.0;
+  double last_refill_s = 0.0;
+  bool started = false;
+  std::uint64_t suppressed = 0;
+};
+
+// Global logger state. The level gate is a relaxed atomic so disabled
+// sites never touch a lock; everything else is cold enough to serialize.
+std::atomic<std::uint8_t> g_min_level{
+    static_cast<std::uint8_t>(LogLevel::kInfo)};
+std::atomic<bool> g_timestamps{true};
+
+std::mutex g_sites_mutex;
+std::map<std::string, SiteState> g_sites GUARDED_BY(g_sites_mutex);
+double g_rate_per_second GUARDED_BY(g_sites_mutex) = 5.0;
+double g_rate_burst GUARDED_BY(g_sites_mutex) = 10.0;
+double (*g_clock)() GUARDED_BY(g_sites_mutex) = &SteadyNowSeconds;
+
+std::mutex g_sink_mutex;
+LogSink* g_sink GUARDED_BY(g_sink_mutex) = nullptr;
+
+class StderrSink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override {
+    std::fprintf(stderr, "%s\n", record.json.c_str());
+  }
+};
+
+StderrSink g_default_sink;
+
+// Token-bucket admission for one site. Returns false when the record must
+// be dropped; on admission, *suppressed receives the number of records
+// dropped at this site since the last admitted one.
+bool AdmitSite(const std::string& site, double now_s,
+               std::uint64_t* suppressed) {
+  std::lock_guard<std::mutex> lock(g_sites_mutex);
+  if (g_rate_per_second <= 0.0) {
+    *suppressed = 0;
+    return true;
+  }
+  SiteState& state = g_sites[site];
+  if (!state.started) {
+    state.started = true;
+    state.tokens = g_rate_burst;
+    state.last_refill_s = now_s;
+  }
+  const double elapsed = now_s - state.last_refill_s;
+  if (elapsed > 0.0) {
+    state.tokens += elapsed * g_rate_per_second;
+    if (state.tokens > g_rate_burst) state.tokens = g_rate_burst;
+    state.last_refill_s = now_s;
+  }
+  if (state.tokens < 1.0) {
+    ++state.suppressed;
+    return false;
+  }
+  state.tokens -= 1.0;
+  *suppressed = state.suppressed;
+  state.suppressed = 0;
+  return true;
+}
+
+double ClockNowSeconds() {
+  std::lock_guard<std::mutex> lock(g_sites_mutex);
+  return g_clock();
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "info";
+}
+
+LogSink* SetLogSink(LogSink* sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  LogSink* previous = g_sink;
+  g_sink = sink;
+  return previous;
+}
+
+void SetLogLevel(LogLevel min_level) {
+  g_min_level.store(static_cast<std::uint8_t>(min_level),
+                    std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void SetLogTimestamps(bool enabled) {
+  g_timestamps.store(enabled, std::memory_order_relaxed);
+}
+
+void SetLogRateLimit(double per_second, double burst) {
+  std::lock_guard<std::mutex> lock(g_sites_mutex);
+  g_rate_per_second = per_second;
+  g_rate_burst = burst;
+  g_sites.clear();
+}
+
+void SetLogClockForTest(double (*now_seconds)()) {
+  std::lock_guard<std::mutex> lock(g_sites_mutex);
+  g_clock = now_seconds == nullptr ? &SteadyNowSeconds : now_seconds;
+  g_sites.clear();
+}
+
+LogEvent::LogEvent(LogLevel level, const char* event, const char* file,
+                   int line) {
+  if (static_cast<std::uint8_t>(level) <
+      g_min_level.load(std::memory_order_relaxed)) {
+    return;  // Disabled site: one atomic load, no rendering.
+  }
+  record_.level = level;
+  record_.event = event;
+  record_.site = Basename(file);
+  record_.site += ':';
+  record_.site += std::to_string(line);
+  const double now_s = ClockNowSeconds();
+  if (!AdmitSite(record_.site, now_s, &record_.suppressed)) return;
+  record_.ts_us = static_cast<std::int64_t>(now_s * 1e6);
+  emit_ = true;
+}
+
+LogEvent& LogEvent::Str(std::string_view key, std::string_view value) {
+  if (emit_) record_.fields.push_back({std::string(key), JsonQuote(value)});
+  return *this;
+}
+
+LogEvent& LogEvent::Num(std::string_view key, double value) {
+  if (emit_) record_.fields.push_back({std::string(key), FormatDouble(value)});
+  return *this;
+}
+
+LogEvent& LogEvent::NumUnsigned(std::string_view key, std::uint64_t value) {
+  if (emit_) {
+    record_.fields.push_back({std::string(key), std::to_string(value)});
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::NumSigned(std::string_view key, std::int64_t value) {
+  if (emit_) {
+    record_.fields.push_back({std::string(key), std::to_string(value)});
+  }
+  return *this;
+}
+
+LogEvent::~LogEvent() {
+  if (!emit_) return;
+  // Fixed key order: ts_us, level, event, site, [suppressed], fields in
+  // call order. The order is part of the format contract (tests diff it).
+  std::string& json = record_.json;
+  json.push_back('{');
+  if (g_timestamps.load(std::memory_order_relaxed)) {
+    json += "\"ts_us\":";
+    json += std::to_string(record_.ts_us);
+    json.push_back(',');
+  }
+  json += "\"level\":";
+  json += JsonQuote(LogLevelName(record_.level));
+  json += ",\"event\":";
+  json += JsonQuote(record_.event);
+  json += ",\"site\":";
+  json += JsonQuote(record_.site);
+  if (record_.suppressed > 0) {
+    json += ",\"suppressed\":";
+    json += std::to_string(record_.suppressed);
+  }
+  for (const LogField& field : record_.fields) {
+    json.push_back(',');
+    json += JsonQuote(field.key);
+    json.push_back(':');
+    json += field.value;
+  }
+  json.push_back('}');
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  (g_sink == nullptr ? static_cast<LogSink*>(&g_default_sink) : g_sink)
+      ->Write(record_);
+}
+
+}  // namespace obs
+}  // namespace disc

@@ -1,0 +1,148 @@
+#ifndef DISC_OBS_LOG_H_
+#define DISC_OBS_LOG_H_
+
+// Leveled structured logging (docs/OBSERVABILITY.md §Structured logging).
+//
+// Every record is one JSON line with a fixed key order — ts_us, level,
+// event, site, [suppressed], then the call-site fields in call order — so
+// identical workloads produce diffable streams (and byte-identical ones
+// once timestamps are disabled via SetLogTimestamps(false)).
+//
+//   DISC_LOG(kWarn, "engine.feed_rejected")
+//       .Str("session", name)
+//       .Num("got", points.size());
+//
+// emits (default sink: one line on stderr):
+//
+//   {"ts_us":181422,"level":"warn","event":"engine.feed_rejected",
+//    "site":"disc_engine.cc:195","session":"city","got":7}
+//
+// Each DISC_LOG statement is a *site*, keyed by file:line. Sites are
+// token-bucket rate limited (SetLogRateLimit; default 10-record burst,
+// 5 records/s refill) so a failure loop cannot flood an operator: the
+// first record after a suppression window carries a "suppressed" count of
+// the records the bucket dropped at that site.
+//
+// The sink is pluggable (SetLogSink) so tests capture structured records
+// instead of scraping stderr, and servers can forward records elsewhere.
+// Sinks receive fully-rendered records; the default sink writes
+// `record.json + '\n'` to stderr under an internal mutex.
+//
+// Cost model: a disabled site (below SetLogLevel, default kInfo) is one
+// relaxed atomic load and a branch — fields are never rendered. An
+// enabled site takes a global site-table lock for the token-bucket check
+// plus one lock around the sink write.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace disc {
+namespace obs {
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError };
+
+// Lower-case level name ("debug", "info", "warn", "error").
+const char* LogLevelName(LogLevel level);
+
+// One rendered field: `value` is the exact JSON token emitted (already
+// quoted/escaped for strings, plain for numbers).
+struct LogField {
+  std::string key;
+  std::string value;
+};
+
+// One structured record handed to the sink. `json` is the full serialized
+// line (no trailing newline); the split-out members let tests and
+// forwarding sinks avoid re-parsing it.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string event;
+  std::string site;  // "file.cc:123", basename only.
+  std::int64_t ts_us = 0;
+  std::uint64_t suppressed = 0;  // Records dropped at this site before this one.
+  std::vector<LogField> fields;
+  std::string json;
+};
+
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  // May be called from any thread; calls are serialized by the logger.
+  virtual void Write(const LogRecord& record) = 0;
+};
+
+// Installs a sink, returning the previous one (nullptr = the default
+// stderr sink was active). Passing nullptr restores the default sink.
+// Not safe to race with concurrent logging; install before the workload.
+LogSink* SetLogSink(LogSink* sink);
+
+// Minimum emitted level (default kInfo). Thread-safe (relaxed atomic).
+void SetLogLevel(LogLevel min_level);
+LogLevel GetLogLevel();
+
+// Include "ts_us" in records (default true). Disable for byte-identical
+// streams in tests and golden files.
+void SetLogTimestamps(bool enabled);
+
+// Per-site token bucket: every site may burst `burst` records, refilled at
+// `per_second`. `per_second <= 0` disables rate limiting entirely.
+// Defaults: burst 10, 5/s.
+void SetLogRateLimit(double per_second, double burst);
+
+// Test hook: replaces the rate limiter's clock (seconds, monotone).
+// nullptr restores the steady_clock default. Also resets all site buckets.
+void SetLogClockForTest(double (*now_seconds)());
+
+// Builder for one record. Construct via DISC_LOG; destruction emits.
+class LogEvent {
+ public:
+  LogEvent(LogLevel level, const char* event, const char* file, int line);
+  ~LogEvent();
+
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  // Appends a string field (JSON-escaped).
+  LogEvent& Str(std::string_view key, std::string_view value);
+  // Appends numeric fields (rendered with the registry's %.9g discipline
+  // for doubles, exactly for integers of any width).
+  LogEvent& Num(std::string_view key, double value);
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  LogEvent& Num(std::string_view key, T value) {
+    if constexpr (std::is_signed_v<T>) {
+      return NumSigned(key, static_cast<std::int64_t>(value));
+    } else {
+      return NumUnsigned(key, static_cast<std::uint64_t>(value));
+    }
+  }
+
+  // DISC_LOG loop plumbing.
+  bool armed() const { return !done_; }
+  void disarm() { done_ = true; }
+
+ private:
+  LogEvent& NumSigned(std::string_view key, std::int64_t value);
+  LogEvent& NumUnsigned(std::string_view key, std::uint64_t value);
+
+  LogRecord record_;
+  bool emit_ = false;  // False: below level or rate-limited; fields no-op.
+  bool done_ = false;
+};
+
+}  // namespace obs
+}  // namespace disc
+
+// Usage: DISC_LOG(kWarn, "engine.feed_rejected").Str("k", v).Num("n", 3);
+// The for-scaffold makes the builder a full statement the field calls
+// chain onto; it runs exactly once and optimizes to a straight-line call.
+#define DISC_LOG(severity, event_name)                                 \
+  for (::disc::obs::LogEvent disc_log_event_(                          \
+           ::disc::obs::LogLevel::severity, (event_name), __FILE__,    \
+           __LINE__);                                                  \
+       disc_log_event_.armed(); disc_log_event_.disarm())              \
+  disc_log_event_
+
+#endif  // DISC_OBS_LOG_H_

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "obs/log.h"
+
 namespace disc {
 namespace obs {
 
@@ -17,6 +19,27 @@ void WriteDouble(std::ostream& os, double v) {
   std::snprintf(buf, sizeof(buf), "%.9g", v);
   os << buf;
 }
+
+bool ValidNameChar(char c, bool first) {
+  const bool alpha =
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  return alpha || (!first && c >= '0' && c <= '9');
+}
+
+// Prometheus HELP docstrings escape backslash and newline.
+void WriteHelpText(std::ostream& os, const std::string& help) {
+  for (const char c : help) {
+    if (c == '\\') {
+      os << "\\\\";
+    } else if (c == '\n') {
+      os << "\\n";
+    } else {
+      os << c;
+    }
+  }
+}
+
+constexpr char kNoHelp[] = "(no help registered)";
 
 }  // namespace
 
@@ -43,80 +66,175 @@ double Histogram::BucketUpperBound(int index) {
 }
 
 void Histogram::Observe(double value) {
-  ++buckets_[BucketIndex(value)];
-  if (count_ == 0) {
-    min_ = value;
-    max_ = value;
+  // Single-writer discipline: plain load-modify-store on relaxed atomics.
+  // Concurrent readers see each field torn at most one sample behind.
+  buckets_[static_cast<std::size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
   } else {
-    if (value < min_) min_ = value;
-    if (value > max_) max_ = value;
+    if (value < min_.load(std::memory_order_relaxed)) {
+      min_.store(value, std::memory_order_relaxed);
+    }
+    if (value > max_.load(std::memory_order_relaxed)) {
+      max_.store(value, std::memory_order_relaxed);
+    }
   }
-  ++count_;
-  sum_ += value;
+  sum_.store(sum_.load(std::memory_order_relaxed) + value,
+             std::memory_order_relaxed);
+  count_.store(n + 1, std::memory_order_relaxed);
 }
 
 double Histogram::Quantile(double q) const {
-  if (count_ == 0) return 0.0;
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
   std::uint64_t rank =
-      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
   if (rank == 0) rank = 1;
   std::uint64_t cumulative = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
-    cumulative += buckets_[i];
+    cumulative += bucket_count(i);
     if (cumulative >= rank) {
-      if (i == kNumBuckets - 1) return max_;  // Overflow bucket.
+      if (i == kNumBuckets - 1) return max();  // Overflow bucket.
       return BucketUpperBound(i);
     }
   }
-  return max_;
+  return max();
 }
 
 // ---------------------------------------------------------------------------
 // MetricsRegistry
 // ---------------------------------------------------------------------------
 
-Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = counters_.find(name);
-  if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), Counter{}).first;
+Status MetricsRegistry::ValidateName(std::string_view name) {
+  if (name.empty()) {
+    return Status::Error("metric name is empty; names must match "
+                         "[a-zA-Z_][a-zA-Z0-9_]*");
+  }
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    if (!ValidNameChar(name[i], i == 0)) {
+      return Status::Error("metric name \"" + std::string(name) +
+                           "\" has invalid character '" +
+                           std::string(1, name[i]) + "' at position " +
+                           std::to_string(i) +
+                           "; names must match [a-zA-Z_][a-zA-Z0-9_]*");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string MetricsRegistry::SanitizeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (name.empty()) return "_";
+  if (name[0] >= '0' && name[0] <= '9') out.push_back('_');
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    out.push_back(ValidNameChar(name[i], out.empty()) ? name[i] : '_');
+  }
+  return out;
+}
+
+namespace {
+
+// Shared lookup-or-create over one of the registry's maps. Invalid names
+// are sanitized here — at registration, the single choke point — so no
+// exposition ever carries a name Prometheus would reject.
+template <typename Map>
+auto& LookupMetric(Map& map, std::string_view name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    std::string key(name);
+    if (Status valid = MetricsRegistry::ValidateName(name); !valid.ok()) {
+      key = MetricsRegistry::SanitizeName(name);
+      DISC_LOG(kWarn, "metrics.name_sanitized")
+          .Str("registered_as", key)
+          .Str("error", valid.message());
+      it = map.find(key);
+      if (it != map.end()) return it->second;
+    }
+    // try_emplace: atomic-field metrics are neither movable nor copyable,
+    // so the mapped value must be default-constructed in place.
+    it = map.try_emplace(std::move(key)).first;
   }
   return it->second;
+}
+
+}  // namespace
+
+void MetricsRegistry::SetHelp(std::string_view name, std::string_view help) {
+  if (help.empty()) return;
+  std::string key(name);
+  if (!ValidateName(name).ok()) key = SanitizeName(name);
+  std::string& slot = helps_[key];
+  if (slot.empty()) slot = help;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return LookupMetric(counters_, name);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SetHelp(name, help);
+  return LookupMetric(counters_, name);
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = gauges_.find(name);
-  if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), Gauge{}).first;
-  }
-  return it->second;
+  return LookupMetric(gauges_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SetHelp(name, help);
+  return LookupMetric(gauges_, name);
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = histograms_.find(name);
-  if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), Histogram{}).first;
-  }
-  return it->second;
+  return LookupMetric(histograms_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SetHelp(name, help);
+  return LookupMetric(histograms_, name);
 }
 
 void MetricsRegistry::WritePrometheus(std::ostream& os,
                                       bool include_histograms) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  const auto help_for = [this](const std::string& name) -> const std::string& {
+    static const std::string fallback(kNoHelp);
+    auto it = helps_.find(name);
+    return it == helps_.end() ? fallback : it->second;
+  };
   for (const auto& [name, c] : counters_) {
+    os << "# HELP " << name << ' ';
+    WriteHelpText(os, help_for(name));
+    os << '\n';
     os << "# TYPE " << name << " counter\n" << name << ' ' << c.value() << '\n';
   }
   for (const auto& [name, g] : gauges_) {
+    os << "# HELP " << name << ' ';
+    WriteHelpText(os, help_for(name));
+    os << '\n';
     os << "# TYPE " << name << " gauge\n" << name << ' ';
     WriteDouble(os, g.value());
     os << '\n';
   }
   if (!include_histograms) return;
   for (const auto& [name, h] : histograms_) {
+    os << "# HELP " << name << ' ';
+    WriteHelpText(os, help_for(name));
+    os << '\n';
     os << "# TYPE " << name << " summary\n";
     for (const double q : {0.5, 0.95, 0.99}) {
       os << name << "{quantile=\"" << (q == 0.5 ? "0.5" : q == 0.95 ? "0.95"
@@ -180,6 +298,7 @@ void MetricsRegistry::Reset() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  helps_.clear();
 }
 
 }  // namespace obs

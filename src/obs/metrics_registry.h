@@ -7,7 +7,19 @@
 // are stored and serialized in name order, and counter values depend only
 // on the workload (never on thread count or scheduling), so two identical
 // runs produce byte-identical counter exports.
+//
+// Concurrency: every metric's fields are relaxed atomics, so exports (and
+// the live /metrics scrape path, obs/http_server.h) may run concurrently
+// with updates without data races. Writes keep the single-writer
+// discipline — each metric is mutated from one observing thread at a time
+// (the pipeline observer, the engine's scheduler thread) — which is what
+// keeps counter exports workload-deterministic; readers are unrestricted.
+// A scrape concurrent with a write sees a torn-but-valid snapshot (e.g. a
+// histogram count updated before its sum); quiesce the workload when
+// byte-exact reads matter.
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -15,6 +27,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/status.h"
 #include "common/thread_annotations.h"
 
 namespace disc {
@@ -23,21 +36,23 @@ namespace obs {
 // Monotonically increasing event count.
 class Counter {
  public:
-  void Add(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
+  void Add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 // Last-value-wins instantaneous measurement.
 class Gauge {
  public:
-  void Set(double value) { value_ = value; }
-  double value() const { return value_; }
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 // Log-bucketed histogram for latency-like positive samples. Bucket bounds
@@ -60,12 +75,18 @@ class Histogram {
   // constant.
   static double GrowthFactor();
 
+  // Single-writer: call from one observing thread at a time. Readers may
+  // run concurrently.
   void Observe(double value);
 
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ > 0 ? min_ : 0.0; }
-  double max() const { return count_ > 0 ? max_ : 0.0; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const {
+    return count() > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+  }
+  double max() const {
+    return count() > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+  }
 
   // Upper bound of the bucket holding the q-quantile sample (q in [0, 1]),
   // i.e. the smallest bucket bound b with #(samples <= b) >= ceil(q *
@@ -73,43 +94,67 @@ class Histogram {
   // the bound is kMinValue; for overflow it is max().
   double Quantile(double q) const;
 
-  std::uint64_t bucket_count(int index) const { return buckets_[index]; }
+  std::uint64_t bucket_count(int index) const {
+    return buckets_[static_cast<std::size_t>(index)].load(
+        std::memory_order_relaxed);
+  }
   static double BucketUpperBound(int index);
 
  private:
   static int BucketIndex(double value);
 
-  std::uint64_t buckets_[kNumBuckets] = {};
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
 };
 
 // Owns metrics by name. Lookups create on first use and return stable
 // references (std::map nodes never move). Registration, export, and Reset
 // are serialized by an internal mutex, so sessions sharing one registry
 // (e.g. through DiscEngine) may register metrics while another thread
-// exports. The handed-out Counter/Gauge/Histogram references themselves
-// remain single-writer: keep each metric's writes on one observing thread
-// at a time, like the rest of the per-run observability state.
+// exports; the metric objects themselves are atomic, so the live HTTP
+// scrape path may read them while the workload writes.
 class MetricsRegistry {
  public:
+  // Prometheus metric-name discipline, also applied to label names:
+  // [a-zA-Z_][a-zA-Z0-9_]*. ValidateName returns a descriptive error for
+  // anything else; SanitizeName maps an arbitrary string onto the valid
+  // alphabet (invalid characters become '_', a leading digit gains a '_'
+  // prefix, an empty name becomes "_").
+  static Status ValidateName(std::string_view name);
+  static std::string SanitizeName(std::string_view name);
+
+  // Lookup-or-create. An invalid name is sanitized at registration (the
+  // metric is created under SanitizeName(name)) and the rejection is
+  // logged once per call site with ValidateName's message — invalid names
+  // never reach an exposition.
+  //
+  // The two-argument forms attach a `# HELP` docstring on first
+  // registration (later calls may omit it; a non-empty help never loses to
+  // an empty one).
   Counter& counter(std::string_view name) EXCLUDES(mutex_);
+  Counter& counter(std::string_view name, std::string_view help)
+      EXCLUDES(mutex_);
   Gauge& gauge(std::string_view name) EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name, std::string_view help) EXCLUDES(mutex_);
   Histogram& histogram(std::string_view name) EXCLUDES(mutex_);
+  Histogram& histogram(std::string_view name, std::string_view help)
+      EXCLUDES(mutex_);
 
   std::size_t size() const EXCLUDES(mutex_) {
     std::lock_guard<std::mutex> lock(mutex_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
-  // Prometheus text exposition: counters as `# TYPE <name> counter`,
-  // gauges as gauges, histograms as summaries with quantile="0.5/0.95/
-  // 0.99" samples plus _sum/_count/_min/_max. Metric names must already be
-  // Prometheus-compatible ([a-zA-Z_][a-zA-Z0-9_]*); the registry does not
-  // mangle. `include_histograms=false` restricts the dump to counters and
-  // gauges — the run-invariant subset, for byte-level diffing.
+  // Prometheus text exposition: every family gets a `# HELP` line (the
+  // registered docstring, or "(no help registered)") followed by `# TYPE`
+  // — counters as counters, gauges as gauges, histograms as summaries with
+  // quantile="0.5/0.95/0.99" samples plus _sum/_count/_min/_max. Names are
+  // valid by construction (see SanitizeName). `include_histograms=false`
+  // restricts the dump to counters and gauges — the run-invariant subset,
+  // for byte-level diffing.
   void WritePrometheus(std::ostream& os, bool include_histograms = true) const
       EXCLUDES(mutex_);
 
@@ -120,15 +165,18 @@ class MetricsRegistry {
   void Reset() EXCLUDES(mutex_);
 
  private:
+  void SetHelp(std::string_view name, std::string_view help) REQUIRES(mutex_);
+
   // Serializes map mutation (registration, Reset) against exports. The
   // metric objects the maps own are deliberately NOT guarded: references
-  // are stable across rebalancing and each metric stays single-writer.
+  // are stable across rebalancing and every field is atomic.
   mutable std::mutex mutex_;
   // std::less<> enables string_view lookups without a temporary string.
   std::map<std::string, Counter, std::less<>> counters_ GUARDED_BY(mutex_);
   std::map<std::string, Gauge, std::less<>> gauges_ GUARDED_BY(mutex_);
   std::map<std::string, Histogram, std::less<>> histograms_
       GUARDED_BY(mutex_);
+  std::map<std::string, std::string, std::less<>> helps_ GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

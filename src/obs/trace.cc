@@ -99,6 +99,37 @@ void TraceRecorder::Append(const TraceEvent& event) {
   events_.push_back(event);
 }
 
+void TraceRecorder::AppendComplete(const TraceEvent& begin,
+                                   const TraceEvent& end, TraceLevel level) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(end);
+  if (level != TraceLevel::kPhase || options_.tail_capacity == 0) return;
+  if (tail_.empty()) tail_.resize(options_.tail_capacity);
+  CompletedSpan& slot = tail_[tail_next_];
+  slot.name = end.name;
+  slot.start_us = begin.ts_us;
+  slot.dur_us = end.ts_us - begin.ts_us;
+  slot.tid = end.tid;
+  slot.num_args = end.num_args;
+  slot.args = end.args;
+  tail_next_ = (tail_next_ + 1) % tail_.size();
+  if (tail_count_ < tail_.size()) ++tail_count_;
+}
+
+std::vector<CompletedSpan> TraceRecorder::TailSnapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CompletedSpan> out;
+  out.reserve(tail_count_);
+  // Oldest first: the ring's next overwrite slot is the oldest entry once
+  // the ring has wrapped.
+  const std::size_t start =
+      tail_count_ < tail_.size() ? 0 : tail_next_;
+  for (std::size_t k = 0; k < tail_count_; ++k) {
+    out.push_back(tail_[(start + k) % tail_.size()]);
+  }
+  return out;
+}
+
 std::size_t TraceRecorder::event_count() {
   std::lock_guard<std::mutex> lock(mutex_);
   return events_.size();
@@ -107,6 +138,8 @@ std::size_t TraceRecorder::event_count() {
 void TraceRecorder::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();
+  tail_count_ = 0;
+  tail_next_ = 0;
 }
 
 void TraceRecorder::WriteChromeJson(std::ostream& os) {

@@ -76,6 +76,17 @@ struct TraceEvent {
 std::uint32_t ThreadTraceTid();
 void SetThreadTraceTid(std::uint32_t tid);
 
+// One finished span reconstructed from its B/E pair: what the live
+// /tracez endpoint serves (obs/http_server.h). Args are the E event's.
+struct CompletedSpan {
+  const char* name = nullptr;
+  std::int64_t start_us = 0;
+  std::int64_t dur_us = 0;
+  std::uint32_t tid = 0;
+  std::uint8_t num_args = 0;
+  std::array<TraceArg, 4> args{};
+};
+
 // Collects events from every thread into one buffer and serializes them as
 // Chrome trace-event JSON. At most one recorder is installed process-wide
 // at a time; spans created while none is installed are no-ops.
@@ -88,6 +99,9 @@ class TraceRecorder {
     // single-threaded workload become identical across runs. Durations stop
     // meaning time; nesting and ordering are preserved.
     bool logical_time = false;
+    // Ring of the last N completed kPhase spans, kept alongside the event
+    // buffer and served by /tracez. 0 disables the tail.
+    std::size_t tail_capacity = 256;
   };
 
   TraceRecorder();  // Default options.
@@ -118,6 +132,15 @@ class TraceRecorder {
   // Appends one event to the buffer (thread-safe).
   void Append(const TraceEvent& event) EXCLUDES(mutex_);
 
+  // Appends a span's closing event and — for kPhase spans — records the
+  // completed span in the tail ring. Called by ~TraceSpan.
+  void AppendComplete(const TraceEvent& begin, const TraceEvent& end,
+                      TraceLevel level) EXCLUDES(mutex_);
+
+  // The tail ring's contents, oldest completion first (at most
+  // Options::tail_capacity spans). Thread-safe; callable mid-run.
+  std::vector<CompletedSpan> TailSnapshot() EXCLUDES(mutex_);
+
   std::size_t event_count() EXCLUDES(mutex_);
   void Clear() EXCLUDES(mutex_);
 
@@ -135,6 +158,11 @@ class TraceRecorder {
 
   std::mutex mutex_;
   std::vector<TraceEvent> events_ GUARDED_BY(mutex_);
+  // Fixed-capacity ring of completed kPhase spans; tail_next_ is the slot
+  // the next completion overwrites, tail_count_ the filled prefix size.
+  std::vector<CompletedSpan> tail_ GUARDED_BY(mutex_);
+  std::size_t tail_next_ GUARDED_BY(mutex_) = 0;
+  std::size_t tail_count_ GUARDED_BY(mutex_) = 0;
 };
 
 #if DISC_TRACING_ENABLED
@@ -146,7 +174,7 @@ class TraceRecorder {
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, TraceLevel level = TraceLevel::kPhase)
-      : rec_(TraceRecorder::active()) {
+      : rec_(TraceRecorder::active()), level_(level) {
     if (rec_ == nullptr) return;
     if (level > rec_->level()) {
       rec_ = nullptr;
@@ -166,7 +194,7 @@ class TraceSpan {
     end.ts_us = rec_->Now();
     end.num_args = num_args_;
     end.args = args_;
-    rec_->Append(end);
+    rec_->AppendComplete(begin_, end, level_);
   }
 
   TraceSpan(const TraceSpan&) = delete;
@@ -184,6 +212,7 @@ class TraceSpan {
 
  private:
   TraceRecorder* rec_;
+  TraceLevel level_;
   TraceEvent begin_{};
   std::uint8_t num_args_ = 0;
   std::array<TraceArg, 4> args_{};

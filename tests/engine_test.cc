@@ -254,15 +254,76 @@ TEST(EngineDeterminismTest, MetricExportsIndependentOfLaneCount) {
       }
       engine.Drain();
     }
-    // The run-invariant subset: counters and gauges, no latency histograms.
+    // The run-invariant subset: counters and gauges minus wall-clock
+    // latency families (the `_ms` gauges joined the `_ms` histograms when
+    // the backlog gauges landed), line-filtered like tools/prom_check.py's
+    // --deterministic mode.
     std::ostringstream os;
     registry.WritePrometheus(os, /*include_histograms=*/false);
-    return os.str();
+    std::istringstream lines(os.str());
+    std::string filtered, line;
+    while (std::getline(lines, line)) {
+      if (line.find("_ms ") != std::string::npos ||
+          line.find("_ms{") != std::string::npos) {
+        continue;
+      }
+      filtered += line;
+      filtered += '\n';
+    }
+    return filtered;
   };
 
   const std::string single = run(1);
   EXPECT_EQ(run(4), single);
   EXPECT_EQ(run(7), single);
+}
+
+TEST(EngineMetricsTest, BacklogGaugesExposeStalledSession) {
+  obs::MetricsRegistry registry;
+  EngineOptions options;
+  options.num_threads = 1;
+  options.metrics = &registry;
+  DiscEngine engine(options);
+  ASSERT_TRUE(engine.CreateSession("fed", TestSession()).ok());
+  ASSERT_TRUE(engine.CreateSession("stalled", TestSession()).ok());
+
+  // Admission zeroes the backlog gauges for both sessions.
+  EXPECT_EQ(registry.gauge("engine_session_fed_queue_depth").value(), 0.0);
+  EXPECT_EQ(registry.gauge("engine_session_stalled_watermark_lag_slides")
+                .value(),
+            0.0);
+
+  // Feed one session only. Before any drain its queue depth is the backlog
+  // and both sessions trail the watermark (the fed session's frontier).
+  const auto slides = MakeSlides(50, 3);
+  for (const auto& slide : slides) {
+    ASSERT_TRUE(engine.FeedSlide("fed", slide).ok());
+  }
+  EXPECT_EQ(registry.gauge("engine_session_fed_queue_depth").value(), 3.0);
+  EXPECT_EQ(registry.gauge("engine_session_fed_watermark_lag_slides").value(),
+            3.0);
+  EXPECT_EQ(registry.gauge("engine_session_stalled_queue_depth").value(), 0.0);
+  EXPECT_EQ(registry.gauge("engine_session_stalled_watermark_lag_slides")
+                .value(),
+            3.0);
+
+  // After the drain the fed session catches up to the watermark; the
+  // stalled session's lag persists — the dashboard signal for a stream
+  // whose feeder died.
+  EXPECT_EQ(engine.Drain(), 3u);
+  EXPECT_EQ(registry.gauge("engine_session_fed_queue_depth").value(), 0.0);
+  EXPECT_EQ(registry.gauge("engine_session_fed_watermark_lag_slides").value(),
+            0.0);
+  EXPECT_EQ(registry.gauge("engine_session_stalled_watermark_lag_slides")
+                .value(),
+            3.0);
+  EXPECT_GT(registry.gauge("engine_session_fed_last_slide_ms").value(), 0.0);
+
+  // Closing the stalled session removes the drag; gauges for the survivor
+  // stay caught up.
+  ASSERT_TRUE(engine.CloseSession("stalled").ok());
+  EXPECT_EQ(registry.gauge("engine_session_fed_watermark_lag_slides").value(),
+            0.0);
 }
 
 TEST(EngineDeterminismTest, DrainEmitsEngineSpans) {

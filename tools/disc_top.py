@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""disc_top: a terminal dashboard for the DISC telemetry plane.
+
+Polls a running telemetry server (DiscEngine::ServeTelemetry or the
+standalone obs::HttpServer, see docs/OBSERVABILITY.md) and renders a
+top(1)-style view: engine totals from /metrics.json plus a per-session
+table from /sessions with throughput and backlog derived between polls.
+
+  tools/disc_top.py --url http://127.0.0.1:9464
+  tools/disc_top.py --url http://127.0.0.1:9464 --interval 0.5
+  tools/disc_top.py --url http://127.0.0.1:9464 --once   # one frame, no
+                                                         # screen clearing
+
+Columns:
+  SESSION   session name (creation order, as /sessions reports it)
+  WINDOW    configured window size in points
+  SLIDES    slides run so far
+  QUEUE     slides admitted but not yet drained (queue depth gauge)
+  LAG       watermark lag in slides (0 = keeping up with the fastest
+            session; persistent growth = this session is stalled)
+  SLIDE/S   slides drained per second since the previous poll
+  LAST MS   wall-clock latency of the most recent slide
+
+Exit status: 0 on quit (Ctrl-C) or --once success, 1 when the endpoint
+cannot be reached.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def fetch_json(base_url, route):
+    with urllib.request.urlopen(base_url + route, timeout=5) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def render(base_url, previous, now_s):
+    """Fetches one frame; returns (lines, sessions_by_name, now_s)."""
+    metrics = fetch_json(base_url, "/metrics.json")
+    sessions = fetch_json(base_url, "/sessions")["sessions"]
+    health = fetch_json(base_url, "/healthz")
+
+    counters = metrics.get("counters", {})
+    lines = []
+    ready = "ready" if health.get("ready") else "NOT READY"
+    lines.append(
+        f"disc_top — {base_url}  [{ready}]  "
+        f"slides={counters.get('engine_slides_total', 0)}  "
+        f"drains={counters.get('engine_drains_total', 0)}  "
+        f"sessions={len(sessions)}"
+    )
+    lines.append("")
+    lines.append(
+        f"{'SESSION':<18} {'WINDOW':>7} {'SLIDES':>7} {'QUEUE':>6} "
+        f"{'LAG':>5} {'SLIDE/S':>8} {'LAST MS':>8}"
+    )
+    prev_sessions, prev_s = previous
+    for row in sessions:
+        name = row["name"]
+        rate = ""
+        if name in prev_sessions and now_s > prev_s:
+            delta = row["slides_run"] - prev_sessions[name]["slides_run"]
+            rate = f"{delta / (now_s - prev_s):.2f}"
+        lines.append(
+            f"{name:<18} {row['window_size']:>7} {row['slides_run']:>7} "
+            f"{row['queue_depth']:>6} {row['watermark_lag_slides']:>5} "
+            f"{rate:>8} {row['last_slide_ms']:>8.2f}"
+        )
+    if not sessions:
+        lines.append("(no sessions — engine idle or telemetry serving a "
+                     "standalone registry)")
+    return lines, {row["name"]: row for row in sessions}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--url",
+        required=True,
+        help="telemetry base URL, e.g. http://127.0.0.1:9464",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls (default 2)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single frame and exit (no screen clearing)",
+    )
+    args = parser.parse_args()
+    base_url = args.url.rstrip("/")
+
+    previous = ({}, 0.0)
+    try:
+        while True:
+            now_s = time.monotonic()
+            try:
+                lines, sessions, = render(base_url, previous, now_s)[:2]
+            except (urllib.error.URLError, OSError, json.JSONDecodeError,
+                    KeyError) as error:
+                print(f"disc_top: cannot poll {base_url}: {error}",
+                      file=sys.stderr)
+                return 1
+            if not args.once:
+                sys.stdout.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+            print("\n".join(lines), flush=True)
+            if args.once:
+                return 0
+            previous = (sessions, now_s)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

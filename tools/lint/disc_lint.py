@@ -914,8 +914,12 @@ def check_epoch_confinement(src, index):
 # Rules: unordered-emit / unordered-iteration
 # ---------------------------------------------------------------------------
 
-EMIT_MEMBER_SINKS = {"push_back", "emplace_back", "write"}
-ITER_MEMBER_SINKS = {"AddArg", "Observe", "Set"}
+# Write: obs::HttpResponse body chunks (telemetry JSON built per-element).
+EMIT_MEMBER_SINKS = {"push_back", "emplace_back", "write", "Write"}
+# Str/Num: obs::LogEvent fields — key order in the JSON line follows call
+# order, so appending them while walking an unordered container makes the
+# log line nondeterministic.
+ITER_MEMBER_SINKS = {"AddArg", "Observe", "Set", "Str", "Num"}
 STREAMY = re.compile(r"out|os|stream")
 
 

@@ -1,6 +1,7 @@
 // Clean twin of unordered_iteration_violation.cc: unordered walks either
 // feed order-independent accumulation (integer sums, max), or materialize
-// into a vector that is sorted before anything order-sensitive happens.
+// into a vector that is sorted before anything order-sensitive happens —
+// including before structured-log fields and HTTP response chunks.
 #include <algorithm>
 #include <cstdint>
 #include <string>
@@ -12,6 +13,16 @@ namespace disc {
 class TraceSpan {
  public:
   void AddArg(const char* key, std::uint64_t value);
+};
+
+class LogEvent {
+ public:
+  LogEvent& Str(const char* key, const std::string& value);
+  LogEvent& Num(const char* key, std::uint64_t value);
+};
+
+struct HttpResponse {
+  void Write(const std::string& chunk);
 };
 
 class Histogram {
@@ -43,6 +54,32 @@ Snapshot CollectIds(const std::unordered_map<std::uint64_t, int>& records) {
   // Sorted materialization: the emitted order is id order, not hash order.
   std::sort(snapshot.ids.begin(), snapshot.ids.end());
   return snapshot;
+}
+
+void LogSessionSummary(
+    const std::unordered_map<std::string, std::uint64_t>& session_slides,
+    LogEvent& event) {
+  // One field built from commutative accumulation, not one per element.
+  std::uint64_t total = 0;
+  for (const auto& [name, slides] : session_slides) {
+    total += slides;
+  }
+  event.Num("sessions", session_slides.size());
+  event.Num("slides_total", total);
+}
+
+void RenderSessions(
+    const std::unordered_map<std::string, std::uint64_t>& session_slides,
+    HttpResponse& response) {
+  // Materialize, sort by name, then render — body order is name order.
+  std::vector<std::string> names;
+  for (const auto& [name, slides] : session_slides) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    response.Write(name);
+  }
 }
 
 }  // namespace disc

@@ -1,6 +1,8 @@
 // Violation fixture for unordered-iteration: loops over unordered
 // containers feeding order-dependent sinks — trace args and histogram
-// observations from a range-for, and an iterator-style loop that emits.
+// observations from a range-for, an iterator-style loop that emits, a
+// structured-log event gaining fields in hash order, and a telemetry
+// HTTP response body built per-element.
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -11,6 +13,16 @@ namespace disc {
 class TraceSpan {
  public:
   void AddArg(const char* key, std::uint64_t value);
+};
+
+class LogEvent {
+ public:
+  LogEvent& Str(const char* key, const std::string& value);
+  LogEvent& Num(const char* key, std::uint64_t value);
+};
+
+struct HttpResponse {
+  void Write(const std::string& chunk);
 };
 
 class Histogram {
@@ -37,6 +49,23 @@ Snapshot CollectIds(const std::unordered_map<std::uint64_t, int>& records) {
     snapshot.ids.push_back(it->first);  // BAD: emitted in hash order.
   }
   return snapshot;
+}
+
+void LogSessionSummary(
+    const std::unordered_map<std::string, std::uint64_t>& session_slides,
+    LogEvent& event) {
+  for (const auto& [name, slides] : session_slides) {
+    event.Str("session", name);  // BAD: JSON key order follows hash order.
+    event.Num("slides", slides);
+  }
+}
+
+void RenderSessions(
+    const std::unordered_map<std::string, std::uint64_t>& session_slides,
+    HttpResponse& response) {
+  for (const auto& [name, slides] : session_slides) {
+    response.Write(name);  // BAD: response body order follows hash order.
+  }
 }
 
 }  // namespace disc

@@ -1,0 +1,296 @@
+#!/usr/bin/env python3
+"""prom_check: structural validator for DISC Prometheus expositions.
+
+Checks the text exposition produced by obs::MetricsRegistry::WritePrometheus
+(and served at the telemetry plane's GET /metrics). Used by the
+scripts/ci.sh telemetry smoke stage and usable standalone on a file or a
+live endpoint:
+
+  tools/prom_check.py /tmp/metrics.prom
+  tools/prom_check.py --url http://127.0.0.1:9464/metrics --rescrape
+  tools/prom_check.py --deterministic a.prom b.prom   # compare subsets
+
+Exposition checks (each input):
+  * every metric name matches [a-zA-Z_][a-zA-Z0-9_]*
+  * every sample line belongs to a family announced by a preceding
+    # TYPE line, and every # TYPE has a # HELP on the line before it
+    (the registry always writes HELP then TYPE)
+  * TYPE is one of counter|gauge|summary; sample values parse as
+    floats; counter samples are non-negative
+  * the registry writes three std::map-ordered sections — counters,
+    gauges, summaries — so families must be strictly increasing within
+    each type section (a shuffled section means hash-order leaked)
+  * summary families carry quantile="0.5|0.95|0.99" samples with
+    non-decreasing values, plus _sum/_count/_min/_max with _min <= _max
+
+--rescrape (needs --url): scrapes twice and requires every counter to be
+monotone non-decreasing between the two scrapes.
+
+--deterministic: with two inputs, strips wall-clock families (any line
+touching a `_ms` family — latency gauges and summaries, including their
+HELP/TYPE and quantile/_sum/_count/_min/_max lines) and requires the
+remaining subsets to be byte-identical. This is the same filter
+tests/engine_test.cc applies when comparing exports across pool lane
+counts.
+
+Exit status: 0 all checks pass, 1 a check failed, 2 usage error.
+"""
+
+import argparse
+import re
+import sys
+import urllib.request
+
+NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(r"^([a-zA-Z_][a-zA-Z0-9_]*)(\{[^}]*\})?\s+(\S+)$")
+VALID_TYPES = ("counter", "gauge", "summary")
+SUMMARY_SUFFIXES = ("_sum", "_count", "_min", "_max")
+
+
+def fail(message):
+    print(f"prom_check: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def family_of(sample_name, families):
+    """Maps a sample line to its family: exact match first, then the
+    summary suffixes (_sum/_count/_min/_max)."""
+    if sample_name in families:
+        return sample_name
+    for suffix in SUMMARY_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families:
+                return base
+    return None
+
+
+def parse_exposition(text, label):
+    """Returns (families, errors). families: name -> {type, samples}
+    where samples is a list of (sample_name, labels, value) in file order."""
+    families = {}
+    errors = []
+    order = []
+    prev_line = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        where = f"{label}:{lineno}"
+        if not line.strip():
+            prev_line = line
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[3]:
+                errors.append(f"{where}: HELP line has no text: {line!r}")
+            prev_line = line
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                errors.append(f"{where}: malformed TYPE line: {line!r}")
+                prev_line = line
+                continue
+            name, mtype = parts[2], parts[3]
+            if not NAME_RE.match(name):
+                errors.append(f"{where}: invalid family name {name!r}")
+            if mtype not in VALID_TYPES:
+                errors.append(f"{where}: unknown metric type {mtype!r}")
+            if name in families:
+                errors.append(f"{where}: duplicate TYPE for family {name!r}")
+            if prev_line is None or not prev_line.startswith(f"# HELP {name} "):
+                errors.append(
+                    f"{where}: TYPE for {name!r} not preceded by its HELP line"
+                )
+            families[name] = {"type": mtype, "samples": []}
+            order.append(name)
+            prev_line = line
+            continue
+        if line.startswith("#"):
+            prev_line = line
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"{where}: unparseable sample line: {line!r}")
+            prev_line = line
+            continue
+        sample_name, labels, raw_value = m.group(1), m.group(2) or "", m.group(3)
+        if not NAME_RE.match(sample_name):
+            errors.append(f"{where}: invalid sample name {sample_name!r}")
+        try:
+            value = float(raw_value)
+        except ValueError:
+            errors.append(f"{where}: non-numeric value {raw_value!r}")
+            prev_line = line
+            continue
+        fam = family_of(sample_name, families)
+        if fam is None:
+            errors.append(
+                f"{where}: sample {sample_name!r} has no preceding # TYPE"
+            )
+            prev_line = line
+            continue
+        families[fam]["samples"].append((sample_name, labels, value))
+        if families[fam]["type"] == "counter" and value < 0:
+            errors.append(f"{where}: counter {sample_name!r} is negative")
+        prev_line = line
+
+    # The registry writes three sorted sections: counters, then gauges,
+    # then summaries. Within each section names must be strictly
+    # increasing, and a later section must never precede an earlier one.
+    section_rank = {"counter": 0, "gauge": 1, "summary": 2}
+    prev_rank, prev_name = -1, ""
+    for name in order:
+        rank = section_rank.get(families[name]["type"], 99)
+        if rank < prev_rank:
+            errors.append(
+                f"{label}: {families[name]['type']} family {name!r} appears "
+                f"after a later section (section order broken)"
+            )
+            break
+        if rank == prev_rank and not prev_name < name:
+            errors.append(
+                f"{label}: family order not strictly increasing within the "
+                f"{families[name]['type']} section: {prev_name!r} then "
+                f"{name!r} (hash-order leak?)"
+            )
+            break
+        prev_rank, prev_name = rank, name
+    return families, errors
+
+
+def check_summaries(families, label):
+    errors = []
+    for name, fam in families.items():
+        if fam["type"] != "summary":
+            continue
+        by_name = {}
+        quantiles = []
+        for sample_name, labels, value in fam["samples"]:
+            if sample_name == name and labels.startswith('{quantile="'):
+                quantiles.append(value)
+            else:
+                by_name[sample_name] = value
+        if len(quantiles) != 3:
+            errors.append(
+                f"{label}: summary {name!r} has {len(quantiles)} quantile "
+                f"samples, want 3 (0.5/0.95/0.99)"
+            )
+        elif not quantiles[0] <= quantiles[1] <= quantiles[2]:
+            errors.append(f"{label}: summary {name!r} quantiles decrease")
+        for suffix in SUMMARY_SUFFIXES:
+            if name + suffix not in by_name:
+                errors.append(f"{label}: summary {name!r} missing {suffix}")
+        low, high = by_name.get(name + "_min"), by_name.get(name + "_max")
+        if low is not None and high is not None and low > high:
+            errors.append(f"{label}: summary {name!r} has _min > _max")
+    return errors
+
+
+def deterministic_subset(text):
+    """The run-invariant subset: drop every line touching a `_ms` family
+    (wall-clock gauges and latency summaries, including their HELP/TYPE
+    and quantile/_sum/_count/_min/_max sample lines)."""
+    drop_re = re.compile(r"_ms(_sum|_count|_min|_max)?[ {]")
+    return "\n".join(
+        line for line in text.splitlines() if not drop_re.search(line + " ")
+    )
+
+
+def read_input(source):
+    if source.startswith("http://") or source.startswith("https://"):
+        with urllib.request.urlopen(source, timeout=10) as response:
+            return response.read().decode("utf-8")
+    with open(source, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def counters_of(families):
+    out = {}
+    for name, fam in families.items():
+        if fam["type"] == "counter":
+            for sample_name, labels, value in fam["samples"]:
+                out[sample_name + labels] = value
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="*", help="exposition file(s) or URL(s)")
+    parser.add_argument("--url", help="live /metrics endpoint to scrape")
+    parser.add_argument(
+        "--rescrape",
+        action="store_true",
+        help="scrape --url twice; counters must be monotone non-decreasing",
+    )
+    parser.add_argument(
+        "--deterministic",
+        action="store_true",
+        help="with two inputs: _ms-filtered subsets must be byte-identical",
+    )
+    args = parser.parse_args()
+
+    sources = list(args.inputs)
+    if args.url:
+        sources.append(args.url)
+    if not sources:
+        parser.error("no input: pass a file, a URL, or --url")
+    if args.rescrape and not args.url:
+        parser.error("--rescrape needs --url")
+    if args.deterministic and len(sources) != 2:
+        parser.error("--deterministic needs exactly two inputs")
+
+    status = 0
+    parsed = []
+    for source in sources:
+        try:
+            text = read_input(source)
+        except OSError as error:
+            return fail(f"cannot read {source}: {error}")
+        families, errors = parse_exposition(text, source)
+        errors += check_summaries(families, source)
+        for error in errors:
+            status = fail(error)
+        if not families:
+            status = fail(f"{source}: no metric families found")
+        parsed.append((source, text, families))
+        print(
+            f"prom_check: {source}: {len(families)} families, "
+            f"{sum(len(f['samples']) for f in families.values())} samples"
+        )
+
+    if args.rescrape:
+        first = counters_of(parsed[-1][2])
+        try:
+            text2 = read_input(args.url)
+        except OSError as error:
+            return fail(f"cannot re-scrape {args.url}: {error}")
+        families2, errors2 = parse_exposition(text2, args.url + " (rescrape)")
+        for error in errors2:
+            status = fail(error)
+        second = counters_of(families2)
+        for key, value in first.items():
+            if key not in second:
+                status = fail(f"counter {key!r} vanished on re-scrape")
+            elif second[key] < value:
+                status = fail(
+                    f"counter {key!r} went backwards: {value} -> {second[key]}"
+                )
+        print(f"prom_check: re-scrape monotone over {len(first)} counters")
+
+    if args.deterministic:
+        a = deterministic_subset(parsed[0][1])
+        b = deterministic_subset(parsed[1][1])
+        if a != b:
+            status = fail(
+                f"deterministic subsets differ between {parsed[0][0]} "
+                f"and {parsed[1][0]}"
+            )
+        else:
+            print("prom_check: deterministic subsets byte-identical")
+
+    if status == 0:
+        print("prom_check: OK")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
