@@ -12,10 +12,13 @@
 #      /healthz, and /sessions endpoints, validate the exposition with
 #      tools/prom_check.py (TYPE/HELP pairing, name validity, monotone
 #      counter re-scrape) — run under the Release AND ASan binaries
-#   7. ASan+UBSan: build + full ctest suite (UBSan findings are fatal via
+#   7. Chaos: the seeded fault-injection scenarios (ctest -L chaos) under
+#      three pinned seeds, Release and ASan legs; a failure prints the
+#      seed so the exact storm replays locally
+#   8. ASan+UBSan: build + full ctest suite (UBSan findings are fatal via
 #      -fno-sanitize-recover, see the asan preset)
-#   8. TSan: build + full ctest suite
-#   9. clang-tidy over src/ (skips when clang-tidy is not installed)
+#   9. TSan: build + full ctest suite
+#  10. clang-tidy over src/ (skips when clang-tidy is not installed)
 #
 # Usage: scripts/ci.sh [extra ctest args...]
 set -euo pipefail
@@ -124,6 +127,26 @@ PY
 
 telemetry_smoke ./build-release/examples/quickstart "Release"
 
+# Replay the chaos scenarios (ctest -L chaos) once per pinned seed. The
+# seeds are fixed so a red run is reproducible: on failure we print the
+# seed, and `DISC_CHAOS_SEED=<seed> ./tests/chaos_test` replays the exact
+# storm locally (common/failpoint.h; docs/ANALYSIS.md §Fault injection).
+chaos_stage() {
+  local preset="$1" build_dir="$2"
+  echo "=== chaos (${preset}): seeded fault-injection scenarios ==="
+  local seed
+  for seed in 1701 424242 777000777; do
+    DISC_CHAOS_SEED="${seed}" \
+      ctest --preset "${preset}" -L chaos -j "${jobs}" || {
+        echo "chaos (${preset}): FAILED at seed ${seed} — replay with" >&2
+        echo "  DISC_CHAOS_SEED=${seed} ${build_dir}/tests/chaos_test" >&2
+        exit 1
+      }
+  done
+}
+
+chaos_stage release ./build-release
+
 echo "=== ASan+UBSan: configure + build + full ctest ==="
 cmake --preset asan
 cmake --build --preset asan -j "${jobs}"
@@ -132,6 +155,9 @@ ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
 
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   telemetry_smoke ./build-asan/examples/quickstart "ASan"
+
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+  chaos_stage asan ./build-asan
 
 echo "=== TSan: configure + build + full ctest ==="
 cmake --preset tsan

@@ -1,0 +1,235 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+#include "obs/log.h"
+#include "obs/metrics_registry.h"
+
+namespace disc {
+namespace failpoint {
+
+namespace internal {
+std::atomic<bool> g_armed{false};
+}  // namespace internal
+
+namespace {
+
+// FNV-1a: a stable site hash (std::hash would do today, but its value is
+// implementation-defined and this one is pinned for replay logs).
+std::uint64_t HashSite(std::string_view site) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// splitmix64 finalizer, mixing (plan seed, site hash, hit index) into one
+// well-distributed Rng seed per hit.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void Sleep(std::uint32_t delay_ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+}
+
+void LogFire(const char* site, const Registry::Decision& d) {
+  DISC_LOG(kWarn, "failpoint.fired")
+      .Str("failpoint", site)
+      .Str("action", FailActionName(d.action));
+}
+
+}  // namespace
+
+const char* FailActionName(FailAction action) {
+  switch (action) {
+    case FailAction::kStatus:
+      return "status";
+    case FailAction::kThrow:
+      return "throw";
+    case FailAction::kShortWrite:
+      return "short_write";
+    case FailAction::kDelay:
+      return "delay";
+  }
+  return "unknown";
+}
+
+Registry& Registry::Instance() {
+  static Registry* instance = new Registry();  // Leaked: process lifetime.
+  return *instance;
+}
+
+void Registry::Arm(FailPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = std::move(plan);
+  sites_.clear();
+  for (const FailRule& rule : plan_.rules) {
+    SiteState& state = sites_[rule.site];
+    // First rule for a site wins; a duplicate is almost certainly a typo'd
+    // plan, so say so instead of silently shadowing.
+    if (state.rule != nullptr) {
+      DISC_LOG(kWarn, "failpoint.duplicate_rule").Str("failpoint", rule.site);
+      continue;
+    }
+    state.rule = &rule;
+  }
+  armed_ = true;
+  internal::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void Registry::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = false;
+  internal::g_armed.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t Registry::Hits(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(std::string(site));
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t Registry::Fires(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(std::string(site));
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+std::uint64_t Registry::TotalFires() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [site, state] : sites_) total += state.fires;
+  return total;
+}
+
+void Registry::ExportCounters(obs::MetricsRegistry& metrics) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [site, state] : sites_) {
+    const std::string suffix = obs::MetricsRegistry::SanitizeName(site);
+    obs::Counter& hits = metrics.counter(
+        "disc_failpoint_hits_" + suffix,
+        "Evaluations of this armed failpoint site.");
+    obs::Counter& fires = metrics.counter(
+        "disc_failpoint_fires_" + suffix,
+        "Faults injected at this failpoint site.");
+    // Counters only grow between exports (Arm resets sites_, but a fresh
+    // export then restarts from the new totals), so top up the delta.
+    if (state.hits > hits.value()) hits.Add(state.hits - hits.value());
+    if (state.fires > fires.value()) fires.Add(state.fires - fires.value());
+  }
+}
+
+Registry::Decision Registry::Evaluate(const char* site) {
+  Decision decision;
+  std::uint64_t hit_index = 0;
+  const FailRule* rule = nullptr;
+  std::uint64_t plan_seed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_) return decision;  // Benign race with Disarm.
+    SiteState& state = sites_[site];
+    hit_index = state.hits++;
+    rule = state.rule;
+    if (rule == nullptr) return decision;  // Counting-only site.
+    if (hit_index < rule->skip) return decision;
+    if (state.fires >= rule->max_fires) return decision;
+    plan_seed = plan_.seed;
+    // The per-hit draw depends only on (seed, site, hit index) — never on
+    // which thread got here first — so fire patterns replay exactly.
+    if (rule->probability < 1.0) {
+      Rng rng(Mix(plan_seed ^ HashSite(rule->site) ^
+                  Mix(hit_index + 0x51ed270b0a1882f1ULL)));
+      if (!rng.Bernoulli(rule->probability)) return decision;
+    }
+    ++state.fires;
+    decision.fire = true;
+    decision.action = rule->action;
+    decision.delay_ms = rule->delay_ms;
+    decision.short_write_limit = rule->short_write_limit;
+    decision.message = rule->message.empty()
+                           ? std::string("injected fault at ") + rule->site
+                           : rule->message;
+  }
+  LogFire(site, decision);  // Outside the lock: the log layer has its own.
+  return decision;
+}
+
+void Hit(const char* site) {
+  const Registry::Decision d = Registry::Instance().Evaluate(site);
+  if (!d.fire) return;
+  switch (d.action) {
+    case FailAction::kStatus:
+    case FailAction::kThrow:
+      throw InjectedFault(d.message);
+    case FailAction::kDelay:
+      Sleep(d.delay_ms);
+      return;
+    case FailAction::kShortWrite:
+      return;  // Nothing to truncate at a void site; the fire is counted.
+  }
+}
+
+Status HitStatus(const char* site) {
+  const Registry::Decision d = Registry::Instance().Evaluate(site);
+  if (!d.fire) return Status::Ok();
+  switch (d.action) {
+    case FailAction::kStatus:
+      return Status::Error(d.message);
+    case FailAction::kThrow:
+      throw InjectedFault(d.message);
+    case FailAction::kDelay:
+      Sleep(d.delay_ms);
+      return Status::Ok();
+    case FailAction::kShortWrite:
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+void HitStream(const char* site, std::ostream& os) {
+  const Registry::Decision d = Registry::Instance().Evaluate(site);
+  if (!d.fire) return;
+  switch (d.action) {
+    case FailAction::kShortWrite:
+    case FailAction::kStatus:
+      // Everything already written stays put; the poisoned stream swallows
+      // the rest, so the file ends as a torn prefix.
+      os.setstate(std::ios_base::failbit);
+      return;
+    case FailAction::kThrow:
+      throw InjectedFault(d.message);
+    case FailAction::kDelay:
+      Sleep(d.delay_ms);
+      return;
+  }
+}
+
+std::size_t HitSendBudget(const char* site, std::size_t full_size) {
+  const Registry::Decision d = Registry::Instance().Evaluate(site);
+  if (!d.fire) return full_size;
+  switch (d.action) {
+    case FailAction::kShortWrite:
+      return d.short_write_limit < full_size ? d.short_write_limit : full_size;
+    case FailAction::kStatus:
+      return 0;  // Abandon the response outright.
+    case FailAction::kThrow:
+      throw InjectedFault(d.message);
+    case FailAction::kDelay:
+      Sleep(d.delay_ms);
+      return full_size;
+  }
+  return full_size;
+}
+
+}  // namespace failpoint
+}  // namespace disc

@@ -1,0 +1,252 @@
+#ifndef DISC_COMMON_FAILPOINT_H_
+#define DISC_COMMON_FAILPOINT_H_
+
+// Deterministic fault injection (docs/ANALYSIS.md §Fault injection).
+//
+// Production code marks its failure-prone seams with named failpoints:
+//
+//   DISC_FAILPOINT("checkpoint.write.pre_rename");          // throw/delay
+//   DISC_FAILPOINT_STATUS("engine.feed.pre");               // early-return
+//   DISC_FAILPOINT_STREAM("checkpoint.save.record", os);    // torn write
+//
+// A test arms the process-wide registry with a seeded FailPlan
+// (failpoint::ScopedFailPlan raii); each armed rule decides per hit —
+// deterministically from (plan seed, site name, per-site hit index), so the
+// fire pattern at a site is reproducible regardless of thread interleaving —
+// whether to inject a disc::Status error, throw failpoint::InjectedFault,
+// poison an output stream after a torn prefix, or delay. Per-site hit/fire
+// counters survive Disarm() and export through obs::MetricsRegistry so
+// harnesses can assert a fault actually fired.
+//
+// Cost model: with the DISC_FAILPOINTS CMake option OFF the macros compile
+// to nothing. With it ON (the default, so sanitizer and chaos legs exercise
+// the same binaries CI ships), an unarmed site is one relaxed atomic load
+// and a predictable branch — no registry access, no allocation, no lock.
+// Only an armed plan pays the slow path.
+//
+// Naming convention: "<layer>.<operation>[.<phase>]", lower-case, dots as
+// separators — e.g. "engine.session.slide", "http.response.send". The site
+// string is the stable identity tests key rules and counter assertions on;
+// renaming one is an API change for the chaos harness.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace disc {
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+namespace failpoint {
+
+// What an armed rule injects when it fires. Sites honor the closest
+// behavior their macro form can express (see the Hit* helpers): a kStatus
+// rule at a void site throws InjectedFault, a kShortWrite rule at a stream
+// site poisons the stream's failbit after the bytes already written.
+enum class FailAction : std::uint8_t {
+  kStatus,      // Return Status::Error(message) from the enclosing function.
+  kThrow,       // Throw failpoint::InjectedFault(message).
+  kShortWrite,  // Truncate the write: poison the stream / cap bytes sent.
+  kDelay,       // Sleep delay_ms, then continue normally.
+};
+
+const char* FailActionName(FailAction action);
+
+// One armed site. Every hit past `skip` fires with `probability` (decided
+// by the plan's seeded rng) until `max_fires` faults have been injected.
+struct FailRule {
+  std::string site;
+  FailAction action = FailAction::kStatus;
+  double probability = 1.0;  // Chance each eligible hit fires, in [0, 1].
+  std::uint64_t skip = 0;    // Hits at this site that never fire.
+  std::uint64_t max_fires = std::numeric_limits<std::uint64_t>::max();
+  std::uint32_t delay_ms = 1;          // kDelay sleep length.
+  std::size_t short_write_limit = 0;   // kShortWrite: bytes allowed through.
+  std::string message;                 // Defaults to "injected fault at <site>".
+};
+
+// A seeded set of rules. The seed fully determines which hits fire: the
+// decision for hit #i at a site is a pure function of (seed, site, i).
+struct FailPlan {
+  std::uint64_t seed = 0;
+  std::vector<FailRule> rules;
+};
+
+// Thrown by kThrow rules (and by kStatus rules at void sites, so the fault
+// still surfaces instead of vanishing). Chaos harnesses catch this type to
+// distinguish injected faults from genuine bugs.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
+// Process-wide armed flag, read on every compiled-in site. Relaxed is
+// sufficient: arming happens-before the workload via the test's own
+// synchronization (threads started after Arm, or a joined drain).
+extern std::atomic<bool> g_armed;
+}  // namespace internal
+
+// True while a FailPlan is armed. The macros check this inline so unarmed
+// sites never reach the registry.
+inline bool Armed() {
+  return internal::g_armed.load(std::memory_order_relaxed);
+}
+
+// Process-wide failpoint state: at most one armed plan, plus per-site
+// hit/fire counters that persist until the next Arm().
+class Registry {
+ public:
+  static Registry& Instance();
+
+  // Installs `plan` and resets all counters. Arming while armed replaces
+  // the previous plan. Do not race Arm/Disarm with a workload mid-flight;
+  // hits themselves are thread-safe.
+  void Arm(FailPlan plan) EXCLUDES(mutex_);
+  void Disarm() EXCLUDES(mutex_);
+
+  // Counters from the most recent armed run. A *hit* is one evaluation of
+  // an armed site (whether or not any rule matched); a *fire* is one
+  // injected fault. Both survive Disarm() so tests assert after teardown.
+  std::uint64_t Hits(std::string_view site) const EXCLUDES(mutex_);
+  std::uint64_t Fires(std::string_view site) const EXCLUDES(mutex_);
+  std::uint64_t TotalFires() const EXCLUDES(mutex_);
+
+  // Snapshots every per-site counter into `metrics` as
+  //   disc_failpoint_hits_<site> / disc_failpoint_fires_<site>
+  // (site sanitized by MetricsRegistry::SanitizeName, counters created on
+  // first export). Call after — or during — a chaos run to assert firing
+  // through the same exposition pipeline production scrapes use.
+  void ExportCounters(obs::MetricsRegistry& metrics) const EXCLUDES(mutex_);
+
+  // Slow-path entry points behind the DISC_FAILPOINT* macros; callers must
+  // have seen Armed() == true (they re-check under the lock, so a benign
+  // race with Disarm is safe). Exposed for function-form call sites (e.g.
+  // inside lambdas where an early `return Status` does not fit).
+  struct Decision {
+    bool fire = false;
+    FailAction action = FailAction::kStatus;
+    std::uint32_t delay_ms = 0;
+    std::size_t short_write_limit = 0;
+    std::string message;
+  };
+  Decision Evaluate(const char* site) EXCLUDES(mutex_);
+
+ private:
+  Registry() = default;
+
+  struct SiteState {
+    const FailRule* rule = nullptr;  // Into plan_.rules; null = counting only.
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  mutable std::mutex mutex_;
+  bool armed_ GUARDED_BY(mutex_) = false;
+  FailPlan plan_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, SiteState> sites_ GUARDED_BY(mutex_);
+};
+
+// --- Slow-path helpers the macros expand to (armed sites only). ---
+
+// Void site: kThrow and kStatus throw InjectedFault, kDelay sleeps,
+// kShortWrite counts the fire but has nothing to truncate.
+void Hit(const char* site);
+
+// Status site: kStatus returns the injected error, kThrow throws, kDelay
+// sleeps then returns Ok, kShortWrite returns Ok (counted).
+Status HitStatus(const char* site);
+
+// Stream site: kShortWrite and kStatus set failbit on `os` — every byte
+// already written stays, forming a torn prefix the next reader must
+// survive; kThrow throws, kDelay sleeps.
+void HitStream(const char* site, std::ostream& os);
+
+// Send-budget site for raw-fd writers (http response path): returns how
+// many of `full_size` bytes the caller may actually send — `full_size`
+// normally, the rule's short_write_limit when a kShortWrite fires. kThrow
+// throws, kDelay sleeps, kStatus returns 0 (abandon the response).
+std::size_t HitSendBudget(const char* site, std::size_t full_size);
+
+// Arms on construction, disarms on destruction. Counters remain readable
+// after destruction (until the next Arm).
+class ScopedFailPlan {
+ public:
+  explicit ScopedFailPlan(FailPlan plan) {
+    Registry::Instance().Arm(std::move(plan));
+  }
+  ~ScopedFailPlan() { Registry::Instance().Disarm(); }
+
+  ScopedFailPlan(const ScopedFailPlan&) = delete;
+  ScopedFailPlan& operator=(const ScopedFailPlan&) = delete;
+};
+
+}  // namespace failpoint
+}  // namespace disc
+
+// DISC_FAILPOINTS_ENABLED comes in on the compile line (PUBLIC on
+// disc_obs, mirroring DISC_TRACING_ENABLED); default off so embedding
+// this header without the build flag costs nothing.
+#ifndef DISC_FAILPOINTS_ENABLED
+#define DISC_FAILPOINTS_ENABLED 0
+#endif
+
+#if DISC_FAILPOINTS_ENABLED
+
+// Side-effect site inside any function: may throw or delay.
+#define DISC_FAILPOINT(site_name)                               \
+  do {                                                          \
+    if (::disc::failpoint::Armed()) {                           \
+      ::disc::failpoint::Hit(site_name);                        \
+    }                                                           \
+  } while (0)
+
+// Site inside a Status-returning function: a fired kStatus rule makes the
+// enclosing function return the injected error.
+#define DISC_FAILPOINT_STATUS(site_name)                        \
+  do {                                                          \
+    if (::disc::failpoint::Armed()) {                           \
+      ::disc::Status disc_failpoint_status =                    \
+          ::disc::failpoint::HitStatus(site_name);              \
+      if (!disc_failpoint_status.ok()) {                        \
+        return disc_failpoint_status;                           \
+      }                                                         \
+    }                                                           \
+  } while (0)
+
+// Site inside serialization code writing to `stream_expr`: a fired
+// kShortWrite poisons the stream, leaving a torn prefix on disk.
+#define DISC_FAILPOINT_STREAM(site_name, stream_expr)           \
+  do {                                                          \
+    if (::disc::failpoint::Armed()) {                           \
+      ::disc::failpoint::HitStream(site_name, stream_expr);     \
+    }                                                           \
+  } while (0)
+
+#else  // !DISC_FAILPOINTS_ENABLED
+
+#define DISC_FAILPOINT(site_name) \
+  do {                            \
+  } while (0)
+#define DISC_FAILPOINT_STATUS(site_name) \
+  do {                                   \
+  } while (0)
+#define DISC_FAILPOINT_STREAM(site_name, stream_expr) \
+  do {                                                \
+  } while (0)
+
+#endif  // DISC_FAILPOINTS_ENABLED
+
+#endif  // DISC_COMMON_FAILPOINT_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "obs/trace.h"
 
 namespace disc {
@@ -34,6 +35,10 @@ void ThreadPool::DrainBatch(std::size_t lane) {
         return;
       }
       const std::size_t end = std::min(batch_n_, begin + batch_chunk_);
+      // A fired throw lands in the catch below exactly like a throwing
+      // body: batch_error_ records it, the cursor parks, ParallelFor
+      // rethrows on the calling thread.
+      DISC_FAILPOINT("threadpool.dispatch");
       for (std::size_t i = begin; i < end; ++i) (*batch_fn_)(lane, i);
       items += end - begin;
     }

@@ -14,6 +14,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "core/disc.h"
 #include "obs/log.h"
 
@@ -44,6 +45,7 @@ bool ReadPod(std::istream& in, T* value) {
 }  // namespace
 
 Status Disc::SaveCheckpoint(std::ostream& out) const {
+  DISC_FAILPOINT_STATUS("checkpoint.save.pre");
   WritePod(out, kMagic);
   WritePod(out, static_cast<std::uint32_t>(tree_.dims()));
   WritePod(out, config_.eps);
@@ -57,6 +59,9 @@ Status Disc::SaveCheckpoint(std::ostream& out) const {
   std::sort(sorted_ids.begin(), sorted_ids.end());
   for (PointId id : sorted_ids) {
     const Record& rec = records_.at(id);
+    // A fired short-write poisons `out` mid-record: everything emitted so
+    // far stays on disk as a torn prefix, caught by the !out check below.
+    DISC_FAILPOINT_STREAM("checkpoint.save.record", out);
     WritePod(out, id);
     out.write(reinterpret_cast<const char*>(rec.pt.x.data()),
               sizeof(double) * kMaxDims);
@@ -75,6 +80,7 @@ Status Disc::SaveCheckpoint(std::ostream& out) const {
 }
 
 Status Disc::LoadCheckpoint(std::istream& in) {
+  DISC_FAILPOINT_STATUS("checkpoint.load.pre");
   std::uint64_t magic = 0;
   std::uint32_t dims = 0;
   double eps = 0.0;

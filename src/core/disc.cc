@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/timer.h"
+#include "obs/log.h"
 #include "obs/trace.h"
 
 namespace disc {
@@ -132,8 +133,14 @@ void Disc::Collect(const std::vector<Point>& incoming,
   for (std::size_t i = 0; i < outgoing.size(); ++i) {
     const Point& p = outgoing[i];
     auto it = records_.find(p.id);
-    assert(it != records_.end());
-    if (it == records_.end()) continue;  // Tolerate misuse in release builds.
+    if (it == records_.end()) {
+      // Caller misuse (an id that never entered the window), not an
+      // internal invariant: reject with a rate-limited warning in every
+      // build so the Debug sanitizer legs exercise the same tolerant path
+      // production runs.
+      DISC_LOG(kWarn, "disc.unknown_outgoing_ignored").Num("id", p.id);
+      continue;
+    }
     Record& rec = it->second;
     if (rec.core_prev) {
       // Ex-cores in Delta_out stay in the R-tree until CLUSTER finishes.
@@ -183,12 +190,18 @@ void Disc::Collect(const std::vector<Point>& incoming,
   for (std::size_t j = 0; j < incoming.size(); ++j) {
     const Point& p = incoming[j];
     if (!IsValidPoint(p) || p.dims != tree_.dims()) {
-      assert(false && "invalid incoming point");
-      continue;  // Reject non-finite or mis-dimensioned points.
+      // Reject non-finite or mis-dimensioned points — caller misuse, so
+      // warn-and-drop in every build rather than asserting.
+      DISC_LOG(kWarn, "disc.invalid_incoming_rejected")
+          .Num("id", p.id)
+          .Num("dims", p.dims);
+      continue;
     }
     auto [it, inserted] = records_.emplace(p.id, Record{});
-    assert(inserted);
-    if (!inserted) continue;  // Duplicate id: ignore.
+    if (!inserted) {
+      DISC_LOG(kWarn, "disc.duplicate_incoming_ignored").Num("id", p.id);
+      continue;  // Duplicate id: ignore.
+    }
     Record& rec = it->second;
     rec.pt = p;
     rec.n_eps = 1;  // The neighborhood includes the point itself.

@@ -8,6 +8,8 @@
 #include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
+#include "common/point.h"
 #include "core/disc.h"
 #include "obs/log.h"
 #include "obs/trace.h"
@@ -194,6 +196,7 @@ void DiscEngine::Admit(const std::string& name, SessionOptions options,
 
 Status DiscEngine::FeedSlide(const std::string& name,
                              const std::vector<Point>& points) {
+  DISC_FAILPOINT_STATUS("engine.feed.pre");
   std::lock_guard<std::mutex> lock(mutex_);
   Session* session = Find(name);
   if (session == nullptr) {
@@ -247,6 +250,10 @@ void DiscEngine::ExecuteSessionSlide(Session* session) {
   obs::TraceSpan span("engine.session");
   span.AddArg("session", session->id);
   span.AddArg("slide", session->pipeline->slides_run());
+  // Fires before any queue consumption: an injected throw here leaves the
+  // pipeline untouched and the slide pending, so the retry at the next
+  // Drain replays it exactly.
+  DISC_FAILPOINT("engine.session.slide");
   session->pipeline->Run(1, [session](const SlideReport& report) {
     session->last_report = report;
     return true;
@@ -300,42 +307,72 @@ std::size_t DiscEngine::Drain() {
   return DrainLocked();
 }
 
+void DiscEngine::MarkSlideFault(Session* session, const char* what) {
+  session->faulted_this_drain = true;
+  DISC_LOG(kError, "engine.slide_failed")
+      .Str("session", session->name)
+      .Str("error", what);
+}
+
 std::size_t DiscEngine::DrainLocked() {
   obs::TraceSpan span("engine.drain");
   std::size_t executed = 0;
+  for (const auto& s : sessions_) s->faulted_this_drain = false;
   while (!sessions_.empty()) {
     // Ready set of this round, in round-robin order so no session starves
     // the slot assignment when there are more ready sessions than lanes.
+    // A session whose slide already faulted this drain sits out: retrying
+    // inside the same drain would spin on a deterministic failure.
     const std::size_t n = sessions_.size();
     std::vector<Session*> ready;
     for (std::size_t k = 0; k < n; ++k) {
       Session* s = sessions_[(rr_cursor_ + k) % n].get();
-      if (s->pending_slides > 0) ready.push_back(s);
+      if (s->pending_slides > 0 && !s->faulted_this_drain) ready.push_back(s);
     }
     if (ready.empty()) break;
     rr_cursor_ = (rr_cursor_ + 1) % n;
 
+    bool dispatch_fault = false;
     if (ready.size() == 1) {
       // A lone runnable session borrows every lane of the shared pool for
       // its internal fan-out; output is identical either way (core/disc.h).
       Session* s = ready.front();
-      Disc* exact = s->clusterer->name() == "DISC"
-                        ? static_cast<Disc*>(s->clusterer.get())
-                        : nullptr;
-      ScopedExecutionPool borrow(exact, pool_.get());
-      ExecuteSessionSlide(s);
+      try {
+        DISC_FAILPOINT("engine.drain.borrow");
+        Disc* exact = s->clusterer->name() == "DISC"
+                          ? static_cast<Disc*>(s->clusterer.get())
+                          : nullptr;
+        ScopedExecutionPool borrow(exact, pool_.get());
+        ExecuteSessionSlide(s);
+      } catch (const std::exception& e) {
+        // The slide threw (bug or injected fault): quarantine the session
+        // for this drain, keep its queue intact, keep the engine alive.
+        MarkSlideFault(s, e.what());
+      }
     } else {
       // One slide per ready session, one session per pool lane. Each
       // session updates single-lane internally (its config carries
       // num_threads=1 and no external pool is installed), so lanes never
       // share any clusterer state; the lambda writes only to its own
       // session. chunk=1: slides are coarse, uneven tasks.
-      ParallelFor(
-          pool_.get(), ready.size(),
-          [&ready, this](std::size_t, std::size_t i) {
-            ExecuteSessionSlide(ready[i]);
-          },
-          1);
+      try {
+        ParallelFor(
+            pool_.get(), ready.size(),
+            [&ready, this](std::size_t, std::size_t i) {
+              try {
+                ExecuteSessionSlide(ready[i]);
+              } catch (const std::exception& e) {
+                MarkSlideFault(ready[i], e.what());
+              }
+            },
+            1);
+      } catch (const std::exception& e) {
+        // The dispatch machinery itself threw (session bodies are contained
+        // above). Slides that never started are still pending; finish the
+        // round's bookkeeping, then stop — the next Drain retries.
+        DISC_LOG(kError, "engine.drain_failed").Str("error", e.what());
+        dispatch_fault = true;
+      }
     }
 
     // Fold telemetry on the scheduler thread (the registry is not
@@ -350,10 +387,22 @@ std::size_t DiscEngine::DrainLocked() {
     // Refresh backlog gauges per round, not just at the end: a live scrape
     // mid-drain sees queue depths shrink round by round.
     UpdateBacklogGauges();
+    if (dispatch_fault) break;
+  }
+  std::size_t faulted = 0;
+  for (const auto& s : sessions_) {
+    if (s->faulted_this_drain) ++faulted;
   }
   if (options_.metrics != nullptr) {
     options_.metrics->counter("engine_drains_total").Add(1);
     options_.metrics->counter("engine_slides_total").Add(executed);
+    if (faulted > 0) {
+      options_.metrics
+          ->counter("engine_slide_faults_total",
+                    "Sessions quarantined by a throwing slide, summed over "
+                    "drains.")
+          .Add(faulted);
+    }
   }
   span.AddArg("slides", executed);
   return executed;
@@ -407,6 +456,22 @@ Status DiscEngine::Checkpoint() {
   // inside this critical section (the mutex is not recursive, hence the
   // DrainLocked split).
   DrainLocked();
+  // A faulted slide leaves its session with queued work the drain could not
+  // run; persisting now would spill a state that silently forgets those
+  // slides, so refuse and let the caller retry after the next clean drain.
+  for (const auto& session : sessions_) {
+    if (session->pending_slides > 0) {
+      std::ostringstream os;
+      os << "session \"" << session->name << "\" still has "
+         << session->pending_slides
+         << " queued slide(s) after the pre-checkpoint drain (slide "
+            "fault?); checkpoint refused";
+      DISC_LOG(kError, "engine.checkpoint_failed")
+          .Str("session", session->name)
+          .Str("error", os.str());
+      return Status::Error(os.str());
+    }
+  }
 
   std::error_code ec;
   std::filesystem::create_directories(options_.spill_dir, ec);
@@ -438,6 +503,9 @@ Status DiscEngine::Checkpoint() {
       return Status::Error("write failed on " + tmp);
     }
   }
+  // Every .tmp is staged and fsync-equivalent-flushed; a fault here (the
+  // classic crash window) must leave the previous generation live.
+  DISC_FAILPOINT_STATUS("checkpoint.write.pre_rename");
   for (const auto& session : sessions_) {
     const std::string path = SessionPath(options_.spill_dir, session->name);
     std::filesystem::rename(path + ".tmp", path, ec);
@@ -454,6 +522,10 @@ Status DiscEngine::Checkpoint() {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) return Status::Error("cannot open " + tmp + " for writing");
     out << kManifestHeader << "\n" << sessions_.size() << "\n";
+    // A fired short-write truncates the manifest after the header/count:
+    // the torn .tmp never gets renamed, so the published manifest always
+    // lists every session it names.
+    DISC_FAILPOINT_STREAM("engine.checkpoint.manifest", out);
     for (const auto& session : sessions_) out << session->name << "\n";
     out.flush();
     if (!out) return Status::Error("write failed on " + tmp);
@@ -477,6 +549,12 @@ std::unique_ptr<DiscEngine> DiscEngine::Open(const EngineOptions& options,
   };
   if (options.spill_dir.empty()) {
     return fail("EngineOptions::spill_dir is unset");
+  }
+  if (failpoint::Armed()) {
+    // Function form of DISC_FAILPOINT_STATUS: recovery failures must flow
+    // through fail() so they hit the same logging choke point.
+    Status injected = failpoint::HitStatus("engine.open.pre");
+    if (!injected.ok()) return fail(injected.message());
   }
   std::ifstream manifest(ManifestPath(options.spill_dir));
   if (!manifest) {
@@ -542,6 +620,19 @@ std::unique_ptr<DiscEngine> DiscEngine::Open(const EngineOptions& options,
                   std::to_string(spec.window_size) +
                   " stride=" + std::to_string(spec.stride));
     }
+    // MakeClusterer validates the DiscConfig but not the index geometry; a
+    // bit-flipped dims or split-policy byte must fail here, not deep inside
+    // the R-tree (or as an out-of-range enum cast).
+    if (spec.dims < 1 || spec.dims > kMaxDims) {
+      return fail("corrupt session header in " + path +
+                  ": dims=" + std::to_string(spec.dims) + " outside [1, " +
+                  std::to_string(kMaxDims) + "]");
+    }
+    if (split_policy > static_cast<std::uint8_t>(SplitPolicy::kRStar)) {
+      return fail("corrupt session header in " + path +
+                  ": unknown rtree split policy byte " +
+                  std::to_string(split_policy));
+    }
     spec.disc.use_msbfs = use_msbfs != 0;
     spec.disc.use_epoch_probing = use_epoch != 0;
     spec.disc.use_border_witness = use_witness != 0;
@@ -564,8 +655,19 @@ std::unique_ptr<DiscEngine> DiscEngine::Open(const EngineOptions& options,
     if (Status loaded = exact->LoadCheckpoint(in); !loaded.ok()) {
       return fail("session \"" + name + "\": " + loaded.message());
     }
+    // The checkpoint's point count and the header's geometry are stored
+    // independently, so a corrupt header can claim a window smaller than
+    // the restored contents; that must fail here, not as the window
+    // seeding assert.
+    std::vector<Point> restored = exact->WindowContents();
+    if (restored.size() > spec.window_size) {
+      return fail("session \"" + name + "\": checkpoint holds " +
+                  std::to_string(restored.size()) +
+                  " window points but the header claims window_size=" +
+                  std::to_string(spec.window_size));
+    }
     engine->Admit(name, std::move(so), std::move(clusterer),
-                  exact->WindowContents(), slides_run);
+                  std::move(restored), slides_run);
   }
   return engine;
 }

@@ -105,6 +105,12 @@ class DiscEngine : public obs::EngineStatusProvider {
   // with work: each round picks the ready set, runs one slide per session
   // across the pool's lanes (or hands the whole pool to a lone session),
   // then folds telemetry before the next round.
+  //
+  // A slide that throws — a genuine bug or an injected fault
+  // (common/failpoint.h) — never takes the engine down: the failure is
+  // logged ("engine.slide_failed"), the session sits out the rest of this
+  // drain with its queued slides intact, and the next Drain retries. The
+  // executed count covers only slides that completed.
   std::size_t Drain() EXCLUDES(mutex_);
 
   // Removes the session and its queued slides. Fails when unknown.
@@ -196,6 +202,11 @@ class DiscEngine : public obs::EngineStatusProvider {
     // round's barrier.
     SlideReport last_report;
     bool ran_this_round = false;
+    // Set (by the lane that hit the fault) when this session's slide threw
+    // during the current Drain: the session sits out the rest of the drain
+    // — its queued slides stay pending, nothing is silently dropped — and
+    // retries at the next Drain call. Cleared when a drain begins.
+    bool faulted_this_drain = false;
   };
 
   Session* Find(const std::string& name) REQUIRES(mutex_);
@@ -219,6 +230,12 @@ class DiscEngine : public obs::EngineStatusProvider {
   void ExecuteSessionSlide(Session* session);
 
   void FoldSessionMetrics(Session* session);
+
+  // Quarantines `session` for the rest of the current drain after its slide
+  // threw, logging the fault. Runs on whichever lane hit the exception;
+  // touches only the session's own scratch (same discipline as
+  // ExecuteSessionSlide), never the table.
+  void MarkSlideFault(Session* session, const char* what);
 
   // Refreshes the per-session backlog gauges (`..._queue_depth`,
   // `..._watermark_lag_slides`, `..._last_slide_ms`) after any queue or

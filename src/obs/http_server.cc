@@ -18,6 +18,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/thread_annotations.h"
 #include "obs/log.h"
 
@@ -152,6 +153,15 @@ void HttpServer::Impl::AcceptLoop() {
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int conn = ::accept(listen_fd, nullptr, nullptr);
     if (conn < 0) continue;
+    try {
+      DISC_FAILPOINT("http.accept.conn");
+    } catch (const std::exception& e) {
+      // An injected accept fault costs one connection (the client sees a
+      // reset), never the accept thread.
+      DISC_LOG(kError, "telemetry.http_accept_fault").Str("error", e.what());
+      ::close(conn);
+      continue;
+    }
     // A stuck client must not wedge a worker: cap both directions.
     timeval timeout{};
     timeout.tv_sec = 5;
@@ -191,7 +201,15 @@ void HttpServer::Impl::WorkerLoop() {
       conn = pending.front();
       pending.pop_front();
     }
-    HandleConnection(conn);
+    // A throwing handler (a bug, or an injected fault) must cost one
+    // response, never the worker thread — the fd still closes, the loop
+    // keeps serving, and the next scrape sees clean registry bytes.
+    try {
+      DISC_FAILPOINT("http.worker.handle");
+      HandleConnection(conn);
+    } catch (const std::exception& e) {
+      DISC_LOG(kError, "telemetry.http_worker_error").Str("error", e.what());
+    }
     ::close(conn);
   }
 }
@@ -244,7 +262,23 @@ void HttpServer::Impl::HandleConnection(int fd) const {
                     JsonError(405, "only GET is supported")));
     return;
   }
-  SendAll(fd, SerializeResponse(Route(target)));
+  const std::string payload = SerializeResponse(Route(target));
+  if (failpoint::Armed()) {
+    // Fault surface for "the kernel took some of our bytes, then the peer
+    // vanished": send a torn prefix and abandon the connection. The
+    // response object itself was fully built from a consistent registry
+    // snapshot, so the *next* scrape must still be byte-clean.
+    const std::size_t budget =
+        failpoint::HitSendBudget("http.response.send", payload.size());
+    if (budget < payload.size()) {
+      SendAll(fd, payload.substr(0, budget));
+      DISC_LOG(kWarn, "telemetry.http_send_truncated")
+          .Num("sent", budget)
+          .Num("size", payload.size());
+      return;
+    }
+  }
+  SendAll(fd, payload);
 }
 
 HttpResponse HttpServer::Impl::Route(std::string_view target) const {

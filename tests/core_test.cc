@@ -232,7 +232,9 @@ TEST(DiscScenarioTest, SurvivingClusterKeepsItsIdAcrossShrink) {
 
 // --- Robustness / failure injection -------------------------------------
 
-#ifdef NDEBUG
+// These two ran only under NDEBUG while the misuse paths carried asserts;
+// Disc now warns-and-rejects in every build, so the ASan/TSan (Debug)
+// presets run the full suite.
 TEST(DiscRobustnessTest, InvalidIncomingPointsAreRejected) {
   DiscConfig config;
   config.eps = 0.15;
@@ -253,7 +255,6 @@ TEST(DiscRobustnessTest, UnknownOutgoingPointsAreIgnored) {
   disc.Update({}, {P2(99, 5.0, 5.0)});  // Never inserted.
   EXPECT_EQ(disc.window_size(), 1u);
 }
-#endif  // NDEBUG
 
 TEST(DiscRobustnessTest, EmptyUpdateIsANoOp) {
   DiscConfig config;

@@ -1,0 +1,286 @@
+// Failpoint registry semantics: unarmed sites are invisible no-ops, armed
+// rules inject Status / throw / short-write / delay exactly as planned,
+// fire decisions are a pure function of (seed, site, hit index) — identical
+// across re-runs and thread interleavings — and per-site hit/fire counters
+// survive Disarm and export through MetricsRegistry.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/status.h"
+#include "gtest/gtest.h"
+#include "obs/log.h"
+#include "obs/metrics_registry.h"
+
+namespace disc {
+namespace {
+
+using failpoint::FailAction;
+using failpoint::FailPlan;
+using failpoint::FailRule;
+using failpoint::InjectedFault;
+using failpoint::Registry;
+using failpoint::ScopedFailPlan;
+
+// A Status-returning function with one failpoint, standing in for any
+// production seam (checkpoint save, engine feed, ...).
+Status GuardedOperation() {
+  DISC_FAILPOINT_STATUS("test.op.guarded");
+  return Status::Ok();
+}
+
+// A void seam: only throw/delay can surface here.
+void VoidOperation() { DISC_FAILPOINT("test.op.void"); }
+
+FailRule Rule(const std::string& site, FailAction action) {
+  FailRule rule;
+  rule.site = site;
+  rule.action = action;
+  return rule;
+}
+
+TEST(FailpointTest, UnarmedSitesAreInvisible) {
+  ASSERT_FALSE(failpoint::Armed());
+  EXPECT_TRUE(GuardedOperation().ok());
+  VoidOperation();  // Must not throw.
+  // Unarmed hits never touch the registry — not even the hit counter.
+  EXPECT_EQ(Registry::Instance().Hits("test.op.guarded"), 0u);
+  EXPECT_EQ(Registry::Instance().Hits("test.op.void"), 0u);
+}
+
+TEST(FailpointTest, StatusInjectionReturnsTheInjectedError) {
+  FailPlan plan;
+  plan.seed = 1;
+  plan.rules.push_back(Rule("test.op.guarded", FailAction::kStatus));
+  plan.rules.back().message = "disk on fire";
+  ScopedFailPlan armed(std::move(plan));
+  const Status status = GuardedOperation();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "disk on fire");
+  EXPECT_EQ(Registry::Instance().Hits("test.op.guarded"), 1u);
+  EXPECT_EQ(Registry::Instance().Fires("test.op.guarded"), 1u);
+}
+
+TEST(FailpointTest, DefaultMessageNamesTheSite) {
+  FailPlan plan;
+  plan.rules.push_back(Rule("test.op.guarded", FailAction::kStatus));
+  ScopedFailPlan armed(std::move(plan));
+  const Status status = GuardedOperation();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("test.op.guarded"), std::string::npos);
+}
+
+TEST(FailpointTest, ThrowInjectionThrowsInjectedFault) {
+  FailPlan plan;
+  plan.rules.push_back(Rule("test.op.void", FailAction::kThrow));
+  ScopedFailPlan armed(std::move(plan));
+  EXPECT_THROW(VoidOperation(), InjectedFault);
+  // A kStatus rule at a void site still surfaces (as a throw) rather than
+  // silently vanishing.
+  Registry::Instance().Arm([] {
+    FailPlan p;
+    p.rules.push_back(Rule("test.op.void", FailAction::kStatus));
+    return p;
+  }());
+  EXPECT_THROW(VoidOperation(), InjectedFault);
+  Registry::Instance().Disarm();  // The ScopedFailPlan's plan was replaced.
+}
+
+TEST(FailpointTest, SkipAndMaxFiresWindowTheFires) {
+  FailPlan plan;
+  plan.rules.push_back(Rule("test.op.guarded", FailAction::kStatus));
+  plan.rules.back().skip = 2;
+  plan.rules.back().max_fires = 1;
+  ScopedFailPlan armed(std::move(plan));
+  EXPECT_TRUE(GuardedOperation().ok());   // Hit 0: skipped.
+  EXPECT_TRUE(GuardedOperation().ok());   // Hit 1: skipped.
+  EXPECT_FALSE(GuardedOperation().ok());  // Hit 2: fires.
+  EXPECT_TRUE(GuardedOperation().ok());   // Hit 3: max_fires exhausted.
+  EXPECT_EQ(Registry::Instance().Hits("test.op.guarded"), 4u);
+  EXPECT_EQ(Registry::Instance().Fires("test.op.guarded"), 1u);
+}
+
+// The probability draw depends only on (seed, site, hit index): two runs
+// with the same seed produce the same fire pattern bit for bit; a
+// different seed produces a different pattern (200 Bernoulli(1/2) draws
+// colliding is a 2^-200 event).
+TEST(FailpointTest, SeededFirePatternIsReproducible) {
+  constexpr int kHits = 200;
+  const auto pattern = [](std::uint64_t seed) {
+    FailPlan plan;
+    plan.seed = seed;
+    plan.rules.push_back(Rule("test.op.guarded", FailAction::kStatus));
+    plan.rules.back().probability = 0.5;
+    ScopedFailPlan armed(std::move(plan));
+    std::vector<bool> fired;
+    fired.reserve(kHits);
+    for (int i = 0; i < kHits; ++i) fired.push_back(!GuardedOperation().ok());
+    return fired;
+  };
+  const std::vector<bool> a1 = pattern(12345);
+  const std::vector<bool> a2 = pattern(12345);
+  const std::vector<bool> b = pattern(54321);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  // And the pattern is genuinely mixed, not all-or-nothing.
+  const int fires = static_cast<int>(std::count(a1.begin(), a1.end(), true));
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, kHits);
+}
+
+// Thread interleaving cannot change the number of fires: the decision for
+// hit #i is fixed, whichever thread lands on it.
+TEST(FailpointTest, FireCountIsThreadingInvariant) {
+  constexpr int kThreads = 4;
+  constexpr int kHitsPerThread = 64;
+  const auto total_fires = [](bool threaded) {
+    FailPlan plan;
+    plan.seed = 99;
+    plan.rules.push_back(Rule("test.op.void", FailAction::kStatus));
+    plan.rules.back().probability = 0.5;
+    ScopedFailPlan armed(std::move(plan));
+    if (threaded) {
+      std::vector<std::thread> threads;
+      for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] {
+          for (int i = 0; i < kHitsPerThread; ++i) {
+            try {
+              VoidOperation();
+            } catch (const InjectedFault&) {
+            }
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    } else {
+      for (int i = 0; i < kThreads * kHitsPerThread; ++i) {
+        try {
+          VoidOperation();
+        } catch (const InjectedFault&) {
+        }
+      }
+    }
+    return Registry::Instance().Fires("test.op.void");
+  };
+  EXPECT_EQ(total_fires(true), total_fires(false));
+  EXPECT_EQ(Registry::Instance().Hits("test.op.void"),
+            static_cast<std::uint64_t>(kThreads * kHitsPerThread));
+}
+
+TEST(FailpointTest, ShortWritePoisonsTheStreamAfterAPrefix) {
+  FailPlan plan;
+  plan.rules.push_back(Rule("test.op.stream", FailAction::kShortWrite));
+  plan.rules.back().skip = 1;
+  ScopedFailPlan armed(std::move(plan));
+  std::ostringstream os;
+  os << "header;";
+  DISC_FAILPOINT_STREAM("test.op.stream", os);  // Hit 0: skipped.
+  ASSERT_TRUE(os.good());
+  os << "record0;";
+  DISC_FAILPOINT_STREAM("test.op.stream", os);  // Hit 1: fires.
+  EXPECT_FALSE(os.good());
+  os << "record1;";  // Swallowed by the poisoned stream.
+  EXPECT_EQ(os.str(), "header;record0;");
+}
+
+TEST(FailpointTest, SendBudgetCapsAFiredWrite) {
+  FailPlan plan;
+  plan.rules.push_back(Rule("test.op.send", FailAction::kShortWrite));
+  plan.rules.back().short_write_limit = 10;
+  plan.rules.back().max_fires = 1;
+  ScopedFailPlan armed(std::move(plan));
+  EXPECT_EQ(failpoint::HitSendBudget("test.op.send", 100), 10u);
+  EXPECT_EQ(failpoint::HitSendBudget("test.op.send", 100), 100u);
+}
+
+TEST(FailpointTest, DelayFiresWithoutFailing) {
+  FailPlan plan;
+  plan.rules.push_back(Rule("test.op.guarded", FailAction::kDelay));
+  plan.rules.back().delay_ms = 1;
+  ScopedFailPlan armed(std::move(plan));
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(Registry::Instance().Fires("test.op.guarded"), 1u);
+}
+
+TEST(FailpointTest, CountersSurviveDisarmAndExport) {
+  {
+    FailPlan plan;
+    plan.rules.push_back(Rule("test.op.guarded", FailAction::kStatus));
+    plan.rules.back().max_fires = 2;
+    ScopedFailPlan armed(std::move(plan));
+    EXPECT_FALSE(GuardedOperation().ok());
+    EXPECT_FALSE(GuardedOperation().ok());
+    EXPECT_TRUE(GuardedOperation().ok());
+    // A site with no rule is still counted while armed, never fired.
+    VoidOperation();
+  }
+  ASSERT_FALSE(failpoint::Armed());
+  EXPECT_EQ(Registry::Instance().Hits("test.op.guarded"), 3u);
+  EXPECT_EQ(Registry::Instance().Fires("test.op.guarded"), 2u);
+  EXPECT_EQ(Registry::Instance().Hits("test.op.void"), 1u);
+  EXPECT_EQ(Registry::Instance().Fires("test.op.void"), 0u);
+
+  obs::MetricsRegistry metrics;
+  Registry::Instance().ExportCounters(metrics);
+  EXPECT_EQ(metrics.counter("disc_failpoint_hits_test_op_guarded").value(),
+            3u);
+  EXPECT_EQ(metrics.counter("disc_failpoint_fires_test_op_guarded").value(),
+            2u);
+  std::ostringstream os;
+  metrics.WritePrometheus(os);
+  EXPECT_NE(os.str().find("disc_failpoint_fires_test_op_guarded 2"),
+            std::string::npos);
+  // Re-export is idempotent (counters are topped up, not double-added).
+  Registry::Instance().ExportCounters(metrics);
+  EXPECT_EQ(metrics.counter("disc_failpoint_hits_test_op_guarded").value(),
+            3u);
+}
+
+TEST(FailpointTest, EveryFireEmitsAStructuredLogEvent) {
+  class CaptureSink : public obs::LogSink {
+   public:
+    void Write(const obs::LogRecord& record) override {
+      std::lock_guard<std::mutex> lock(mutex_);
+      records_.push_back(record);
+    }
+    std::vector<obs::LogRecord> records() {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return records_;
+    }
+
+   private:
+    std::mutex mutex_;
+    std::vector<obs::LogRecord> records_;
+  };
+  CaptureSink sink;
+  // Earlier tests in this binary fired hundreds of times through the same
+  // log site; lift the per-site rate limit so this fire is not suppressed.
+  obs::SetLogRateLimit(0.0, 0.0);
+  obs::LogSink* previous = obs::SetLogSink(&sink);
+  {
+    FailPlan plan;
+    plan.rules.push_back(Rule("test.op.guarded", FailAction::kStatus));
+    ScopedFailPlan armed(std::move(plan));
+    EXPECT_FALSE(GuardedOperation().ok());
+  }
+  obs::SetLogSink(previous);
+  obs::SetLogRateLimit(5.0, 10.0);  // Back to the defaults.
+  bool saw_fire = false;
+  for (const obs::LogRecord& record : sink.records()) {
+    if (record.event != "failpoint.fired") continue;
+    saw_fire = true;
+    EXPECT_NE(record.json.find("test.op.guarded"), std::string::npos);
+    EXPECT_NE(record.json.find("\"action\":\"status\""), std::string::npos);
+  }
+  EXPECT_TRUE(saw_fire);
+}
+
+}  // namespace
+}  // namespace disc

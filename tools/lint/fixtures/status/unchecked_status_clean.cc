@@ -28,6 +28,18 @@ class SpillStore {
 void Log(const std::string& message);
 void Consume(Status status);
 
+namespace failpoint {
+Status HitStatus(const char* site);
+}  // namespace failpoint
+
+Status GuardedSave(SpillStore* store) {
+  // A Status-returning failpoint is consumed like any other Status: the
+  // injected fault propagates to the caller (common/failpoint.h).
+  Status injected = failpoint::HitStatus("spill.save.pre");
+  if (!injected.ok()) return injected;
+  return store->Flush();
+}
+
 Status ShutDown(SpillStore* store) {
   Status flushed = store->Flush();       // Assigned.
   if (!flushed.ok()) Log(flushed.message());

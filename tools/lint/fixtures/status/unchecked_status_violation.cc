@@ -24,10 +24,21 @@ class SpillStore {
   Status Checkpoint();
 };
 
+namespace failpoint {
+Status HitStatus(const char* site);
+}  // namespace failpoint
+
 void ShutDown(SpillStore* store) {
   store->Flush();             // BAD: result dropped.
   (void)store->Close();       // BAD: a cast is not a decision.
   store->Checkpoint().ok();   // BAD: probed, then the probe is dropped.
+}
+
+Status GuardedSave(SpillStore* store) {
+  // BAD: an injected fault silently evaporates — the whole point of a
+  // Status-returning failpoint is that the caller propagates it.
+  failpoint::HitStatus("spill.save.pre");
+  return store->Flush();
 }
 
 }  // namespace disc
