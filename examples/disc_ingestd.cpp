@@ -1,0 +1,135 @@
+// disc_ingestd: a standalone ingest daemon — one DiscEngine fronted by the
+// binary-framed TCP ingest plane (net/ingest_server.h) plus the telemetry
+// HTTP plane (obs/http_server.h), sharing one metrics registry.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/disc_ingestd [--port P] [--telemetry-port P]
+//       [--lanes N] [--max-pending N] [--spill DIR]
+//
+// Ports default to 0 (ephemeral); the bound ports are printed as
+//   serving ingest on port N
+//   serving telemetry on port M
+// so scripts (scripts/ci.sh's ingest smoke) can parse them. The process
+// holds open on stdin — press Enter (or close stdin) to shut down.
+//
+// Feed it with examples/disc_feed (or any net::IngestClient): create
+// sessions, push slides, drain, query snapshots — all over the wire, with
+// the engine's determinism and no-silent-drop guarantees intact
+// (docs/API.md §net). /healthz on the telemetry port covers the ingest
+// listener: kill the ingest plane and readiness flips to 503.
+//
+// --spill DIR enables Checkpoint(): when set, the daemon checkpoints every
+// session on shutdown, and a later start with the same DIR recovers them
+// (DiscEngine::Open) before serving — a restartable ingest node.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "engine/disc_engine.h"
+#include "net/ingest_server.h"
+#include "obs/http_server.h"
+#include "obs/metrics_registry.h"
+
+int main(int argc, char** argv) {
+  std::uint16_t ingest_port = 0;
+  std::uint16_t telemetry_port = 0;
+  std::size_t lanes = 2;
+  std::size_t max_pending = 64;
+  std::string spill_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      ingest_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--telemetry-port" && i + 1 < argc) {
+      telemetry_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--lanes" && i + 1 < argc) {
+      lanes = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--max-pending" && i + 1 < argc) {
+      max_pending = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--spill" && i + 1 < argc) {
+      spill_dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port P] [--telemetry-port P] [--lanes N] "
+                   "[--max-pending N] [--spill DIR]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  disc::obs::MetricsRegistry registry;
+  disc::EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  engine_options.metrics = &registry;
+  engine_options.spill_dir = spill_dir;
+
+  // With a spill dir, resume the previous generation when one exists —
+  // the restartable-node story; otherwise start empty.
+  std::unique_ptr<disc::DiscEngine> engine;
+  if (!spill_dir.empty()) {
+    disc::Status open_error;
+    engine = disc::DiscEngine::Open(engine_options, &open_error);
+    if (engine != nullptr) {
+      std::printf("recovered %zu sessions from %s\n", engine->session_count(),
+                  spill_dir.c_str());
+    }
+  }
+  if (engine == nullptr) {
+    engine = std::make_unique<disc::DiscEngine>(engine_options);
+  }
+
+  disc::net::IngestServerOptions ingest_options;
+  ingest_options.port = ingest_port;
+  ingest_options.worker_threads = lanes;
+  ingest_options.max_pending_slides = max_pending;
+  ingest_options.engine = engine.get();
+  ingest_options.metrics = &registry;
+  disc::net::IngestServer ingest(ingest_options);
+  if (const disc::Status started = ingest.Start(); !started.ok()) {
+    std::fprintf(stderr, "ingest: %s\n", started.message().c_str());
+    return 1;
+  }
+
+  disc::obs::HttpServerOptions telemetry_options;
+  telemetry_options.port = telemetry_port;
+  telemetry_options.metrics = &registry;
+  telemetry_options.engine = engine.get();
+  telemetry_options.ingest_ready = [&ingest]() { return ingest.running(); };
+  disc::obs::HttpServer telemetry(telemetry_options);
+  if (const disc::Status started = telemetry.Start(); !started.ok()) {
+    std::fprintf(stderr, "telemetry: %s\n", started.message().c_str());
+    return 1;
+  }
+
+  std::printf("serving ingest on port %u\n",
+              static_cast<unsigned>(ingest.port()));
+  std::printf("serving telemetry on port %u\n",
+              static_cast<unsigned>(telemetry.port()));
+  std::printf("ingest node up; press Enter (or close stdin) to exit\n");
+  std::fflush(stdout);
+
+  std::string line;
+  std::getline(std::cin, line);
+
+  // Orderly shutdown: stop admitting, drain what was accepted (nothing
+  // accepted is ever dropped), checkpoint when so configured.
+  ingest.Stop();
+  const std::size_t drained = engine->Drain();
+  if (drained > 0) {
+    std::printf("drained %zu slides on shutdown\n", drained);
+  }
+  if (!spill_dir.empty()) {
+    if (const disc::Status saved = engine->Checkpoint(); !saved.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", saved.message().c_str());
+      return 1;
+    }
+    std::printf("checkpointed %zu sessions to %s\n", engine->session_count(),
+                spill_dir.c_str());
+  }
+  telemetry.Stop();
+  return 0;
+}

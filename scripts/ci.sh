@@ -12,13 +12,18 @@
 #      /healthz, and /sessions endpoints, validate the exposition with
 #      tools/prom_check.py (TYPE/HELP pairing, name validity, monotone
 #      counter re-scrape) — run under the Release AND ASan binaries
-#   7. Chaos: the seeded fault-injection scenarios (ctest -L chaos) under
-#      three pinned seeds, Release and ASan legs; a failure prints the
-#      seed so the exact storm replays locally
-#   8. ASan+UBSan: build + full ctest suite (UBSan findings are fatal via
+#   7. Ingest smoke: disc_ingestd on ephemeral ports, slides fed through
+#      the framed TCP plane by disc_feed, /sessions and the net_* counters
+#      asserted over the telemetry port (prom_check.py validates the
+#      exposition) — run under the Release AND ASan binaries
+#   8. Chaos: the seeded fault-injection scenarios (ctest -L chaos, which
+#      also matches the net-chaos label) under three pinned seeds, Release
+#      and ASan legs; a failure prints the seed so the exact storm replays
+#      locally
+#   9. ASan+UBSan: build + full ctest suite (UBSan findings are fatal via
 #      -fno-sanitize-recover, see the asan preset)
-#   9. TSan: build + full ctest suite
-#  10. clang-tidy over src/ (skips when clang-tidy is not installed)
+#  10. TSan: build + full ctest suite
+#  11. clang-tidy over src/ (skips when clang-tidy is not installed)
 #
 # Usage: scripts/ci.sh [extra ctest args...]
 set -euo pipefail
@@ -127,6 +132,76 @@ PY
 
 telemetry_smoke ./build-release/examples/quickstart "Release"
 
+# Launch disc_ingestd on ephemeral ports, push slides through the framed
+# TCP plane with disc_feed, then assert over the telemetry port that the
+# wire traffic is visible: the session appears in /sessions and the net_*
+# counters moved. prom_check.py validates the exposition itself.
+ingest_smoke() {
+  local daemon="$1" feeder="$2" label="$3"
+  echo "=== ingest smoke (${label}): socket-fed slides + net_* counters ==="
+  local dir fifo log pid ingest_port telemetry_port
+  dir="$(mktemp -d)"
+  fifo="${dir}/stdin.fifo"
+  log="${dir}/ingestd.log"
+  mkfifo "${fifo}"
+  "${daemon}" --port 0 --telemetry-port 0 --lanes 2 \
+    < "${fifo}" > "${log}" 2>&1 &
+  pid=$!
+  exec 8> "${fifo}"
+  ingest_port=""
+  telemetry_port=""
+  for _ in $(seq 200); do # sanitizer binaries start slowly; allow 20s
+    ingest_port="$(sed -n 's/^serving ingest on port \([0-9]*\)$/\1/p' "${log}")"
+    telemetry_port="$(sed -n 's/^serving telemetry on port \([0-9]*\)$/\1/p' "${log}")"
+    [ -n "${ingest_port}" ] && [ -n "${telemetry_port}" ] && break
+    sleep 0.1
+  done
+  if [ -z "${ingest_port}" ] || [ -z "${telemetry_port}" ]; then
+    echo "ingest smoke (${label}): daemon never announced its ports" >&2
+    cat "${log}" >&2
+    exit 1
+  fi
+  "${feeder}" --port "${ingest_port}" --session ci_smoke \
+    --window 600 --stride 100 --slides 8
+  python3 tools/prom_check.py \
+    --url "http://127.0.0.1:${telemetry_port}/metrics" --rescrape
+  python3 - "http://127.0.0.1:${telemetry_port}" <<'PY'
+import json, sys, urllib.request
+
+base = sys.argv[1]
+health = json.load(urllib.request.urlopen(base + "/healthz", timeout=10))
+assert health.get("ready") is True, health
+assert health.get("components", {}).get("ingest") == "ok", health
+sessions = json.load(urllib.request.urlopen(base + "/sessions", timeout=10))
+names = [row["name"] for row in sessions["sessions"]]
+assert "ci_smoke" in names, names
+with urllib.request.urlopen(base + "/metrics", timeout=10) as response:
+    metrics = {}
+    for line in response.read().decode().splitlines():
+        if line and not line.startswith("#"):
+            name, _, value = line.partition(" ")
+            metrics[name] = float(value)
+for counter in ("net_frames_total", "net_connections_total",
+                "net_bytes_rx_total", "net_bytes_tx_total"):
+    assert metrics.get(counter, 0) > 0, (counter, metrics.get(counter))
+assert metrics.get("net_frames_bad_total", -1) == 0, metrics
+print(f"ingest smoke: ci_smoke session live; "
+      f"{int(metrics['net_frames_total'])} frames, "
+      f"{int(metrics['net_bytes_rx_total'])} bytes rx")
+PY
+  echo >&8 # one stdin line shuts the daemon down
+  exec 8>&-
+  wait "${pid}" || {
+    echo "ingest smoke (${label}): daemon exited nonzero" >&2
+    cat "${log}" >&2
+    exit 1
+  }
+  rm -rf "${dir}"
+}
+
+ingest_smoke ./build-release/examples/disc_ingestd \
+  ./build-release/examples/disc_feed "Release"
+
 # Replay the chaos scenarios (ctest -L chaos) once per pinned seed. The
 # seeds are fixed so a red run is reproducible: on failure we print the
 # seed, and `DISC_CHAOS_SEED=<seed> ./tests/chaos_test` replays the exact
@@ -140,6 +215,7 @@ chaos_stage() {
       ctest --preset "${preset}" -L chaos -j "${jobs}" || {
         echo "chaos (${preset}): FAILED at seed ${seed} — replay with" >&2
         echo "  DISC_CHAOS_SEED=${seed} ${build_dir}/tests/chaos_test" >&2
+        echo "  DISC_CHAOS_SEED=${seed} ${build_dir}/tests/net_chaos_test" >&2
         exit 1
       }
   done
@@ -155,6 +231,10 @@ ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
 
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   telemetry_smoke ./build-asan/examples/quickstart "ASan"
+
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+  ingest_smoke ./build-asan/examples/disc_ingestd \
+    ./build-asan/examples/disc_feed "ASan"
 
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   chaos_stage asan ./build-asan

@@ -198,6 +198,24 @@ Status DiscEngine::FeedSlide(const std::string& name,
                              const std::vector<Point>& points) {
   DISC_FAILPOINT_STATUS("engine.feed.pre");
   std::lock_guard<std::mutex> lock(mutex_);
+  return FeedSlideLocked(name, points, /*max_pending_slides=*/0,
+                         /*busy=*/nullptr);
+}
+
+Status DiscEngine::FeedSlideBounded(const std::string& name,
+                                    const std::vector<Point>& points,
+                                    std::size_t max_pending_slides,
+                                    bool* busy) {
+  if (busy != nullptr) *busy = false;
+  DISC_FAILPOINT_STATUS("engine.feed.pre");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FeedSlideLocked(name, points, max_pending_slides, busy);
+}
+
+Status DiscEngine::FeedSlideLocked(const std::string& name,
+                                   const std::vector<Point>& points,
+                                   std::size_t max_pending_slides,
+                                   bool* busy) {
   Session* session = Find(name);
   if (session == nullptr) {
     return Status::Error("no session named \"" + name + "\"");
@@ -224,9 +242,30 @@ Status DiscEngine::FeedSlide(const std::string& name,
       return Status::Error(os.str());
     }
   }
+  // Admission bound last: a slide that fails validation is *rejected*, not
+  // BUSY — only a full queue earns the retryable backpressure signal.
+  if (max_pending_slides > 0 && session->pending_slides >= max_pending_slides) {
+    if (busy != nullptr) *busy = true;
+    std::ostringstream os;
+    os << "session \"" << name << "\": admission queue full ("
+       << session->pending_slides << " slides pending, bound "
+       << max_pending_slides << "); retry after a drain";
+    return Status::Error(os.str());
+  }
   for (const Point& p : points) session->source.Push(p);
   ++session->pending_slides;
   UpdateBacklogGauges();
+  return Status::Ok();
+}
+
+Status DiscEngine::QuerySnapshot(const std::string& name,
+                                 ClusteringSnapshot* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Session* session = Find(name);
+  if (session == nullptr) {
+    return Status::Error("no session named \"" + name + "\"");
+  }
+  *out = session->clusterer->Snapshot();
   return Status::Ok();
 }
 

@@ -100,6 +100,20 @@ class DiscEngine : public obs::EngineStatusProvider {
   Status FeedSlide(const std::string& name, const std::vector<Point>& points)
       EXCLUDES(mutex_);
 
+  // FeedSlide with bounded admission for remote feeders (the ingest
+  // plane): the queue-depth check and the admission happen atomically
+  // under the engine mutex, so concurrent feeders can never overshoot the
+  // bound between a Pending check and a feed. When the session already
+  // holds `max_pending_slides` queued slides the call fails, sets *busy
+  // to true (when non-null), and admits nothing — the caller owes the
+  // producer an explicit BUSY so no slide is ever silently dropped.
+  // Validation failures (unknown session, wrong point count, wrong dims)
+  // fail with *busy left false.
+  Status FeedSlideBounded(const std::string& name,
+                          const std::vector<Point>& points,
+                          std::size_t max_pending_slides, bool* busy = nullptr)
+      EXCLUDES(mutex_);
+
   // Runs every queued slide of every session to completion and returns the
   // number of slides executed. Scheduling is round-robin over the sessions
   // with work: each round picks the ready set, runs one slide per session
@@ -140,6 +154,13 @@ class DiscEngine : public obs::EngineStatusProvider {
   // checkpointing through this pointer are fine; do not Update() through
   // it — feed the engine instead.
   StreamClusterer* Clusterer(const std::string& name) EXCLUDES(mutex_);
+
+  // Stores the named session's current labeling into *out. Unlike going
+  // through Clusterer()->Snapshot(), the read holds the engine mutex, so
+  // a remote caller's query serializes against an in-flight Drain instead
+  // of racing it — the ingest plane's QuerySnapshot entry point.
+  Status QuerySnapshot(const std::string& name, ClusteringSnapshot* out) const
+      EXCLUDES(mutex_);
 
   // Queued-but-not-yet-run slides of the named session (0 when unknown).
   std::size_t PendingSlides(const std::string& name) const EXCLUDES(mutex_);
@@ -211,6 +232,13 @@ class DiscEngine : public obs::EngineStatusProvider {
 
   Session* Find(const std::string& name) REQUIRES(mutex_);
   const Session* Find(const std::string& name) const REQUIRES(mutex_);
+
+  // Shared body of FeedSlide / FeedSlideBounded: validates, then admits.
+  // `max_pending_slides` of 0 means unbounded (the in-process path).
+  Status FeedSlideLocked(const std::string& name,
+                         const std::vector<Point>& points,
+                         std::size_t max_pending_slides, bool* busy)
+      REQUIRES(mutex_);
 
   // Builds the session object (no validation; CreateSession and Open have
   // already vetted the options and built the clusterer). The seed window

@@ -1,0 +1,220 @@
+#include "net/ingest_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/socket_util.h"
+
+namespace disc {
+namespace net {
+
+IngestClient::IngestClient(const IngestClientOptions& options)
+    : options_(options) {}
+
+IngestClient::~IngestClient() { Close(); }
+
+Status IngestClient::Connect() {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Error(std::string("socket(): ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::Error("bad ingest host \"" + options_.host + "\"");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Error("cannot connect to ingest server " + options_.host +
+                         ":" + std::to_string(options_.port) + ": " + error);
+  }
+  SetIoTimeouts(fd, options_.io_timeout_s);
+  fd_ = fd;
+  return Status::Ok();
+}
+
+void IngestClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status IngestClient::Call(MessageType request_type,
+                          const std::string& request_payload,
+                          MessageType* response_type,
+                          std::string* response_payload) {
+  if (fd_ < 0) {
+    return Status::Error("ingest client is not connected");
+  }
+  const std::string frame = EncodeFrame(request_type, request_payload);
+  if (!SendAllBytes(fd_, frame.data(), frame.size())) {
+    Close();
+    return Status::Error(std::string("connection lost sending ") +
+                         MessageTypeName(request_type) + " frame");
+  }
+  char header_buf[kFrameHeaderBytes];
+  const std::size_t header_got =
+      RecvFully(fd_, header_buf, kFrameHeaderBytes);
+  if (header_got < kFrameHeaderBytes) {
+    Close();
+    return Status::Error(
+        std::string("connection lost awaiting the response to ") +
+        MessageTypeName(request_type) + " (outcome unknown)");
+  }
+  FrameHeader header;
+  if (Status parsed =
+          ParseFrameHeader(header_buf, options_.max_frame_bytes, &header);
+      !parsed.ok()) {
+    Close();
+    return parsed;
+  }
+  std::string payload(header.payload_size, '\0');
+  if (header.payload_size > 0) {
+    const std::size_t payload_got =
+        RecvFully(fd_, payload.data(), payload.size());
+    if (payload_got < payload.size()) {
+      Close();
+      return Status::Error("torn response frame: got " +
+                           std::to_string(payload_got) + " of " +
+                           std::to_string(payload.size()) + " payload bytes");
+    }
+  }
+  if (Status crc = VerifyPayloadCrc(header, payload); !crc.ok()) {
+    Close();
+    return crc;
+  }
+  if (!IsResponseType(static_cast<std::uint8_t>(header.type))) {
+    Close();
+    return Status::Error(std::string("expected a response frame, got ") +
+                         MessageTypeName(header.type));
+  }
+  *response_type = header.type;
+  *response_payload = std::move(payload);
+  return Status::Ok();
+}
+
+Status IngestClient::ExpectOk(MessageType response_type,
+                              const std::string& payload, bool* busy) {
+  switch (response_type) {
+    case MessageType::kOk:
+      return Status::Ok();
+    case MessageType::kBusy:
+      if (busy != nullptr) *busy = true;
+      return Status::Error("BUSY: " + payload);
+    case MessageType::kError:
+      return Status::Error(payload);
+    default:
+      return Status::Error(std::string("unexpected response type ") +
+                           MessageTypeName(response_type));
+  }
+}
+
+Status IngestClient::CreateSession(const CreateSessionRequest& request) {
+  MessageType type = MessageType::kError;
+  std::string payload;
+  if (Status called = Call(MessageType::kCreateSession,
+                           EncodeCreateSession(request), &type, &payload);
+      !called.ok()) {
+    return called;
+  }
+  return ExpectOk(type, payload, nullptr);
+}
+
+Status IngestClient::FeedSlide(const std::string& name,
+                               const std::vector<Point>& points, bool* busy) {
+  if (busy != nullptr) *busy = false;
+  FeedSlideRequest request;
+  request.name = name;
+  request.points = points;
+  MessageType type = MessageType::kError;
+  std::string payload;
+  if (Status called = Call(MessageType::kFeedSlide, EncodeFeedSlide(request),
+                           &type, &payload);
+      !called.ok()) {
+    return called;
+  }
+  return ExpectOk(type, payload, busy);
+}
+
+Status IngestClient::Drain(std::uint64_t* executed) {
+  MessageType type = MessageType::kError;
+  std::string payload;
+  if (Status called =
+          Call(MessageType::kDrain, std::string(), &type, &payload);
+      !called.ok()) {
+    return called;
+  }
+  if (type == MessageType::kError) return Status::Error(payload);
+  if (type != MessageType::kDrained) {
+    return Status::Error(std::string("expected a Drained response, got ") +
+                         MessageTypeName(type));
+  }
+  std::uint64_t count = 0;
+  if (Status decoded = DecodeU64(payload, &count); !decoded.ok()) {
+    return decoded;
+  }
+  if (executed != nullptr) *executed = count;
+  return Status::Ok();
+}
+
+Status IngestClient::QuerySnapshot(const std::string& name,
+                                   ClusteringSnapshot* out) {
+  MessageType type = MessageType::kError;
+  std::string payload;
+  if (Status called = Call(MessageType::kQuerySnapshot,
+                           EncodeSessionName(name), &type, &payload);
+      !called.ok()) {
+    return called;
+  }
+  if (type == MessageType::kError) return Status::Error(payload);
+  if (type != MessageType::kSnapshot) {
+    return Status::Error(std::string("expected a Snapshot response, got ") +
+                         MessageTypeName(type));
+  }
+  return DecodeSnapshot(payload, out);
+}
+
+Status IngestClient::CloseSession(const std::string& name) {
+  MessageType type = MessageType::kError;
+  std::string payload;
+  if (Status called = Call(MessageType::kCloseSession,
+                           EncodeSessionName(name), &type, &payload);
+      !called.ok()) {
+    return called;
+  }
+  return ExpectOk(type, payload, nullptr);
+}
+
+Status IngestClient::Ping() {
+  const std::string token = "ping-" + std::to_string(++ping_sequence_);
+  MessageType type = MessageType::kError;
+  std::string payload;
+  if (Status called = Call(MessageType::kPing, token, &type, &payload);
+      !called.ok()) {
+    return called;
+  }
+  if (type == MessageType::kError) return Status::Error(payload);
+  if (type != MessageType::kPong) {
+    return Status::Error(std::string("expected a Pong response, got ") +
+                         MessageTypeName(type));
+  }
+  if (payload != token) {
+    return Status::Error("Pong payload mismatch: sent \"" + token +
+                         "\", got \"" + payload.substr(0, 64) + "\"");
+  }
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace disc

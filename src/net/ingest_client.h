@@ -1,0 +1,91 @@
+#ifndef DISC_NET_INGEST_CLIENT_H_
+#define DISC_NET_INGEST_CLIENT_H_
+
+// Blocking client for the ingest plane (net/ingest_server.h): one TCP
+// connection, one request in flight at a time — which is exactly what the
+// determinism contract wants, since requests on one connection execute in
+// order on one worker lane.
+//
+// Every call returns disc::Status. A kBusy answer surfaces as a failed
+// Status with *busy set (FeedSlide): the slide was NOT admitted and the
+// producer owns the retry — back off, drain, or drop with its own
+// bookkeeping, but never assume the engine took it. A connection-level
+// failure (disconnect, torn response, CRC mismatch) also fails the call
+// and closes the socket; Connect() again to resume. After a mid-request
+// disconnect the outcome of that request is genuinely unknown — the
+// server may or may not have applied it — the same ambiguity any network
+// RPC has; the chaos tests drive this path deliberately.
+//
+// Not thread-safe: one client per thread (connections are cheap; the
+// server multiplexes).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/point.h"
+#include "common/status.h"
+#include "net/wire.h"
+#include "stream/stream_clusterer.h"
+
+namespace disc {
+namespace net {
+
+struct IngestClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  // SO_RCVTIMEO/SO_SNDTIMEO: a Drain over a large backlog must finish
+  // within this, so keep it comfortably above expected drain times.
+  int io_timeout_s = 30;
+  // Response frames above this cap fail the call (mirrors the server cap).
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class IngestClient {
+ public:
+  explicit IngestClient(const IngestClientOptions& options);
+  ~IngestClient();  // Closes.
+
+  IngestClient(const IngestClient&) = delete;
+  IngestClient& operator=(const IngestClient&) = delete;
+
+  // Connects (reconnects after Close or a connection-level failure).
+  Status Connect();
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // The remote calls, mirroring the DiscEngine surface. Each sends one
+  // request frame and blocks for the response.
+  Status CreateSession(const CreateSessionRequest& request);
+  // On a kBusy answer: fails and sets *busy (when non-null) — the slide
+  // was not admitted; retry after a drain. Other failures leave *busy
+  // false.
+  Status FeedSlide(const std::string& name, const std::vector<Point>& points,
+                   bool* busy = nullptr);
+  // Drains every session the remote engine hosts; stores the executed
+  // slide count into *executed when non-null.
+  Status Drain(std::uint64_t* executed = nullptr);
+  Status QuerySnapshot(const std::string& name, ClusteringSnapshot* out);
+  Status CloseSession(const std::string& name);
+  // Round-trip liveness probe; the payload is echoed and verified.
+  Status Ping();
+
+ private:
+  // Sends one frame, receives one, validates framing + CRC. Closes the
+  // socket on any connection-level failure so the next call fails fast
+  // and the caller can Connect() again.
+  Status Call(MessageType request_type, const std::string& request_payload,
+              MessageType* response_type, std::string* response_payload);
+  // Maps the common kOk/kError/kBusy answers onto a Status.
+  Status ExpectOk(MessageType response_type, const std::string& payload,
+                  bool* busy);
+
+  IngestClientOptions options_;
+  int fd_ = -1;
+  std::uint64_t ping_sequence_ = 0;
+};
+
+}  // namespace net
+}  // namespace disc
+
+#endif  // DISC_NET_INGEST_CLIENT_H_

@@ -1,0 +1,122 @@
+#ifndef DISC_NET_INGEST_SERVER_H_
+#define DISC_NET_INGEST_SERVER_H_
+
+// Binary-framed TCP ingest/query service in front of DiscEngine
+// (docs/API.md §net). The wire between stream producers and the engine:
+// lightweight feeders connect, create sessions, push stride-sized slides,
+// drive drains, and query labelings — all through the CRC-checked frames
+// of net/wire.h, with the same validation DiscEngine applies in-process.
+//
+// Serving shape: the accept-thread + bounded-worker-lane core factored
+// into common/socket_util.h (shared with the telemetry HTTP server). A
+// connection is pinned to one worker lane for its lifetime and its
+// requests execute in arrival order, so a producer that feeds and drains
+// over one connection observes exactly the in-process call sequence —
+// the engine's determinism guarantee (byte-identical state for any lane
+// count) extends over the wire unchanged.
+//
+// Backpressure is explicit, never silent: each session's admission queue
+// is bounded by max_pending_slides, enforced atomically inside
+// DiscEngine::FeedSlideBounded. A full queue answers a kBusy frame (the
+// slide was NOT admitted; retry after a drain) and bumps
+// net_busy_rejections_total; an accepted slide (kOk answered) is in the
+// engine's queue and inherits the chaos suite's "no accepted slide is
+// ever dropped" invariant. A malformed, torn, oversized, or CRC-corrupt
+// frame yields a descriptive kError frame or a clean disconnect — never
+// a crash, never a partially-admitted slide (frame decoding is
+// all-or-nothing before the engine sees any point).
+//
+// Observability (docs/OBSERVABILITY.md §Net): net_* counters and gauges
+// in the bound registry, structured DISC_LOG events on connect /
+// disconnect / reject, and failpoints net.accept / net.frame.read /
+// net.frame.write / net.admit for the chaos harness. Readiness exports
+// through running() — wire it into HttpServerOptions::ingest_ready so
+// /healthz covers the ingest listener.
+//
+// Intended for trusted loopback/LAN producers, like the telemetry
+// server: frames are size-capped and CRC-checked, but there is no
+// authentication or TLS.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/socket_util.h"
+#include "common/status.h"
+#include "engine/disc_engine.h"
+#include "net/wire.h"
+#include "obs/metrics_registry.h"
+
+namespace disc {
+namespace net {
+
+struct IngestServerOptions {
+  std::string bind_address = "127.0.0.1";
+  // 0 binds an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  // Worker lanes; one connection is handled per lane at a time.
+  std::size_t worker_threads = 2;
+  // Accepted connections queued beyond this are answered kBusy and closed
+  // by the accept thread (bounded backlog, counted in
+  // net_busy_rejections_total).
+  std::size_t max_queued_connections = 16;
+  // Frames whose length prefix exceeds this are rejected before any
+  // payload byte is read.
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Per-session admission bound: a FeedSlide finding this many slides
+  // already queued is answered kBusy. Must be >= 1.
+  std::size_t max_pending_slides = 64;
+  // Per-connection SO_RCVTIMEO/SO_SNDTIMEO: a byte-trickling or stalled
+  // peer is disconnected after this long without progress.
+  int io_timeout_s = 5;
+
+  // The hosted engine, borrowed (must outlive the server). Required.
+  DiscEngine* engine = nullptr;
+  // Telemetry sink for the net_* metrics, borrowed and optional.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class IngestServer {
+ public:
+  explicit IngestServer(const IngestServerOptions& options);
+  ~IngestServer();  // Stops if running.
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  // Binds, listens, and spawns the accept + worker threads. Fails with a
+  // descriptive Status (no engine bound, address in use, ...) without
+  // leaking any fd or thread.
+  Status Start();
+
+  // Graceful shutdown: stops accepting, joins every thread, closes queued
+  // connections. In-flight requests finish first (a lane drains its
+  // current connection before exiting). Idempotent.
+  void Stop();
+
+  bool running() const;
+
+  // The bound port (the ephemeral one when options.port == 0); 0 when not
+  // running.
+  std::uint16_t port() const;
+
+ private:
+  void HandleConnection(int fd);
+  // Dispatches one decoded request; returns the response frame's type and
+  // stores its payload into *response_payload.
+  MessageType Dispatch(MessageType type, const std::string& payload,
+                       std::string* response_payload);
+  bool SendFrame(int fd, MessageType type, std::string_view payload);
+
+  IngestServerOptions options_;
+  std::unique_ptr<SocketServer> server_;
+  // Live connection count for the net_connections_open gauge (the gauge
+  // itself is last-write-wins; this atomic is the source of truth).
+  std::atomic<std::int64_t> open_connections_{0};
+};
+
+}  // namespace net
+}  // namespace disc
+
+#endif  // DISC_NET_INGEST_SERVER_H_

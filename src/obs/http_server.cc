@@ -2,24 +2,18 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <atomic>
 #include <cerrno>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <deque>
-#include <mutex>
 #include <sstream>
-#include <thread>
 #include <utility>
 
 #include "common/failpoint.h"
-#include "common/thread_annotations.h"
+#include "common/socket_util.h"
 #include "obs/log.h"
 
 namespace disc {
@@ -85,13 +79,10 @@ std::string SerializeResponse(const HttpResponse& response) {
 }
 
 void SendAll(int fd, const std::string& bytes) {
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n =
-        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) return;  // Peer went away; nothing useful to do.
-    sent += static_cast<std::size_t>(n);
-  }
+  // Peer going away mid-send leaves nothing useful to do; SendAllBytes
+  // already stops on the first failed send.
+  [[maybe_unused]] const bool sent =
+      SendAllBytes(fd, bytes.data(), bytes.size());
 }
 
 HttpResponse JsonError(int status, std::string_view message) {
@@ -110,109 +101,18 @@ HttpResponse JsonError(int status, std::string_view message) {
 // Impl
 // ---------------------------------------------------------------------------
 
+// The listener/self-pipe/bounded-worker plumbing lives in
+// common/socket_util.h (shared with the ingest plane); what remains here
+// is purely the HTTP protocol: head parsing, routing, serialization.
 struct HttpServer::Impl {
   explicit Impl(const HttpServerOptions& opts) : options(opts) {}
 
   HttpServerOptions options;
+  std::unique_ptr<SocketServer> server;
 
-  std::atomic<bool> running{false};
-  std::atomic<bool> stopping{false};
-  int listen_fd = -1;
-  int wake_read_fd = -1;
-  int wake_write_fd = -1;
-  std::uint16_t bound_port = 0;
-
-  std::thread accept_thread;
-  std::vector<std::thread> workers;
-
-  std::mutex queue_mutex;
-  std::condition_variable queue_cv;
-  std::deque<int> pending GUARDED_BY(queue_mutex);
-
-  void AcceptLoop();
-  void WorkerLoop();
   void HandleConnection(int fd) const;
   HttpResponse Route(std::string_view target) const;
 };
-
-void HttpServer::Impl::AcceptLoop() {
-  while (!stopping.load(std::memory_order_acquire)) {
-    pollfd fds[2];
-    fds[0].fd = listen_fd;
-    fds[0].events = POLLIN;
-    fds[0].revents = 0;
-    fds[1].fd = wake_read_fd;
-    fds[1].events = POLLIN;
-    fds[1].revents = 0;
-    const int ready = ::poll(fds, 2, /*timeout_ms=*/1000);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (fds[1].revents != 0) break;  // Stop() wrote the wake byte.
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    const int conn = ::accept(listen_fd, nullptr, nullptr);
-    if (conn < 0) continue;
-    try {
-      DISC_FAILPOINT("http.accept.conn");
-    } catch (const std::exception& e) {
-      // An injected accept fault costs one connection (the client sees a
-      // reset), never the accept thread.
-      DISC_LOG(kError, "telemetry.http_accept_fault").Str("error", e.what());
-      ::close(conn);
-      continue;
-    }
-    // A stuck client must not wedge a worker: cap both directions.
-    timeval timeout{};
-    timeout.tv_sec = 5;
-    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
-    bool enqueued = false;
-    {
-      std::lock_guard<std::mutex> lock(queue_mutex);
-      if (pending.size() < options.max_queued_connections) {
-        pending.push_back(conn);
-        enqueued = true;
-      }
-    }
-    if (enqueued) {
-      queue_cv.notify_one();
-    } else {
-      // Bounded handling: shed load in the accept thread with a canned
-      // response instead of queueing without limit.
-      SendAll(conn, SerializeResponse(
-                        JsonError(503, "telemetry server overloaded")));
-      ::close(conn);
-      DISC_LOG(kWarn, "telemetry.http_overloaded")
-          .Num("queued", options.max_queued_connections);
-    }
-  }
-}
-
-void HttpServer::Impl::WorkerLoop() {
-  for (;;) {
-    int conn = -1;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex);
-      queue_cv.wait(lock, [this]() REQUIRES(queue_mutex) {
-        return stopping.load(std::memory_order_acquire) || !pending.empty();
-      });
-      if (pending.empty()) return;  // Stopping and drained.
-      conn = pending.front();
-      pending.pop_front();
-    }
-    // A throwing handler (a bug, or an injected fault) must cost one
-    // response, never the worker thread — the fd still closes, the loop
-    // keeps serving, and the next scrape sees clean registry bytes.
-    try {
-      DISC_FAILPOINT("http.worker.handle");
-      HandleConnection(conn);
-    } catch (const std::exception& e) {
-      DISC_LOG(kError, "telemetry.http_worker_error").Str("error", e.what());
-    }
-    ::close(conn);
-  }
-}
 
 void HttpServer::Impl::HandleConnection(int fd) const {
   std::string head;
@@ -311,15 +211,18 @@ HttpResponse HttpServer::Impl::Route(std::string_view target) const {
 
   if (target == "/healthz") {
     // Per-component readiness. The process is live by construction (it is
-    // answering); readiness additionally requires a bound registry and —
-    // when an engine is bound — at least one admitted session, so closing
-    // the last session flips /healthz to 503.
+    // answering); readiness additionally requires a bound registry, a
+    // healthy co-hosted ingest listener when one is bound, and — when an
+    // engine is bound — at least one admitted session, so closing the
+    // last session flips /healthz to 503.
     std::vector<SessionStatusRow> session_rows;
     if (options.engine != nullptr) {
       session_rows = options.engine->SessionStatus();
     }
     const bool engine_ready = options.engine == nullptr || !session_rows.empty();
-    const bool ready = options.metrics != nullptr && engine_ready;
+    const bool ingest_ready = !options.ingest_ready || options.ingest_ready();
+    const bool ready = options.metrics != nullptr && engine_ready &&
+                       ingest_ready;
     HttpResponse response;
     response.status = ready ? 200 : 503;
     response.content_type = "application/json";
@@ -329,6 +232,10 @@ HttpResponse HttpServer::Impl::Route(std::string_view target) const {
     response.Write(options.engine == nullptr ? "unbound"
                    : session_rows.empty()            ? "no_sessions"
                                              : "ok");
+    response.Write("\",\"ingest\":\"");
+    response.Write(!options.ingest_ready ? "unbound"
+                   : ingest_ready        ? "ok"
+                                         : "not_listening");
     response.Write("\",\"metrics\":\"");
     response.Write(options.metrics == nullptr ? "unbound" : "ok");
     response.Write("\",\"tracer\":\"");
@@ -424,110 +331,41 @@ HttpServer::~HttpServer() { Stop(); }
 
 Status HttpServer::Start() {
   Impl& impl = *impl_;
-  if (impl.running.load(std::memory_order_acquire)) {
+  if (impl.server != nullptr && impl.server->running()) {
     return Status::Error("telemetry server already running on port " +
-                         std::to_string(impl.bound_port));
+                         std::to_string(impl.server->port()));
   }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Error(std::string("socket(): ") + std::strerror(errno));
-  }
-  const int enable = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(impl.options.port);
-  if (::inet_pton(AF_INET, impl.options.bind_address.c_str(),
-                  &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::Error("bad bind address \"" + impl.options.bind_address +
-                         "\"");
-  }
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const std::string error = std::strerror(errno);
-    ::close(fd);
-    return Status::Error("cannot bind " + impl.options.bind_address + ":" +
-                         std::to_string(impl.options.port) + ": " + error);
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
-      0) {
-    const std::string error = std::strerror(errno);
-    ::close(fd);
-    return Status::Error(std::string("getsockname(): ") + error);
-  }
-  if (::listen(fd, 16) != 0) {
-    const std::string error = std::strerror(errno);
-    ::close(fd);
-    return Status::Error(std::string("listen(): ") + error);
-  }
-  int wake[2] = {-1, -1};
-  if (::pipe(wake) != 0) {
-    const std::string error = std::strerror(errno);
-    ::close(fd);
-    return Status::Error(std::string("pipe(): ") + error);
-  }
-  impl.listen_fd = fd;
-  impl.wake_read_fd = wake[0];
-  impl.wake_write_fd = wake[1];
-  impl.bound_port = ntohs(bound.sin_port);
-  impl.stopping.store(false, std::memory_order_release);
-  impl.running.store(true, std::memory_order_release);
-  impl.accept_thread = std::thread([this]() { impl_->AcceptLoop(); });
-  const std::size_t workers =
-      impl.options.worker_threads == 0 ? 1 : impl.options.worker_threads;
-  impl.workers.reserve(workers);
-  for (std::size_t i = 0; i < workers; ++i) {
-    impl.workers.emplace_back([this]() { impl_->WorkerLoop(); });
-  }
-  DISC_LOG(kInfo, "telemetry.http_started")
-      .Str("address", impl.options.bind_address)
-      .Num("port", impl.bound_port)
-      .Num("workers", workers);
+  SocketServerOptions server_options;
+  server_options.name = "telemetry";
+  server_options.bind_address = impl.options.bind_address;
+  server_options.port = impl.options.port;
+  server_options.worker_threads = impl.options.worker_threads;
+  server_options.max_queued_connections = impl.options.max_queued_connections;
+  server_options.accept_failpoint = "http.accept.conn";
+  server_options.handler = [this](int fd) {
+    DISC_FAILPOINT("http.worker.handle");
+    impl_->HandleConnection(fd);
+  };
+  server_options.on_overload = [](int fd) {
+    SendAll(fd,
+            SerializeResponse(JsonError(503, "telemetry server overloaded")));
+  };
+  auto server = std::make_unique<SocketServer>(std::move(server_options));
+  if (Status started = server->Start(); !started.ok()) return started;
+  impl.server = std::move(server);
   return Status::Ok();
 }
 
 void HttpServer::Stop() {
-  Impl& impl = *impl_;
-  if (!impl.running.exchange(false, std::memory_order_acq_rel)) return;
-  impl.stopping.store(true, std::memory_order_release);
-  const char wake_byte = 'x';
-  // A failed wake write leaves the 1 s poll timeout as the fallback.
-  if (impl.wake_write_fd >= 0) {
-    [[maybe_unused]] const ssize_t written =
-        ::write(impl.wake_write_fd, &wake_byte, 1);
-  }
-  impl.queue_cv.notify_all();
-  if (impl.accept_thread.joinable()) impl.accept_thread.join();
-  impl.queue_cv.notify_all();
-  for (std::thread& worker : impl.workers) {
-    if (worker.joinable()) worker.join();
-  }
-  impl.workers.clear();
-  // Workers exit once the queue drains, so nothing should be left; close
-  // defensively anyway.
-  {
-    std::lock_guard<std::mutex> lock(impl.queue_mutex);
-    for (const int fd : impl.pending) ::close(fd);
-    impl.pending.clear();
-  }
-  if (impl.listen_fd >= 0) ::close(impl.listen_fd);
-  if (impl.wake_read_fd >= 0) ::close(impl.wake_read_fd);
-  if (impl.wake_write_fd >= 0) ::close(impl.wake_write_fd);
-  impl.listen_fd = impl.wake_read_fd = impl.wake_write_fd = -1;
-  DISC_LOG(kInfo, "telemetry.http_stopped").Num("port", impl.bound_port);
-  impl.bound_port = 0;
+  if (impl_->server != nullptr) impl_->server->Stop();
 }
 
 bool HttpServer::running() const {
-  return impl_->running.load(std::memory_order_acquire);
+  return impl_->server != nullptr && impl_->server->running();
 }
 
 std::uint16_t HttpServer::port() const {
-  return impl_->running.load(std::memory_order_acquire) ? impl_->bound_port
-                                                        : 0;
+  return impl_->server == nullptr ? 0 : impl_->server->port();
 }
 
 HttpResponse HttpServer::Handle(std::string_view target) const {
@@ -543,10 +381,7 @@ std::string HttpGet(std::uint16_t port, const std::string& target,
   if (status_code != nullptr) *status_code = 0;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return std::string("socket(): ") + std::strerror(errno);
-  timeval timeout{};
-  timeout.tv_sec = 10;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  SetIoTimeouts(fd, 10);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);

@@ -35,6 +35,7 @@
 // minimally, and always answered with `Connection: close`.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -98,6 +99,13 @@ struct HttpServerOptions {
   MetricsRegistry* metrics = nullptr;
   const EngineStatusProvider* engine = nullptr;
   TraceRecorder* tracer = nullptr;
+
+  // Optional extra readiness probe for a co-hosted ingest listener
+  // (net/ingest_server.h). When set, /healthz gains an "ingest" component
+  // that must report true for overall readiness — a daemon whose ingest
+  // plane died flips to 503 even while the telemetry plane still answers.
+  // Called from server worker threads; must be thread-safe.
+  std::function<bool()> ingest_ready;
 };
 
 class HttpServer {

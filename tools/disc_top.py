@@ -21,8 +21,14 @@ Columns:
   SLIDE/S   slides drained per second since the previous poll
   LAST MS   wall-clock latency of the most recent slide
 
+A failed poll is retried with exponential backoff (0.5 s doubling to a
+cap of 8 s) before giving up, so a daemon restart — or watching a node
+come up — does not kill the dashboard. --retries N bounds the budget of
+*consecutive* failures (default 5, 0 = fail fast); any successful poll
+resets it.
+
 Exit status: 0 on quit (Ctrl-C) or --once success, 1 when the endpoint
-cannot be reached.
+cannot be reached --retries + 1 times in a row.
 """
 
 import argparse
@@ -94,10 +100,19 @@ def main():
         action="store_true",
         help="print a single frame and exit (no screen clearing)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=5,
+        help="consecutive poll failures tolerated before exiting "
+             "(default 5; 0 = fail on the first)",
+    )
     args = parser.parse_args()
     base_url = args.url.rstrip("/")
 
     previous = ({}, 0.0)
+    failures = 0
+    backoff_s = 0.5
     try:
         while True:
             now_s = time.monotonic()
@@ -105,9 +120,21 @@ def main():
                 lines, sessions, = render(base_url, previous, now_s)[:2]
             except (urllib.error.URLError, OSError, json.JSONDecodeError,
                     KeyError) as error:
-                print(f"disc_top: cannot poll {base_url}: {error}",
-                      file=sys.stderr)
-                return 1
+                failures += 1
+                if failures > args.retries:
+                    print(f"disc_top: cannot poll {base_url}: {error}",
+                          file=sys.stderr)
+                    return 1
+                print(
+                    f"disc_top: poll failed ({failures}/{args.retries}: "
+                    f"{error}); retrying in {backoff_s:.1f}s",
+                    file=sys.stderr,
+                )
+                time.sleep(backoff_s)
+                backoff_s = min(backoff_s * 2, 8.0)
+                continue
+            failures = 0
+            backoff_s = 0.5
             if not args.once:
                 sys.stdout.write("\x1b[2J\x1b[H")  # clear screen, home cursor
             print("\n".join(lines), flush=True)
